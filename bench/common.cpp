@@ -1,0 +1,83 @@
+#include "bench/common.hpp"
+
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <limits>
+
+#include "util/chart.hpp"
+
+namespace kncube::bench {
+
+bool quick_mode() {
+  const char* env = std::getenv("KNCUBE_QUICK");
+  return env && *env && std::strcmp(env, "0") != 0;
+}
+
+int sweep_points(int full, int quick) { return quick_mode() ? quick : full; }
+
+core::Scenario paper_scenario(int message_length, double hot_fraction) {
+  core::Scenario s;
+  s.k = 16;
+  s.vcs = 2;
+  s.message_length = message_length;
+  s.hot_fraction = hot_fraction;
+  s.buffer_depth = 2;
+  s.seed = 0x1DC5;
+  if (quick_mode()) {
+    s.target_messages = 800;
+    s.warmup_cycles = 6000;
+    s.max_cycles = 400'000;
+  } else {
+    s.target_messages = 2000;
+    s.warmup_cycles = 15000;
+    s.max_cycles = 1'500'000;
+  }
+  return s;
+}
+
+std::vector<core::PointResult> run_panel(
+    const std::string& title, const core::Scenario& scenario, int points,
+    const std::string& csv_basename,
+    std::vector<std::pair<std::string, core::PanelSummary>>* summaries) {
+  const auto lambdas = core::lambda_sweep(scenario, points, 0.1, 0.95);
+  const auto pts = core::run_series(scenario, lambdas, /*run_sim=*/true);
+  util::Table table = core::figure_table(title, pts);
+  table.print(std::cout);
+
+  // The paper's panels, as text: model curve vs simulation points.
+  util::Series model_series{"model", 'm', {}, {}};
+  util::Series sim_series{"simulation", 's', {}, {}};
+  for (const auto& p : pts) {
+    model_series.x.push_back(p.lambda);
+    model_series.y.push_back(p.model.saturated
+                                 ? std::numeric_limits<double>::infinity()
+                                 : p.model.latency);
+    sim_series.x.push_back(p.lambda);
+    sim_series.y.push_back(p.has_sim && !p.sim.saturated
+                               ? p.sim.mean_latency
+                               : std::numeric_limits<double>::infinity());
+  }
+  util::ChartOptions chart;
+  chart.title = title;
+  chart.x_label = "traffic (messages/cycle)";
+  chart.y_label = "latency (cycles)";
+  chart.y_clip_quantile = 0.999;
+  std::cout << util::render_chart({model_series, sim_series}, chart);
+
+  const std::string csv = core::export_csv(table, csv_basename);
+  if (!csv.empty()) std::cout << "csv: " << csv << "\n";
+  std::cout << "\n";
+  if (summaries) summaries->emplace_back(title, core::summarize_panel(pts));
+  return pts;
+}
+
+void print_summaries(
+    const std::string& title,
+    const std::vector<std::pair<std::string, core::PanelSummary>>& summaries) {
+  core::summary_table(title, summaries).print(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace kncube::bench

@@ -1,0 +1,40 @@
+// Shared harness for the figure/table reproduction binaries.
+//
+// Every bench binary is runnable with no arguments (the batch harness does
+// `for b in build/bench/*; do $b; done`). Set KNCUBE_QUICK=1 to shrink the
+// sweeps for smoke runs, KNCUBE_OUT=<dir> to export CSVs alongside the
+// printed tables, and KNCUBE_THREADS to pin the sweep parallelism.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/kncube.hpp"
+
+namespace kncube::bench {
+
+/// True when KNCUBE_QUICK is set to a truthy value.
+bool quick_mode();
+
+/// Picks the sweep size for the current mode.
+int sweep_points(int full, int quick);
+
+/// The paper's validation configuration (§4): 16x16 unidirectional torus,
+/// V=2 virtual channels, with bench-appropriate measurement effort.
+core::Scenario paper_scenario(int message_length, double hot_fraction);
+
+/// Runs one figure panel (model + simulation over a saturation-anchored
+/// sweep), prints the paper-style table, optionally exports CSV, and appends
+/// the panel summary to `summaries`.
+std::vector<core::PointResult> run_panel(
+    const std::string& title, const core::Scenario& scenario, int points,
+    const std::string& csv_basename,
+    std::vector<std::pair<std::string, core::PanelSummary>>* summaries);
+
+/// Prints the cross-panel summary table.
+void print_summaries(
+    const std::string& title,
+    const std::vector<std::pair<std::string, core::PanelSummary>>& summaries);
+
+}  // namespace kncube::bench

@@ -1,0 +1,27 @@
+// Figure 1 (paper §4): mean message latency, model vs flit-level simulation,
+// on the 16x16 unidirectional torus with Lm = 32 flits and V = 2 virtual
+// channels, for hot-spot fractions h = 20%, 40% and 70%. Each panel sweeps
+// the injection rate from 10% to 95% of the model's saturation rate, the
+// region the paper plots (its x-axes end at 6e-4, 4e-4 and 2e-4
+// messages/cycle respectively — the same decades our saturation search
+// lands in).
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace kncube;
+  std::cout << "=== Figure 1: latency vs injection rate, Lm=32 flits, 16x16 torus, "
+               "V=2 ===\n\n";
+  const int points = bench::sweep_points(10, 5);
+  std::vector<std::pair<std::string, core::PanelSummary>> summaries;
+  for (double h : {0.2, 0.4, 0.7}) {
+    const std::string title =
+        "Figure 1, h=" + std::to_string(static_cast<int>(h * 100)) + "%";
+    bench::run_panel(title, bench::paper_scenario(32, h), points,
+                     "fig1_h" + std::to_string(static_cast<int>(h * 100)),
+                     &summaries);
+  }
+  bench::print_summaries("Figure 1 summary (stable region)", summaries);
+  return 0;
+}

@@ -1,0 +1,24 @@
+// Figure 2 (paper §4): as Figure 1 but with Lm = 100-flit messages. The
+// paper's x-axes end near 2e-4 (h=20%), 1.2e-4 (h=40%) and 7e-5 (h=70%)
+// messages/cycle; the sweep is anchored at the model's saturation rate,
+// which falls in the same decades.
+#include <iostream>
+
+#include "bench/common.hpp"
+
+int main() {
+  using namespace kncube;
+  std::cout << "=== Figure 2: latency vs injection rate, Lm=100 flits, 16x16 torus, "
+               "V=2 ===\n\n";
+  const int points = bench::sweep_points(10, 5);
+  std::vector<std::pair<std::string, core::PanelSummary>> summaries;
+  for (double h : {0.2, 0.4, 0.7}) {
+    const std::string title =
+        "Figure 2, h=" + std::to_string(static_cast<int>(h * 100)) + "%";
+    bench::run_panel(title, bench::paper_scenario(100, h), points,
+                     "fig2_h" + std::to_string(static_cast<int>(h * 100)),
+                     &summaries);
+  }
+  bench::print_summaries("Figure 2 summary (stable region)", summaries);
+  return 0;
+}

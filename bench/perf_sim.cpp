@@ -1,0 +1,72 @@
+// P1: simulator performance (google-benchmark). Reports router-cycles/s and
+// delivered flit throughput so changes to the hot loop are measurable.
+#include <benchmark/benchmark.h>
+
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace kncube;
+
+sim::SimConfig bench_config(int k, int lm, double frac_of_capacity) {
+  sim::SimConfig cfg;
+  cfg.k = k;
+  cfg.n = 2;
+  cfg.vcs = 2;
+  cfg.buffer_depth = 2;
+  cfg.message_length = lm;
+  cfg.pattern = sim::Pattern::kHotspot;
+  cfg.hot_fraction = 0.2;
+  const double coeff = 0.2 * k * (k - 1.0) + 0.8 * (k - 1.0) / 2.0;
+  cfg.injection_rate = frac_of_capacity / (coeff * lm);
+  cfg.seed = 42;
+  return cfg;
+}
+
+void BM_SimulatorCycles(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  const auto load = static_cast<double>(state.range(1)) / 100.0;
+  sim::Simulator sim(bench_config(k, 32, load));
+  sim.step_cycles(2000);  // warm the network into steady operation
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    sim.step_cycles(256);
+    cycles += 256;
+  }
+  state.counters["router_cycles/s"] = benchmark::Counter(
+      static_cast<double>(cycles) * k * k, benchmark::Counter::kIsRate);
+  state.counters["cycles/s"] =
+      benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
+  state.counters["flits_delivered"] =
+      static_cast<double>(sim.metrics().flits_delivered());
+}
+BENCHMARK(BM_SimulatorCycles)
+    ->ArgsProduct({{8, 16, 32}, {30, 80}})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorConstruction(benchmark::State& state) {
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim(bench_config(k, 32, 0.3));
+    benchmark::DoNotOptimize(&sim.network());
+  }
+}
+BENCHMARK(BM_SimulatorConstruction)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_FullMeasurementRun(benchmark::State& state) {
+  // One complete measurement protocol on a small network: the unit of work
+  // each sweep point costs the figure benches.
+  for (auto _ : state) {
+    sim::SimConfig cfg = bench_config(8, 16, 0.4);
+    cfg.warmup_cycles = 2000;
+    cfg.target_messages = 400;
+    cfg.max_cycles = 200000;
+    const sim::SimResult r = sim::simulate(cfg);
+    benchmark::DoNotOptimize(r.mean_latency);
+  }
+}
+BENCHMARK(BM_FullMeasurementRun)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// Lineage comparison: the predecessor hypercube hot-spot model (paper
+// ref. [12]) validated against the simulator in hypercube mode (k=2 n-cube),
+// and torus-vs-hypercube hot-spot capacity at equal node count — the
+// high-radix-vs-high-dimension trade-off under hot-spot pressure.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "model/hypercube_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace kncube;
+
+sim::SimConfig hypercube_sim(int dims, int lm, double h, double lambda, bool quick) {
+  sim::SimConfig sc;
+  sc.k = 2;
+  sc.n = dims;
+  sc.vcs = 2;
+  sc.message_length = lm;
+  sc.pattern = sim::Pattern::kHotspot;
+  sc.hot_fraction = h;
+  sc.injection_rate = lambda;
+  sc.target_messages = quick ? 800 : 2000;
+  sc.warmup_cycles = 6000;
+  sc.max_cycles = quick ? 400'000 : 1'200'000;
+  return sc;
+}
+
+}  // namespace
+
+int main() {
+  using namespace kncube;
+  const bool quick = bench::quick_mode();
+  std::cout << "=== Hypercube hot-spot model [ref 12] vs simulator (N=64), and "
+               "torus-vs-hypercube capacity ===\n\n";
+
+  // Panel 1: hypercube model vs sim across load, h = 20%.
+  {
+    const int dims = 6;
+    const int lm = 32;
+    const double h = 0.2;
+    model::HypercubeModelConfig mc;
+    mc.dims = dims;
+    mc.vcs = 2;
+    mc.message_length = lm;
+    mc.hot_fraction = h;
+    const double est = model::HypercubeHotspotModel(mc).estimated_saturation_rate();
+
+    util::Table table({"lambda", "model latency", "sim latency", "rel err",
+                       "model sat", "sim sat"});
+    table.set_title("6-cube (N=64), Lm=32, h=20%: model vs simulation");
+    table.set_precision(5);
+    const int points = quick ? 4 : 8;
+    for (int i = 0; i < points; ++i) {
+      const double frac = 0.1 + 0.75 * i / (points - 1);
+      mc.injection_rate = frac * est;
+      const auto mr = model::HypercubeHotspotModel(mc).solve();
+      const auto sr =
+          sim::simulate(hypercube_sim(dims, lm, h, mc.injection_rate, quick));
+      const double rel = (!mr.saturated && sr.mean_latency > 0)
+                             ? std::abs(mr.latency - sr.mean_latency) / sr.mean_latency
+                             : 0.0;
+      table.add_row({mc.injection_rate,
+                     mr.saturated ? std::numeric_limits<double>::infinity()
+                                  : mr.latency,
+                     sr.mean_latency, rel, std::string(mr.saturated ? "yes" : "no"),
+                     std::string(sr.saturated ? "yes" : "no")});
+    }
+    table.print(std::cout);
+    const std::string csv = core::export_csv(table, "tab_hypercube_panel");
+    if (!csv.empty()) std::cout << "csv: " << csv << "\n";
+    std::cout << "\n";
+  }
+
+  // Panel 2: equal-N capacity comparison, torus 8x8 vs 6-cube (N=64).
+  {
+    util::Table table({"topology", "h", "model sat rate", "zero-load latency",
+                       "bottleneck"});
+    table.set_title("Hot-spot capacity at N=64: 8x8 torus vs 6-cube");
+    table.set_precision(4);
+    for (double h : {0.1, 0.3, 0.5}) {
+      core::Scenario torus;
+      torus.k = 8;
+      torus.vcs = 2;
+      torus.message_length = 32;
+      torus.hot_fraction = h;
+      const double t_sat = core::model_saturation_rate(torus).rate;
+      const model::HotspotModel tm(core::to_model_config(torus, 1e-9));
+      table.add_row({std::string("8x8 torus"), h, t_sat, tm.zero_load_latency(),
+                     std::string("hot column (k(k-1) streams)")});
+
+      model::HypercubeModelConfig hc;
+      hc.dims = 6;
+      hc.vcs = 2;
+      hc.message_length = 32;
+      hc.hot_fraction = h;
+      // Bisect the hypercube model's saturation boundary.
+      double lo = 0.0;
+      double hi = model::HypercubeHotspotModel(hc).estimated_saturation_rate() * 4;
+      for (int i = 0; i < 40; ++i) {
+        hc.injection_rate = 0.5 * (lo + hi);
+        (model::HypercubeHotspotModel(hc).solve().saturated ? hi : lo) =
+            hc.injection_rate;
+      }
+      hc.injection_rate = 1e-9;
+      table.add_row({std::string("6-cube"), h, lo,
+                     model::HypercubeHotspotModel(hc).zero_load_latency(),
+                     std::string("last funnel channel (2^{n-1} streams)")});
+    }
+    table.print(std::cout);
+    const std::string csv = core::export_csv(table, "tab_hypercube_capacity");
+    if (!csv.empty()) std::cout << "csv: " << csv << "\n";
+    std::cout << "\nReading: at equal N the hypercube both shortens paths and\n"
+                 "spreads the hot funnel across n dimensions, sustaining a higher\n"
+                 "per-node hot-spot rate than the 2-D torus — the contrast between\n"
+                 "this paper's torus analysis and its hypercube predecessor [12].\n";
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Capacity planning with the analytical model — the use case the paper
+// argues for: "a practical evaluation tool for gaining insight into the
+// performance behaviour of deterministic routing in k-ary n-cubes in the
+// presence of hot-spot traffic". Given a workload (message length, hot-spot
+// fraction, per-node injection rate) and a latency budget, sweep candidate
+// network configurations and report which sustain it — hundreds of model
+// evaluations in the time one simulation point would take.
+//
+// Usage: capacity_planning [--lm 32] [--h 0.2] [--lambda 2e-4] [--budget 150]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/kncube.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kncube;
+
+  util::Args args(argc, argv);
+  const int lm = static_cast<int>(args.get_int("lm", 32));
+  const double h = args.get_double("h", 0.2);
+  const double lambda = args.get_double("lambda", 2e-4);
+  const double budget = args.get_double("budget", 150.0);
+
+  std::cout << "workload: Lm=" << lm << " flits, h=" << h * 100
+            << "% hot-spot, lambda=" << lambda
+            << " msg/node/cycle; latency budget " << budget << " cycles\n\n";
+
+  util::Table table({"k", "N", "V", "sat rate", "headroom", "latency @ lambda",
+                     "zero-load", "verdict"});
+  table.set_title("Candidate configurations (analytical model)");
+  table.set_precision(4);
+
+  for (int k : {8, 12, 16, 20, 24}) {
+    for (int vcs : {2, 4}) {
+      core::Scenario s;
+      s.k = k;
+      s.vcs = vcs;
+      s.message_length = lm;
+      s.hot_fraction = h;
+      const double sat = core::model_saturation_rate(s).rate;
+      const model::HotspotModel model(core::to_model_config(s, lambda));
+      const model::ModelResult r = model.solve();
+
+      std::string verdict;
+      if (r.saturated) {
+        verdict = "SATURATED";
+      } else if (r.latency > budget) {
+        verdict = "over budget";
+      } else if (lambda > 0.8 * sat) {
+        verdict = "ok (no headroom)";
+      } else {
+        verdict = "OK";
+      }
+      table.add_row({static_cast<long long>(k), static_cast<long long>(k * k),
+                     static_cast<long long>(vcs), sat, sat / lambda,
+                     r.saturated ? std::numeric_limits<double>::infinity()
+                                 : r.latency,
+                     model.zero_load_latency(), verdict});
+    }
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: the hot column's capacity shrinks ~1/k^2, so growing\n"
+               "the radix *reduces* the sustainable per-node hot-spot load even\n"
+               "though the network has more links; extra virtual channels buy a\n"
+               "little source-queue relief, not bottleneck bandwidth.\n";
+  return EXIT_SUCCESS;
+}

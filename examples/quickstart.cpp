@@ -1,0 +1,56 @@
+// Quickstart: predict hot-spot latency with the analytical model, validate
+// one operating point against the flit-level simulator, and print the
+// comparison — the library's core loop in ~60 lines.
+//
+// Usage: quickstart [--k 16] [--lm 32] [--h 0.2] [--vcs 2] [--lambda <rate>]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/kncube.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kncube;
+
+  util::Args args(argc, argv);
+  core::Scenario scenario;
+  scenario.k = static_cast<int>(args.get_int("k", 16));
+  scenario.message_length = static_cast<int>(args.get_int("lm", 32));
+  scenario.hot_fraction = args.get_double("h", 0.2);
+  scenario.vcs = static_cast<int>(args.get_int("vcs", 2));
+
+  // Where does this network saturate?
+  const core::SaturationResult sat = core::model_saturation_rate(scenario);
+  std::cout << "network: " << scenario.k << "x" << scenario.k << " torus, Lm="
+            << scenario.message_length << " flits, h=" << scenario.hot_fraction * 100
+            << "%, V=" << scenario.vcs << "\n";
+  std::cout << "model saturation rate: " << sat.rate << " messages/node/cycle ("
+            << sat.probes << " probes)\n\n";
+
+  // Pick one operating point (default: 60% of saturation) and compare the
+  // model prediction against a full simulation.
+  const double lambda = args.get_double("lambda", 0.6 * sat.rate);
+  const model::ModelResult m =
+      model::HotspotModel(core::to_model_config(scenario, lambda)).solve();
+  std::cout << "lambda = " << lambda << "\n";
+  std::cout << "  model:  latency=" << m.latency << " cycles"
+            << "  (regular=" << m.regular_latency << ", hot=" << m.hot_latency
+            << ", Ws=" << m.source_wait_regular << ", max util="
+            << m.max_channel_utilization << ")\n";
+
+  const sim::SimResult s = sim::simulate(core::to_sim_config(scenario, lambda));
+  std::cout << "  sim:    latency=" << s.mean_latency << " +- " << s.latency_ci95
+            << " cycles over " << s.measured_messages << " messages ("
+            << s.cycles << " cycles simulated"
+            << (s.saturated ? ", SATURATED" : "") << ")\n";
+  std::cout << "  sim:    network=" << s.mean_network_latency
+            << " source wait=" << s.mean_source_wait
+            << " hot channel util=" << s.hot_channel_utilization << "\n";
+
+  if (!m.saturated && s.mean_latency > 0) {
+    std::cout << "  relative error: "
+              << 100.0 * std::abs(m.latency - s.mean_latency) / s.mean_latency
+              << "%\n";
+  }
+  return EXIT_SUCCESS;
+}

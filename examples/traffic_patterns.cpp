@@ -1,0 +1,71 @@
+// Traffic-pattern comparison on the flit-level simulator: the same network
+// under uniform, hot-spot, transpose, bit-complement and bit-reversal
+// destinations at equal injection rate. Shows how far from uniform each
+// pattern pushes the channel-load distribution — hot-spot being the extreme
+// the paper models.
+//
+// Usage: traffic_patterns [--k 8] [--lm 16] [--lambda 1e-3] [--h 0.2]
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/kncube.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kncube;
+
+  util::Args args(argc, argv);
+  const int k = static_cast<int>(args.get_int("k", 8));
+  const int lm = static_cast<int>(args.get_int("lm", 16));
+  const double lambda = args.get_double("lambda", 1e-3);
+  const double h = args.get_double("h", 0.2);
+
+  std::cout << "pattern comparison on a " << k << "x" << k << " torus, Lm=" << lm
+            << ", lambda=" << lambda << " msg/node/cycle\n\n";
+
+  const std::vector<std::pair<std::string, sim::Pattern>> patterns = {
+      {"uniform", sim::Pattern::kUniform},
+      {"hotspot h=" + std::to_string(static_cast<int>(h * 100)) + "%",
+       sim::Pattern::kHotspot},
+      {"transpose", sim::Pattern::kTranspose},
+      {"bit-complement", sim::Pattern::kBitComplement},
+      {"bit-reversal", sim::Pattern::kBitReversal},
+  };
+
+  util::Table table({"pattern", "mean latency", "p95", "accepted load",
+                     "mean chan util", "max chan util", "max/mean", "saturated"});
+  table.set_title("Simulator, equal offered load");
+  table.set_precision(4);
+
+  for (const auto& [name, pattern] : patterns) {
+    sim::SimConfig cfg;
+    cfg.k = k;
+    cfg.n = 2;
+    cfg.vcs = 2;
+    cfg.message_length = lm;
+    cfg.injection_rate = lambda;
+    cfg.pattern = pattern;
+    cfg.hot_fraction = h;
+    cfg.warmup_cycles = 5000;
+    cfg.target_messages = 2000;
+    cfg.max_cycles = 800000;
+    const sim::SimResult r = sim::simulate(cfg);
+    table.add_row({name,
+                   r.saturated ? std::numeric_limits<double>::infinity()
+                               : r.mean_latency,
+                   r.p95_latency, r.accepted_load, r.mean_channel_utilization,
+                   r.max_channel_utilization,
+                   r.mean_channel_utilization > 0
+                       ? r.max_channel_utilization / r.mean_channel_utilization
+                       : 0.0,
+                   std::string(r.saturated ? "yes" : "no")});
+  }
+  table.print(std::cout);
+  std::cout << "\nReading: uniform spreads load evenly (max/mean ~ 1); hot-spot\n"
+               "concentrates it on one column (max/mean ~ k as eq (7) predicts);\n"
+               "permutations sit between, skewed by dimension-order routing.\n";
+  return EXIT_SUCCESS;
+}

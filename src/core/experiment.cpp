@@ -1,0 +1,82 @@
+#include "core/experiment.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "core/saturation.hpp"
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace kncube::core {
+
+model::ModelConfig to_model_config(const Scenario& s, double lambda) {
+  model::ModelConfig cfg;
+  cfg.k = s.k;
+  cfg.vcs = s.vcs;
+  cfg.message_length = s.message_length;
+  cfg.injection_rate = lambda;
+  cfg.hot_fraction = s.hot_fraction;
+  cfg.blocking = s.blocking;
+  return cfg;
+}
+
+sim::SimConfig to_sim_config(const Scenario& s, double lambda) {
+  sim::SimConfig cfg;
+  cfg.k = s.k;
+  cfg.n = 2;  // the paper's analysis and validation are 2-D
+  cfg.bidirectional = false;
+  cfg.vcs = s.vcs;
+  cfg.buffer_depth = s.buffer_depth;
+  cfg.message_length = s.message_length;
+  cfg.injection_rate = lambda;
+  cfg.pattern = sim::Pattern::kHotspot;
+  cfg.hot_fraction = s.hot_fraction;
+  cfg.seed = s.seed;
+  cfg.warmup_cycles = s.warmup_cycles;
+  cfg.target_messages = s.target_messages;
+  cfg.max_cycles = s.max_cycles;
+  return cfg;
+}
+
+double PointResult::relative_error() const {
+  if (!has_sim || model.saturated || sim.mean_latency <= 0.0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  return std::abs(model.latency - sim.mean_latency) / sim.mean_latency;
+}
+
+std::vector<PointResult> run_series(const Scenario& scenario,
+                                    const std::vector<double>& lambdas,
+                                    bool run_sim) {
+  std::vector<PointResult> results(lambdas.size());
+  util::parallel_for(lambdas.size(), [&](std::size_t i) {
+    PointResult& pt = results[i];
+    pt.lambda = lambdas[i];
+    pt.model = model::HotspotModel(to_model_config(scenario, pt.lambda)).solve();
+    if (run_sim) {
+      sim::SimConfig sc = to_sim_config(scenario, pt.lambda);
+      // Decorrelate seeds across points while keeping the series reproducible.
+      sc.seed = scenario.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
+      pt.sim = sim::simulate(sc);
+      pt.has_sim = true;
+    }
+  });
+  return results;
+}
+
+std::vector<double> lambda_sweep(const Scenario& scenario, int points, double lo_frac,
+                                 double hi_frac) {
+  KNC_ASSERT(points >= 2 && lo_frac > 0.0 && hi_frac > lo_frac);
+  const double sat = model_saturation_rate(scenario).rate;
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double f =
+        lo_frac + (hi_frac - lo_frac) * static_cast<double>(i) /
+                      static_cast<double>(points - 1);
+    out.push_back(f * sat);
+  }
+  return out;
+}
+
+}  // namespace kncube::core

@@ -1,0 +1,63 @@
+// Experiment harness: runs the analytical model and the flit-level simulator
+// over injection-rate sweeps and produces the model-vs-simulation series of
+// the paper's §4. This (plus core/kncube.hpp) is the library's main entry
+// point for downstream users.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "model/hotspot_model.hpp"
+#include "sim/config.hpp"
+#include "sim/simulator.hpp"
+
+namespace kncube::core {
+
+/// Shared knobs for one (network, workload) scenario. Converted to
+/// model::ModelConfig / sim::SimConfig via the helpers below so both sides
+/// always agree on parameters.
+struct Scenario {
+  int k = 16;
+  int vcs = 2;
+  int message_length = 32;
+  double hot_fraction = 0.2;
+  int buffer_depth = 2;  ///< simulator only (the model abstracts buffers away)
+  std::uint64_t seed = 0xC0FFEE;
+  // Simulation effort; benches lower these when KNCUBE_QUICK is set.
+  std::uint64_t target_messages = 2500;
+  std::uint64_t max_cycles = 3'000'000;
+  std::uint64_t warmup_cycles = 20000;
+  model::BlockingVariant blocking = model::BlockingVariant::kPaper;
+};
+
+model::ModelConfig to_model_config(const Scenario& s, double lambda);
+sim::SimConfig to_sim_config(const Scenario& s, double lambda);
+
+/// One operating point: the model prediction and (optionally) the simulation
+/// measurement at the same injection rate.
+struct PointResult {
+  double lambda = 0.0;
+  model::ModelResult model;
+  sim::SimResult sim;
+  bool has_sim = false;
+
+  /// Relative model error |model - sim| / sim; NaN when either side is
+  /// unavailable (saturated model or missing sim).
+  double relative_error() const;
+};
+
+/// Runs `lambdas` through the model and (when `run_sim`) the simulator.
+/// Points execute in parallel on the global thread pool; results come back
+/// in input order. The simulator seed is derived per-point so series are
+/// reproducible regardless of scheduling.
+std::vector<PointResult> run_series(const Scenario& scenario,
+                                    const std::vector<double>& lambdas,
+                                    bool run_sim = true);
+
+/// A sweep of `points` rates from `lo_frac` to `hi_frac` of the model's
+/// saturation rate (found by bisection), mirroring how the paper's figures
+/// sample each curve from light load up to the latency asymptote.
+std::vector<double> lambda_sweep(const Scenario& scenario, int points,
+                                 double lo_frac = 0.1, double hi_frac = 0.95);
+
+}  // namespace kncube::core

@@ -1,0 +1,30 @@
+// kncube — umbrella public header.
+//
+// Reproduction of Loucif, Ould-Khaoua & Min, "Analytical Modelling of
+// Hot-Spot Traffic in Deterministically-Routed K-Ary N-Cubes" (IPDPS 2005).
+//
+// Layers, bottom-up:
+//   * topology/  — k-ary n-cube addressing, deterministic routing, hot-spot
+//                  channel geometry;
+//   * sim/       — flit-level wormhole simulator with virtual channels
+//                  (the paper's validation substrate);
+//   * model/     — the hot-spot analytical model (the contribution), the
+//                  uniform-traffic baseline and the queueing primitives;
+//   * core/      — experiment harness tying model and simulator together.
+//
+// Quick start (see examples/quickstart.cpp):
+//
+//   kncube::core::Scenario s;           // 16x16 torus, Lm=32, h=20%, V=2
+//   auto pts = kncube::core::run_series(s, kncube::core::lambda_sweep(s, 8));
+//   std::cout << kncube::core::figure_table("demo", pts).to_string();
+#pragma once
+
+#include "core/experiment.hpp"   // IWYU pragma: export
+#include "core/report.hpp"       // IWYU pragma: export
+#include "core/saturation.hpp"   // IWYU pragma: export
+#include "model/hotspot_model.hpp"  // IWYU pragma: export
+#include "model/hypercube_model.hpp"  // IWYU pragma: export
+#include "model/uniform_model.hpp"  // IWYU pragma: export
+#include "sim/simulator.hpp"     // IWYU pragma: export
+#include "topology/hotspot_geometry.hpp"  // IWYU pragma: export
+#include "topology/torus.hpp"    // IWYU pragma: export

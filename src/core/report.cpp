@@ -1,0 +1,73 @@
+#include "core/report.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "util/stats.hpp"
+
+namespace kncube::core {
+
+util::Table figure_table(const std::string& title, const std::vector<PointResult>& pts) {
+  util::Table t({"lambda (msg/node/cyc)", "model latency", "sim latency", "sim ci95",
+                 "rel err", "model sat", "sim sat"});
+  t.set_title(title);
+  t.set_precision(5);
+  for (const auto& p : pts) {
+    const double rel = p.relative_error();
+    t.add_row({p.lambda,
+               p.model.saturated ? std::numeric_limits<double>::infinity()
+                                 : p.model.latency,
+               p.has_sim ? util::Cell{p.sim.mean_latency} : util::Cell{std::string{"-"}},
+               p.has_sim ? util::Cell{p.sim.latency_ci95} : util::Cell{std::string{"-"}},
+               std::isnan(rel) ? util::Cell{std::string{"-"}} : util::Cell{rel},
+               std::string(p.model.saturated ? "yes" : "no"),
+               std::string(!p.has_sim ? "-" : (p.sim.saturated ? "yes" : "no"))});
+  }
+  return t;
+}
+
+PanelSummary summarize_panel(const std::vector<PointResult>& pts) {
+  PanelSummary s;
+  std::vector<double> model_curve;
+  std::vector<double> sim_curve;
+  double err_acc = 0.0;
+  for (const auto& p : pts) {
+    if (p.model.saturated) ++s.model_saturated_points;
+    if (p.has_sim && p.sim.saturated) ++s.sim_saturated_points;
+    const double rel = p.relative_error();
+    if (!std::isnan(rel) && p.has_sim && !p.sim.saturated) {
+      err_acc += rel;
+      ++s.stable_points;
+      model_curve.push_back(p.model.latency);
+      sim_curve.push_back(p.sim.mean_latency);
+    }
+  }
+  if (s.stable_points > 0) err_acc /= s.stable_points;
+  s.mean_rel_error = err_acc;
+  s.correlation = util::pearson_correlation(model_curve, sim_curve);
+  return s;
+}
+
+util::Table summary_table(const std::string& title,
+                          const std::vector<std::pair<std::string, PanelSummary>>& rows) {
+  util::Table t({"panel", "stable pts", "mean rel err", "corr(model,sim)",
+                 "model sat pts", "sim sat pts"});
+  t.set_title(title);
+  t.set_precision(4);
+  for (const auto& [name, s] : rows) {
+    t.add_row({name, static_cast<long long>(s.stable_points), s.mean_rel_error,
+               s.correlation, static_cast<long long>(s.model_saturated_points),
+               static_cast<long long>(s.sim_saturated_points)});
+  }
+  return t;
+}
+
+std::string export_csv(const util::Table& table, const std::string& basename) {
+  const char* dir = std::getenv("KNCUBE_OUT");
+  if (!dir || !*dir) return {};
+  const std::string path = std::string(dir) + "/" + basename + ".csv";
+  if (!table.write_csv(path)) return {};
+  return path;
+}
+
+}  // namespace kncube::core

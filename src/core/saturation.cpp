@@ -1,0 +1,76 @@
+#include "core/saturation.hpp"
+
+#include "util/assert.hpp"
+
+namespace kncube::core {
+
+namespace {
+
+/// Generic bracketing + bisection on a stable(rate) predicate.
+template <typename Stable>
+SaturationResult bisect_boundary(double initial_guess, double rel_tol, Stable&& stable) {
+  SaturationResult res;
+  double lo = 0.0;
+  double hi = initial_guess;
+
+  // Bracket: grow hi until unstable, shrinking the guess if even it is
+  // unstable from the start.
+  auto probe = [&](double rate) {
+    ++res.probes;
+    return stable(rate);
+  };
+  if (probe(hi)) {
+    lo = hi;
+    while (probe(hi * 2.0)) {
+      lo = hi * 2.0;
+      hi *= 2.0;
+      KNC_ASSERT_MSG(res.probes < 200, "saturation bracket failed to close");
+    }
+    hi *= 2.0;
+  } else {
+    while (hi > 1e-12 && !probe(hi / 2.0)) {
+      hi /= 2.0;
+      KNC_ASSERT_MSG(res.probes < 200, "saturation bracket failed to close");
+    }
+    lo = hi / 2.0;
+  }
+
+  while ((hi - lo) > rel_tol * hi) {
+    const double mid = 0.5 * (lo + hi);
+    if (probe(mid)) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  res.rate = lo;
+  return res;
+}
+
+}  // namespace
+
+SaturationResult model_saturation_rate(const Scenario& scenario, double rel_tol) {
+  const double guess =
+      model::HotspotModel(to_model_config(scenario, 1e-9)).estimated_saturation_rate();
+  return bisect_boundary(guess, rel_tol, [&](double rate) {
+    const model::ModelResult r =
+        model::HotspotModel(to_model_config(scenario, rate)).solve();
+    return !r.saturated;
+  });
+}
+
+SaturationResult sim_saturation_rate(const Scenario& scenario, double rel_tol) {
+  // Each probe is a full simulation: cap the per-probe effort. A saturated
+  // probe reveals itself quickly (backlog growth), a stable one converges.
+  Scenario probe_scenario = scenario;
+  probe_scenario.target_messages = std::max<std::uint64_t>(scenario.target_messages / 2, 800);
+
+  const double guess =
+      model::HotspotModel(to_model_config(scenario, 1e-9)).estimated_saturation_rate();
+  return bisect_boundary(guess, rel_tol, [&](double rate) {
+    const sim::SimResult r = sim::simulate(to_sim_config(probe_scenario, rate));
+    return !r.saturated;
+  });
+}
+
+}  // namespace kncube::core

@@ -1,0 +1,27 @@
+// Saturation-rate search for both the analytical model and the simulator.
+//
+// The model has a sharp feasibility boundary (the fixed point stops
+// existing); we locate it by exponential bracketing plus bisection. The
+// simulator's boundary is statistical (backlog growth), so the sim search
+// uses the same bisection with a coarser tolerance and reduced measurement
+// effort per probe.
+#pragma once
+
+#include "core/experiment.hpp"
+
+namespace kncube::core {
+
+struct SaturationResult {
+  double rate = 0.0;    ///< highest stable injection rate found
+  int probes = 0;       ///< model solves / simulations performed
+};
+
+/// Bisects the model's saturation boundary to relative width `rel_tol`.
+SaturationResult model_saturation_rate(const Scenario& scenario,
+                                       double rel_tol = 1e-3);
+
+/// Bisects the simulator's saturation boundary. `rel_tol` is coarser by
+/// default because every probe is a full simulation.
+SaturationResult sim_saturation_rate(const Scenario& scenario, double rel_tol = 0.05);
+
+}  // namespace kncube::core

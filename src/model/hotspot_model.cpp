@@ -1,0 +1,467 @@
+#include "model/hotspot_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "model/mg1.hpp"
+#include "model/path_probabilities.hpp"
+#include "model/vcmux.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace kncube::model {
+
+namespace {
+
+/// State-vector layout. Positions j run 1..k-1 (a message has at most k-1
+/// hops left inside a ring); array slot j-1 holds position j. The five
+/// regular classes and S^h_y are (k-1)-vectors; S^h_x is (k-1) x k
+/// (j = hops to the hot column, t = x-ring's distance from the hot node,
+/// t == k being the hot node's own row).
+struct Layout {
+  int k;
+  int ns;  ///< k-1
+  std::size_t ybar, yhot, x, xhy, xyb, shy, shx, total;
+
+  explicit Layout(int radix) : k(radix), ns(radix - 1) {
+    const auto n = static_cast<std::size_t>(ns);
+    ybar = 0;
+    yhot = n;
+    x = 2 * n;
+    xhy = 3 * n;
+    xyb = 4 * n;
+    shy = 5 * n;
+    shx = 6 * n;
+    total = 6 * n + n * static_cast<std::size_t>(k);
+  }
+  std::size_t at(std::size_t base, int j) const {  // j in [1, k-1]
+    return base + static_cast<std::size_t>(j - 1);
+  }
+  std::size_t at_shx(int j, int t) const {  // j in [1, k-1], t in [1, k]
+    return shx + static_cast<std::size_t>((t - 1) * ns + (j - 1));
+  }
+};
+
+double average(const std::vector<double>& v, std::size_t off, int count) {
+  double acc = 0.0;
+  for (int i = 0; i < count; ++i) acc += v[off + static_cast<std::size_t>(i)];
+  return acc / static_cast<double>(count);
+}
+
+/// Entrance service times: the class averages over the uniform remaining
+/// distance 1..k-1 — used both as "network latency at the entrance" and as
+/// the (inclusive) service time of competing traffic of that class.
+struct Entrances {
+  double ybar, yhot, x, xhy, xyb;
+};
+
+class Engine {
+ public:
+  Engine(const ModelConfig& cfg, const TrafficRates& rates)
+      : cfg_(cfg),
+        rates_(rates),
+        probs_(path_probabilities(cfg.k)),
+        lay_(cfg.k),
+        lm_(static_cast<double>(cfg.message_length)) {}
+
+  const Layout& layout() const { return lay_; }
+
+  // --- contention-free (transmission) holding times, R8 ---
+  // A hot message acquiring the hot-y channel j hops from the hot node keeps
+  // it for the header's remaining j-1 hops plus the Lm-flit drain.
+  double tx_hot_y(int j) const { return lm_ + static_cast<double>(j - 1); }
+  double tx_hot_x(int j, int t) const {
+    const double y_leg = t == lay_.k ? 0.0 : static_cast<double>(t);
+    return lm_ + static_cast<double>(j - 1) + y_leg;
+  }
+  // Regular traffic, entrance-averaged per channel dimension: mean in-ring
+  // distance k/2 past the channel, plus for x channels the expected y leg
+  // ((k-1)/k chance of a y excursion of mean k/2).
+  double tx_reg_y() const { return lm_ + static_cast<double>(lay_.k) / 2.0 - 1.0; }
+  double tx_reg_x() const {
+    return tx_reg_y() + static_cast<double>(lay_.k - 1) / 2.0;
+  }
+
+  std::vector<double> initial_state() const {
+    // Zero-load (B = 0) closed forms; see DESIGN.md §3.3.
+    const int k = cfg_.k;
+    std::vector<double> s(lay_.total);
+    const double y_ent0 = static_cast<double>(k) / 2.0 + lm_ - 1.0;
+    for (int j = 1; j < k; ++j) {
+      const double base = static_cast<double>(j) + lm_ - 1.0;
+      s[lay_.at(lay_.ybar, j)] = base;
+      s[lay_.at(lay_.yhot, j)] = base;
+      s[lay_.at(lay_.x, j)] = base;
+      s[lay_.at(lay_.xhy, j)] = static_cast<double>(j) + y_ent0;
+      s[lay_.at(lay_.xyb, j)] = static_cast<double>(j) + y_ent0;
+      s[lay_.at(lay_.shy, j)] = base;
+      for (int t = 1; t <= k; ++t) {
+        const double cont = t == k ? lm_ - 1.0 : static_cast<double>(t) + lm_ - 1.0;
+        s[lay_.at_shx(j, t)] = static_cast<double>(j) + cont;
+      }
+    }
+    return s;
+  }
+
+  Entrances entrances(const std::vector<double>& s) const {
+    return Entrances{average(s, lay_.ybar, lay_.ns), average(s, lay_.yhot, lay_.ns),
+                     average(s, lay_.x, lay_.ns), average(s, lay_.xhy, lay_.ns),
+                     average(s, lay_.xyb, lay_.ns)};
+  }
+
+  /// Blocking delay honouring the configured variant; false on saturation.
+  bool block(const Stream& reg, const Stream& hot, double& out) const {
+    const bool busy_incl = cfg_.busy_basis == ServiceBasis::kInclusive;
+    if (cfg_.blocking == BlockingVariant::kPaper) {
+      const QueueDelay b = blocking_delay(reg, hot, lm_, busy_incl);
+      if (b.saturated) {
+        KNC_LOG_DEBUG << "blocking saturated: rr=" << reg.rate << " Sr=" << reg.inclusive
+                      << " rh=" << hot.rate << " Sh=" << hot.inclusive
+                      << " tx=" << (reg.rate * reg.tx + hot.rate * hot.tx);
+        return false;
+      }
+      out = b.value;
+      return true;
+    }
+    // Ablation variant: the merged-stream M/G/1 wait alone (no Pb factor).
+    const double rate = reg.rate + hot.rate;
+    if (rate <= 0.0) {
+      out = 0.0;
+      return true;
+    }
+    const double mean_tx = (reg.rate * reg.tx + hot.rate * hot.tx) / rate;
+    const QueueDelay w = mg1_wait(rate, mean_tx, lm_);
+    if (w.saturated) return false;
+    out = w.value;
+    return true;
+  }
+
+  /// One Jacobi sweep over all service-time equations (eqs 16-20, 23, 25).
+  bool step(const std::vector<double>& in, std::vector<double>& out) const {
+    const int k = cfg_.k;
+    const double lr = rates_.regular_rate;
+    const Entrances e = entrances(in);
+    const Stream reg_y{lr, e.yhot, tx_reg_y()};
+    const Stream reg_ybar{lr, e.ybar, tx_reg_y()};
+    const Stream reg_x{lr, e.x, tx_reg_x()};
+
+    // --- averaged blocking terms ---
+    double b_ybar = 0.0;
+    if (!block(reg_ybar, Stream{}, b_ybar)) return false;
+
+    double b_yhot = 0.0;  // eq (17): average over the k hot-y-ring channels
+    for (int l = 1; l <= k; ++l) {
+      Stream hot;
+      hot.rate = rates_.hot_y[static_cast<std::size_t>(l)];
+      if (l < k) {
+        hot.inclusive = in[lay_.at(lay_.shy, l)];
+        hot.tx = tx_hot_y(l);
+      }
+      double b = 0.0;
+      if (!block(reg_y, hot, b)) return false;
+      b_yhot += b;
+    }
+    b_yhot /= static_cast<double>(k);
+
+    double b_x = 0.0;  // eqs (18-20): average over the k^2 x-channel slots
+    for (int t = 1; t <= k; ++t) {
+      for (int l = 1; l <= k; ++l) {
+        Stream hot;
+        hot.rate = rates_.hot_x[static_cast<std::size_t>(l)];
+        if (l < k) {
+          hot.inclusive = in[lay_.at_shx(l, t)];
+          hot.tx = tx_hot_x(l, t);
+        }
+        double b = 0.0;
+        if (!block(reg_x, hot, b)) return false;
+        b_x += b;
+      }
+    }
+    b_x /= static_cast<double>(k) * static_cast<double>(k);
+
+    // --- regular-class recursions (Gauss-Seidel within each array) ---
+    for (int j = 1; j < k; ++j) {
+      const double last = lm_ - 1.0;
+      out[lay_.at(lay_.ybar, j)] =
+          b_ybar + 1.0 + (j == 1 ? last : out[lay_.at(lay_.ybar, j - 1)]);
+      out[lay_.at(lay_.yhot, j)] =
+          b_yhot + 1.0 + (j == 1 ? last : out[lay_.at(lay_.yhot, j - 1)]);
+      out[lay_.at(lay_.x, j)] =
+          b_x + 1.0 + (j == 1 ? last : out[lay_.at(lay_.x, j - 1)]);
+      out[lay_.at(lay_.xhy, j)] =
+          b_x + 1.0 + (j == 1 ? e.yhot : out[lay_.at(lay_.xhy, j - 1)]);
+      out[lay_.at(lay_.xyb, j)] =
+          b_x + 1.0 + (j == 1 ? e.ybar : out[lay_.at(lay_.xyb, j - 1)]);
+    }
+
+    // --- hot-spot messages in the hot y-ring (eq 23) ---
+    for (int j = 1; j < k; ++j) {
+      const Stream hot{rates_.hot_y[static_cast<std::size_t>(j)],
+                       in[lay_.at(lay_.shy, j)], tx_hot_y(j)};
+      double b = 0.0;
+      if (!block(reg_y, hot, b)) return false;
+      out[lay_.at(lay_.shy, j)] =
+          b + 1.0 + (j == 1 ? lm_ - 1.0 : out[lay_.at(lay_.shy, j - 1)]);
+    }
+
+    // --- hot-spot messages on x rings (eq 25) ---
+    for (int t = 1; t <= k; ++t) {
+      for (int j = 1; j < k; ++j) {
+        const Stream hot{rates_.hot_x[static_cast<std::size_t>(j)],
+                         in[lay_.at_shx(j, t)], tx_hot_x(j, t)};
+        double b = 0.0;
+        if (!block(reg_x, hot, b)) return false;
+        double cont;
+        if (j > 1) {
+          cont = out[lay_.at_shx(j - 1, t)];
+        } else if (t == k) {
+          cont = lm_ - 1.0;  // the hot node's own row: x ends at the hot node
+        } else {
+          cont = out[lay_.at(lay_.shy, t)];  // enter the hot y-ring, t hops out
+        }
+        out[lay_.at_shx(j, t)] = b + 1.0 + cont;
+      }
+    }
+    return true;
+  }
+
+  /// Final assembly (eqs 10-15, 21-24, 31-37) from the converged state.
+  bool assemble(const std::vector<double>& s, ModelResult& res) const {
+    const int k = cfg_.k;
+    const double n_nodes = static_cast<double>(k) * static_cast<double>(k);
+    const double lr = rates_.regular_rate;
+    const double h = cfg_.hot_fraction;
+    const int vcs = cfg_.vcs;
+    const Entrances e = entrances(s);
+
+    // Mean regular network latency, eq (31) with exact class probabilities.
+    const double sr_net = probs_.x_only * e.x + probs_.x_then_hot_y * e.xhy +
+                          probs_.x_then_nonhot_y * e.xyb + probs_.y_only_hot * e.yhot +
+                          probs_.y_only_nonhot * e.ybar;
+    res.regular_network_latency = sr_net;
+
+    // --- source waits: per-VC M/G/1 queues with arrival lambda/V (eq 32) ---
+    const double arr = rates_.lambda / static_cast<double>(vcs);
+    const auto source_wait = [&](double service, double& w) {
+      const QueueDelay q = mg1_wait(arr, service, lm_);
+      if (q.saturated) return false;
+      w = q.value;
+      return true;
+    };
+
+    double ws_sum = 0.0;
+    double w_hot_node = 0.0;
+    if (!source_wait(sr_net, w_hot_node)) return false;  // the hot node itself
+    ws_sum += w_hot_node;
+
+    std::vector<double> ws_shy(static_cast<std::size_t>(k), 0.0);  // j = 1..k-1
+    for (int j = 1; j < k; ++j) {
+      const double mixed = (1.0 - h) * sr_net + h * s[lay_.at(lay_.shy, j)];
+      if (!source_wait(mixed, ws_shy[static_cast<std::size_t>(j)])) return false;
+      ws_sum += ws_shy[static_cast<std::size_t>(j)];
+    }
+    std::vector<double> ws_shx(static_cast<std::size_t>(k) * static_cast<std::size_t>(k),
+                               0.0);  // (j, t), j = 1..k-1
+    for (int t = 1; t <= k; ++t) {
+      for (int j = 1; j < k; ++j) {
+        const double mixed = (1.0 - h) * sr_net + h * s[lay_.at_shx(j, t)];
+        double w = 0.0;
+        if (!source_wait(mixed, w)) return false;
+        ws_shx[static_cast<std::size_t>((t - 1) * k + j)] = w;
+        ws_sum += w;
+      }
+    }
+    const double ws_r = ws_sum / n_nodes;
+    res.source_wait_regular = ws_r;
+
+    // --- virtual-channel multiplexing degrees (eqs 33-37) ---
+    // The occupancy rho uses the configured service basis: inclusive times
+    // count a VC as occupying the channel for its whole (blocked) residency;
+    // transmission times count only the cycles it actually consumes
+    // bandwidth. The latter matches the simulator's observed slowdown and is
+    // the default (see R8 / ablation bench).
+    const bool mux_incl = cfg_.vcmux_basis == ServiceBasis::kInclusive;
+    res.vc_mux_nonhot_y =
+        vc_multiplexing_degree(lr, mux_incl ? e.ybar : tx_reg_y(), vcs);
+
+    std::vector<double> v_hy(static_cast<std::size_t>(k) + 1, 1.0);  // j = 1..k
+    double v_hy_avg = 0.0;
+    for (int j = 1; j <= k; ++j) {
+      const double rate_h = rates_.hot_y[static_cast<std::size_t>(j)];
+      const double s_h_incl = j < k ? s[lay_.at(lay_.shy, j)] : 0.0;
+      const double s_h = mux_incl ? s_h_incl : (j < k ? tx_hot_y(j) : 0.0);
+      const double s_r = mux_incl ? e.yhot : tx_reg_y();
+      const double rate = lr + rate_h;
+      const double sbar = rate > 0.0 ? (lr * s_r + rate_h * s_h) / rate : 0.0;
+      v_hy[static_cast<std::size_t>(j)] = vc_multiplexing_degree(rate, sbar, vcs);
+      v_hy_avg += v_hy[static_cast<std::size_t>(j)];
+    }
+    v_hy_avg /= static_cast<double>(k);
+    res.vc_mux_hot_y = v_hy_avg;
+
+    std::vector<double> v_x(static_cast<std::size_t>(k + 1) * static_cast<std::size_t>(k + 1),
+                            1.0);  // (j, t), j,t = 1..k
+    double v_x_avg = 0.0;
+    for (int t = 1; t <= k; ++t) {
+      for (int j = 1; j <= k; ++j) {
+        const double rate_h = rates_.hot_x[static_cast<std::size_t>(j)];
+        const double s_h_incl = j < k ? s[lay_.at_shx(j, t)] : 0.0;
+        const double s_h = mux_incl ? s_h_incl : (j < k ? tx_hot_x(j, t) : 0.0);
+        const double s_r = mux_incl ? e.x : tx_reg_x();
+        const double rate = lr + rate_h;
+        const double sbar = rate > 0.0 ? (lr * s_r + rate_h * s_h) / rate : 0.0;
+        const double v = vc_multiplexing_degree(rate, sbar, vcs);
+        v_x[static_cast<std::size_t>(t * (k + 1) + j)] = v;
+        v_x_avg += v;
+      }
+    }
+    v_x_avg /= static_cast<double>(k) * static_cast<double>(k);
+    res.vc_mux_x = v_x_avg;
+
+    // --- regular latency, eqs (11)-(15) ---
+    const double sr =
+        probs_.x_only * (e.x + ws_r) * v_x_avg +
+        probs_.x_then_hot_y * (e.xhy + ws_r) * v_x_avg +
+        probs_.x_then_nonhot_y * (e.xyb + ws_r) * v_x_avg +
+        probs_.y_only_hot * (e.yhot + ws_r) * v_hy_avg +
+        probs_.y_only_nonhot * (e.ybar + ws_r) * res.vc_mux_nonhot_y;
+    res.regular_latency = sr;
+
+    // --- hot-spot latency, eqs (21)-(24) ---
+    double sh = 0.0;
+    for (int j = 1; j < k; ++j) {  // hot-column sources (eq 22)
+      sh += (s[lay_.at(lay_.shy, j)] + ws_shy[static_cast<std::size_t>(j)]) *
+            v_hy[static_cast<std::size_t>(j)];
+    }
+    for (int t = 1; t <= k; ++t) {  // all other sources (eq 24)
+      for (int j = 1; j < k; ++j) {
+        sh += (s[lay_.at_shx(j, t)] + ws_shx[static_cast<std::size_t>((t - 1) * k + j)]) *
+              v_x[static_cast<std::size_t>(t * (k + 1) + j)];
+      }
+    }
+    sh /= n_nodes - 1.0;
+    res.hot_latency = sh;
+
+    res.latency = (1.0 - h) * sr + h * sh;  // eq (10)
+
+    // --- diagnostic: peak busy probability over channel classes ---
+    const bool busy_incl = cfg_.busy_basis == ServiceBasis::kInclusive;
+    double max_util =
+        std::min(1.0, lr * (busy_incl ? e.ybar : tx_reg_y()));
+    for (int j = 1; j < k; ++j) {
+      max_util = std::max(
+          max_util, busy_probability(Stream{lr, e.yhot, tx_reg_y()},
+                                     Stream{rates_.hot_y[static_cast<std::size_t>(j)],
+                                            s[lay_.at(lay_.shy, j)], tx_hot_y(j)},
+                                     busy_incl));
+      for (int t = 1; t <= k; ++t) {
+        max_util = std::max(
+            max_util, busy_probability(Stream{lr, e.x, tx_reg_x()},
+                                       Stream{rates_.hot_x[static_cast<std::size_t>(j)],
+                                              s[lay_.at_shx(j, t)], tx_hot_x(j, t)},
+                                       busy_incl));
+      }
+    }
+    res.max_channel_utilization = max_util;
+
+    res.saturated = false;
+    return true;
+  }
+
+ private:
+  const ModelConfig& cfg_;
+  const TrafficRates& rates_;
+  PathProbabilities probs_;
+  Layout lay_;
+  double lm_;
+};
+
+}  // namespace
+
+void ModelConfig::validate() const {
+  auto fail = [](const char* msg) { throw std::invalid_argument(msg); };
+  if (k < 2) fail("ModelConfig: radix k must be >= 2");
+  if (vcs < 1) fail("ModelConfig: need at least one virtual channel");
+  if (message_length < 1) fail("ModelConfig: message length must be >= 1");
+  if (injection_rate < 0.0 || injection_rate > 1.0) {
+    fail("ModelConfig: injection rate must be in [0,1]");
+  }
+  if (hot_fraction < 0.0 || hot_fraction > 1.0) {
+    fail("ModelConfig: hot fraction must be in [0,1]");
+  }
+}
+
+HotspotModel::HotspotModel(const ModelConfig& cfg) : cfg_(cfg) {
+  cfg.validate();  // throws before any derived computation on bad input
+  rates_ = traffic_rates(cfg.k, cfg.injection_rate, cfg.hot_fraction);
+}
+
+ModelResult HotspotModel::solve() const {
+  Engine engine(cfg_, rates_);
+  ModelResult res;
+
+  std::vector<double> state = engine.initial_state();
+  auto step = [&engine](const std::vector<double>& in, std::vector<double>& out) {
+    return engine.step(in, out);
+  };
+  FixedPointResult fp = solve_fixed_point(state, step, cfg_.solver);
+  if (!fp.converged && !fp.diverged) {
+    // Stubborn point near the knee: one retry with stronger damping.
+    FixedPointOptions slower = cfg_.solver;
+    slower.damping = std::min(0.2, cfg_.solver.damping);
+    slower.max_iterations = cfg_.solver.max_iterations * 2;
+    state = engine.initial_state();
+    fp = solve_fixed_point(state, step, slower);
+  }
+  res.iterations = fp.iterations;
+  res.converged = fp.converged;
+  if (!fp.converged) {
+    // Diverged or failed to converge: no steady state at this load.
+    res.saturated = true;
+    return res;
+  }
+  if (!engine.assemble(state, res)) {
+    res.saturated = true;
+    res.latency = std::numeric_limits<double>::infinity();
+    return res;
+  }
+  return res;
+}
+
+double HotspotModel::zero_load_latency() const {
+  const int k = cfg_.k;
+  const double lm = static_cast<double>(cfg_.message_length);
+  const double kd = static_cast<double>(k);
+  const PathProbabilities p = path_probabilities(k);
+
+  const double one_dim = kd / 2.0 + lm - 1.0;  // mean over 1..k-1 hops
+  const double two_dim = kd + lm - 1.0;
+  const double sr0 = p.x_only * one_dim + (p.x_then_hot_y + p.x_then_nonhot_y) * two_dim +
+                     (p.y_only_hot + p.y_only_nonhot) * one_dim;
+
+  double sh0 = 0.0;
+  for (int j = 1; j < k; ++j) sh0 += static_cast<double>(j) + lm - 1.0;
+  for (int t = 1; t <= k; ++t) {
+    const double cont = t == k ? lm - 1.0 : static_cast<double>(t) + lm - 1.0;
+    for (int j = 1; j < k; ++j) sh0 += static_cast<double>(j) + cont;
+  }
+  sh0 /= kd * kd - 1.0;
+
+  return (1.0 - cfg_.hot_fraction) * sr0 + cfg_.hot_fraction * sh0;
+}
+
+double HotspotModel::estimated_saturation_rate() const {
+  const double kd = static_cast<double>(cfg_.k);
+  const double h = cfg_.hot_fraction;
+  const double lm = static_cast<double>(cfg_.message_length);
+  // Bottleneck: the hot-y channel adjacent to the hot node carries
+  // lambda * ((1-h)(k-1)/2 + h k (k-1)) messages/cycle, each holding the
+  // channel for at least ~Lm cycles.
+  const double coeff = (1.0 - h) * (kd - 1.0) / 2.0 + h * kd * (kd - 1.0);
+  const double service = lm + kd / 2.0;
+  return 1.0 / (coeff * service);
+}
+
+}  // namespace kncube::model

@@ -1,0 +1,95 @@
+// The paper's contribution: an analytical model of mean message latency in a
+// deterministically-routed, wormhole-switched 2-D unidirectional torus under
+// Pfister–Norton hot-spot traffic (eqs (1)-(37)).
+//
+// See DESIGN.md §3 for the full equation inventory and the reconstruction
+// notes for the handful of OCR-ambiguous prefactors. The model is solved by
+// damped fixed-point iteration (src/model/solver); operating points whose
+// iteration diverges, fails a utilisation bound, or does not converge are
+// reported as *saturated* — the network has no steady state there, exactly
+// the regime the paper's figures leave blank past the latency asymptote.
+#pragma once
+
+#include <limits>
+
+#include "model/solver.hpp"
+#include "model/traffic_rates.hpp"
+
+namespace kncube::model {
+
+/// Blocking-delay variant, for the approximation ablation (bench A3):
+/// the paper multiplies the busy probability into the M/G/1 wait (eq 26);
+/// kPureWait uses the wait alone.
+enum class BlockingVariant : int { kPaper = 0, kPureWait = 1 };
+
+/// Which service-time scale feeds a rho-like quantity (busy probability,
+/// VC-occupancy chain). kInclusive uses the iterated blocking-inclusive
+/// downstream latencies (the paper's letter); kTransmission uses the
+/// contention-free holding times (bounded, bandwidth-oriented). See
+/// DESIGN.md R8 and the ablation bench for the empirical comparison.
+enum class ServiceBasis : int { kInclusive = 0, kTransmission = 1 };
+
+struct ModelConfig {
+  int k = 16;                    ///< radix (N = k^2)
+  int vcs = 2;                   ///< V >= 2 virtual channels per channel
+  int message_length = 32;       ///< Lm flits
+  double injection_rate = 1e-4;  ///< lambda, messages/node/cycle
+  double hot_fraction = 0.2;     ///< h
+  BlockingVariant blocking = BlockingVariant::kPaper;
+  /// Basis for the busy probability Pb of eq (27).
+  ServiceBasis busy_basis = ServiceBasis::kTransmission;
+  /// Basis for the occupancy rho of the VC-multiplexing chain (eq 33).
+  ServiceBasis vcmux_basis = ServiceBasis::kTransmission;
+  FixedPointOptions solver{};
+
+  void validate() const;  ///< throws std::invalid_argument when inconsistent
+};
+
+struct ModelResult {
+  /// Mean message latency in cycles (eq 10); +inf when saturated.
+  double latency = std::numeric_limits<double>::infinity();
+  bool saturated = true;
+  bool converged = false;
+  int iterations = 0;
+
+  // Decomposition (finite only when !saturated):
+  double regular_latency = 0.0;      ///< S_r of eq (11), scaled
+  double hot_latency = 0.0;          ///< S_h of eq (21), scaled
+  double regular_network_latency = 0.0;  ///< S_r^net of eq (31), unscaled
+  double source_wait_regular = 0.0;      ///< Ws_r of eq (32)
+
+  // Virtual-channel multiplexing degrees (eqs 35-37):
+  double vc_mux_x = 1.0;         ///< average over all x channels
+  double vc_mux_hot_y = 1.0;     ///< average over hot-y-ring channels
+  double vc_mux_nonhot_y = 1.0;  ///< non-hot y channels
+
+  /// Maximum channel utilisation Pb over all channel classes; the hot-y-ring
+  /// channel adjacent to the hot node in all non-degenerate cases.
+  double max_channel_utilization = 0.0;
+};
+
+class HotspotModel {
+ public:
+  explicit HotspotModel(const ModelConfig& cfg);
+
+  ModelResult solve() const;
+
+  const ModelConfig& config() const noexcept { return cfg_; }
+  const TrafficRates& rates() const noexcept { return rates_; }
+
+  /// Exact zero-load latency (mean hops + Lm - 1, averaged over the hot/
+  /// regular mix) — the lambda -> 0 limit of solve().latency, used by tests.
+  double zero_load_latency() const;
+
+  /// Coarse closed-form estimate of the saturation injection rate from the
+  /// bottleneck (hot-y, j=1) channel: lambda_sat ~ 1 / (S0 * (lambda_1/lambda))
+  /// with S0 the zero-load hot-path service time. Benches use it to place
+  /// sweep ranges; it is intentionally simple, not part of the paper.
+  double estimated_saturation_rate() const;
+
+ private:
+  ModelConfig cfg_;
+  TrafficRates rates_;
+};
+
+}  // namespace kncube::model

@@ -1,0 +1,261 @@
+#include "model/hypercube_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "model/mg1.hpp"
+#include "model/vcmux.hpp"
+#include "util/assert.hpp"
+
+namespace kncube::model {
+
+namespace {
+
+double pow2(int e) { return std::ldexp(1.0, e); }
+
+/// State layout: S^r_d at [d], S^h_d at [n + d], d = 0..n-1.
+struct Lay {
+  int n;
+  std::size_t total() const { return 2 * static_cast<std::size_t>(n); }
+  std::size_t r(int d) const { return static_cast<std::size_t>(d); }
+  std::size_t h(int d) const { return static_cast<std::size_t>(n + d); }
+};
+
+class Engine {
+ public:
+  explicit Engine(const HypercubeModelConfig& cfg)
+      : cfg_(cfg), lay_{cfg.dims}, lm_(static_cast<double>(cfg.message_length)) {
+    const int n = cfg_.dims;
+    lambda_r_ = cfg.injection_rate * (1.0 - cfg.hot_fraction) * pow2(n - 1) /
+                (pow2(n) - 1.0);
+    hot_rate_.resize(static_cast<std::size_t>(n));
+    funnel_fraction_.resize(static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d) {
+      hot_rate_[static_cast<std::size_t>(d)] =
+          cfg.injection_rate * cfg.hot_fraction * pow2(d);
+      // Funnel channels at dim d: 2^{n-d-1} of the 2^n dim-d channels.
+      funnel_fraction_[static_cast<std::size_t>(d)] = pow2(-(d + 1));
+    }
+  }
+
+  const Lay& layout() const { return lay_; }
+  double lambda_r() const { return lambda_r_; }
+  double hot_rate(int d) const { return hot_rate_[static_cast<std::size_t>(d)]; }
+
+  /// Contention-free holding time of a dim-d channel: Lm flits plus the
+  /// header's expected remaining hops (each higher dimension differs with
+  /// probability 1/2) — identical for hot and regular streams.
+  double tx(int d) const {
+    return lm_ + static_cast<double>(cfg_.dims - 1 - d) / 2.0;
+  }
+
+  /// P(next corrected dimension is d' | currently at dim d); delivery
+  /// otherwise.
+  double next_dim_probability(int d, int dp) const {
+    KNC_DEBUG_ASSERT(dp > d);
+    return pow2(-(dp - d));
+  }
+  double delivery_probability(int d) const { return pow2(-(cfg_.dims - 1 - d)); }
+
+  std::vector<double> initial_state() const {
+    // Zero-load: S_d = 1 + sum P S_d' + P0 (Lm-1), solved backwards.
+    std::vector<double> s(lay_.total());
+    for (int d = cfg_.dims - 1; d >= 0; --d) {
+      double acc = 1.0 + delivery_probability(d) * (lm_ - 1.0);
+      for (int dp = d + 1; dp < cfg_.dims; ++dp) {
+        acc += next_dim_probability(d, dp) * s[lay_.r(dp)];
+      }
+      s[lay_.r(d)] = acc;
+      s[lay_.h(d)] = acc;  // same geometry at zero load
+    }
+    return s;
+  }
+
+  bool block(const Stream& reg, const Stream& hot, double& out) const {
+    const QueueDelay b = blocking_delay(
+        reg, hot, lm_, cfg_.busy_basis == ServiceBasis::kInclusive);
+    if (b.saturated) return false;
+    out = b.value;
+    return true;
+  }
+
+  bool step(const std::vector<double>& in, std::vector<double>& out) const {
+    const int n = cfg_.dims;
+    for (int d = n - 1; d >= 0; --d) {
+      const Stream reg{lambda_r_, in[lay_.r(d)], tx(d)};
+      const Stream hot{hot_rate(d), in[lay_.h(d)], tx(d)};
+
+      // Blocking seen by a regular message at a random dim-d channel: the
+      // funnel fraction of them also carries the hot stream.
+      double b_funnel = 0.0;
+      double b_plain = 0.0;
+      if (!block(reg, hot, b_funnel)) return false;
+      if (!block(reg, Stream{}, b_plain)) return false;
+      const double f = funnel_fraction_[static_cast<std::size_t>(d)];
+      const double b_reg = f * b_funnel + (1.0 - f) * b_plain;
+
+      double cont_r = delivery_probability(d) * (lm_ - 1.0);
+      double cont_h = cont_r;
+      for (int dp = d + 1; dp < n; ++dp) {
+        const double p = next_dim_probability(d, dp);
+        cont_r += p * out[lay_.r(dp)];
+        cont_h += p * out[lay_.h(dp)];
+      }
+      out[lay_.r(d)] = b_reg + 1.0 + cont_r;
+      // Hot messages always ride funnel channels.
+      out[lay_.h(d)] = b_funnel + 1.0 + cont_h;
+    }
+    return true;
+  }
+
+  bool assemble(const std::vector<double>& s, HypercubeModelResult& res) const {
+    const int n = cfg_.dims;
+    const double h = cfg_.hot_fraction;
+    const int vcs = cfg_.vcs;
+    const double n_nodes = pow2(n);
+
+    // Entry distribution over the first corrected dimension.
+    std::vector<double> p_first(static_cast<std::size_t>(n));
+    for (int d = 0; d < n; ++d) {
+      p_first[static_cast<std::size_t>(d)] = pow2(n - 1 - d) / (n_nodes - 1.0);
+    }
+
+    double sr_net = 0.0;
+    double sh_net = 0.0;
+    for (int d = 0; d < n; ++d) {
+      sr_net += p_first[static_cast<std::size_t>(d)] * s[lay_.r(d)];
+      sh_net += p_first[static_cast<std::size_t>(d)] * s[lay_.h(d)];
+    }
+
+    // Source queue: per-VC M/G/1 with the node-averaged network latency.
+    const double arr = cfg_.injection_rate / static_cast<double>(vcs);
+    const QueueDelay ws = mg1_wait(arr, (1.0 - h) * sr_net + h * sh_net, lm_);
+    if (ws.saturated) return false;
+    res.source_wait = ws.value;
+
+    // VC multiplexing per dimension, funnel and plain channel classes.
+    const bool mux_incl = cfg_.vcmux_basis == ServiceBasis::kInclusive;
+    double sr_total = 0.0;
+    double sh_total = 0.0;
+    double max_util = 0.0;
+    const bool busy_incl = cfg_.busy_basis == ServiceBasis::kInclusive;
+    for (int d = 0; d < n; ++d) {
+      const double rate_h = hot_rate(d);
+      const Stream reg{lambda_r_, s[lay_.r(d)], tx(d)};
+      const Stream hot{rate_h, s[lay_.h(d)], tx(d)};
+      const double s_r = mux_incl ? s[lay_.r(d)] : tx(d);
+      const double s_h = mux_incl ? s[lay_.h(d)] : tx(d);
+
+      const double rate_f = lambda_r_ + rate_h;
+      const double sbar_f = (lambda_r_ * s_r + rate_h * s_h) / rate_f;
+      const double v_funnel = vc_multiplexing_degree(rate_f, sbar_f, vcs);
+      const double v_plain = vc_multiplexing_degree(lambda_r_, s_r, vcs);
+      const double f = funnel_fraction_[static_cast<std::size_t>(d)];
+      const double v_reg = f * v_funnel + (1.0 - f) * v_plain;
+
+      sr_total += p_first[static_cast<std::size_t>(d)] *
+                  (s[lay_.r(d)] + ws.value) * v_reg;
+      sh_total += p_first[static_cast<std::size_t>(d)] *
+                  (s[lay_.h(d)] + ws.value) * v_funnel;
+      max_util = std::max(max_util, busy_probability(reg, hot, busy_incl));
+      if (d == n - 1) res.vc_mux_bottleneck = v_funnel;
+    }
+    res.regular_latency = sr_total;
+    res.hot_latency = sh_total;
+    res.latency = (1.0 - h) * sr_total + h * sh_total;
+    res.max_channel_utilization = max_util;
+    res.saturated = false;
+    return true;
+  }
+
+ private:
+  const HypercubeModelConfig& cfg_;
+  Lay lay_;
+  double lm_;
+  double lambda_r_ = 0.0;
+  std::vector<double> hot_rate_;
+  std::vector<double> funnel_fraction_;
+};
+
+}  // namespace
+
+void HypercubeModelConfig::validate() const {
+  auto fail = [](const char* m) { throw std::invalid_argument(m); };
+  if (dims < 1 || dims > 24) fail("HypercubeModelConfig: dims out of range");
+  if (vcs < 1) fail("HypercubeModelConfig: need at least one VC");
+  if (message_length < 1) fail("HypercubeModelConfig: message length must be >= 1");
+  if (injection_rate < 0.0 || injection_rate > 1.0) {
+    fail("HypercubeModelConfig: rate must be in [0,1]");
+  }
+  if (hot_fraction < 0.0 || hot_fraction > 1.0) {
+    fail("HypercubeModelConfig: hot fraction must be in [0,1]");
+  }
+}
+
+HypercubeHotspotModel::HypercubeHotspotModel(const HypercubeModelConfig& cfg)
+    : cfg_(cfg) {
+  cfg.validate();
+}
+
+double HypercubeHotspotModel::regular_channel_rate() const {
+  const int n = cfg_.dims;
+  return cfg_.injection_rate * (1.0 - cfg_.hot_fraction) * pow2(n - 1) /
+         (pow2(n) - 1.0);
+}
+
+double HypercubeHotspotModel::hot_funnel_rate(int d) const {
+  KNC_ASSERT(d >= 0 && d < cfg_.dims);
+  return cfg_.injection_rate * cfg_.hot_fraction * pow2(d);
+}
+
+double HypercubeHotspotModel::first_dim_probability(int d) const {
+  KNC_ASSERT(d >= 0 && d < cfg_.dims);
+  return pow2(cfg_.dims - 1 - d) / (pow2(cfg_.dims) - 1.0);
+}
+
+HypercubeModelResult HypercubeHotspotModel::solve() const {
+  Engine engine(cfg_);
+  HypercubeModelResult res;
+
+  std::vector<double> state = engine.initial_state();
+  auto step = [&engine](const std::vector<double>& in, std::vector<double>& out) {
+    return engine.step(in, out);
+  };
+  FixedPointResult fp = solve_fixed_point(state, step, cfg_.solver);
+  if (!fp.converged && !fp.diverged) {
+    FixedPointOptions slower = cfg_.solver;
+    slower.damping = std::min(0.2, cfg_.solver.damping);
+    slower.max_iterations = cfg_.solver.max_iterations * 2;
+    state = engine.initial_state();
+    fp = solve_fixed_point(state, step, slower);
+  }
+  res.iterations = fp.iterations;
+  res.converged = fp.converged;
+  if (!fp.converged) {
+    res.saturated = true;
+    return res;
+  }
+  if (!engine.assemble(state, res)) {
+    res.saturated = true;
+    res.latency = std::numeric_limits<double>::infinity();
+  }
+  return res;
+}
+
+double HypercubeHotspotModel::zero_load_latency() const {
+  // Mean e-cube hops over a uniform non-equal pair: n 2^{n-1} / (2^n - 1).
+  const int n = cfg_.dims;
+  const double hops = static_cast<double>(n) * pow2(n - 1) / (pow2(n) - 1.0);
+  return hops + static_cast<double>(cfg_.message_length) - 1.0;
+}
+
+double HypercubeHotspotModel::estimated_saturation_rate() const {
+  const int n = cfg_.dims;
+  const double coeff = cfg_.hot_fraction * pow2(n - 1) +
+                       (1.0 - cfg_.hot_fraction) * 0.5;
+  return 1.0 / (coeff * (static_cast<double>(cfg_.message_length) + 1.0));
+}
+
+}  // namespace kncube::model

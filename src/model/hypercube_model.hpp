@@ -1,0 +1,92 @@
+// Hot-spot latency model for the deterministically-routed binary hypercube —
+// the paper's direct predecessor (its ref. [12]: Loucif & Ould-Khaoua,
+// "Modelling latency in deterministic wormhole-routed hypercubes under
+// hot-spot traffic", J. Supercomputing 27(3), 2004), rebuilt here with the
+// same queueing machinery as the torus model so the two lineage models can
+// be compared on equal footing.
+//
+// Topology: N = 2^n nodes; node v's dimension-d channel links it to
+// v XOR (1<<d). E-cube (dimension-order) routing corrects differing bits in
+// increasing dimension order — exactly the k = 2 instance of this
+// repository's k-ary n-cube simulator, which is what the tests validate
+// against.
+//
+// Structure (mirrors DESIGN.md §3 with hypercube geometry):
+//  * regular per-channel rate: lambda (1-h) 2^{n-1}/(2^n - 1)  (~lambda/2);
+//  * hot-spot traffic funnels: the dim-d channel pointing at the hot node
+//    from a node whose bits below d already match carries lambda h 2^d
+//    (2^{n-d-1} such channels exist; conservation: sum_d 2^d 2^{n-d-1}
+//    = n 2^{n-1} = total hot hop flux);
+//  * a message at its dim-d channel next visits dim d' > d with probability
+//    2^{-(d'-d)} and is delivered with probability 2^{-(n-1-d)} (source
+//    address bits above d are i.i.d. fair coins);
+//  * per-dimension service times S^r_d, S^h_d close through the same
+//    blocking/waiting primitives (mg1.hpp) and Dally VC chain (vcmux.hpp),
+//    solved by the shared fixed-point driver.
+#pragma once
+
+#include <limits>
+
+#include "model/hotspot_model.hpp"  // ServiceBasis, BlockingVariant
+#include "model/solver.hpp"
+
+namespace kncube::model {
+
+struct HypercubeModelConfig {
+  int dims = 6;                  ///< n; N = 2^n nodes
+  int vcs = 2;                   ///< V virtual channels per channel
+  int message_length = 32;       ///< Lm flits
+  double injection_rate = 1e-4;  ///< lambda, messages/node/cycle
+  double hot_fraction = 0.2;     ///< h
+  ServiceBasis busy_basis = ServiceBasis::kTransmission;
+  ServiceBasis vcmux_basis = ServiceBasis::kTransmission;
+  FixedPointOptions solver{};
+
+  void validate() const;
+};
+
+struct HypercubeModelResult {
+  double latency = std::numeric_limits<double>::infinity();
+  bool saturated = true;
+  bool converged = false;
+  int iterations = 0;
+
+  double regular_latency = 0.0;
+  double hot_latency = 0.0;
+  double source_wait = 0.0;
+  /// Multiplexing degree on the final funnel channel (dim n-1 into the hot
+  /// node) — the hypercube's bottleneck.
+  double vc_mux_bottleneck = 1.0;
+  double max_channel_utilization = 0.0;
+};
+
+class HypercubeHotspotModel {
+ public:
+  explicit HypercubeHotspotModel(const HypercubeModelConfig& cfg);
+
+  HypercubeModelResult solve() const;
+
+  const HypercubeModelConfig& config() const noexcept { return cfg_; }
+
+  /// Exact zero-load latency: mean e-cube hops + Lm - 1 over the hot/regular
+  /// mix (hot and regular coincide — both are uniform over the other nodes'
+  /// bit patterns).
+  double zero_load_latency() const;
+
+  /// Per-channel regular rate lambda (1-h) 2^{n-1}/(2^n - 1).
+  double regular_channel_rate() const;
+  /// Hot rate on a dim-d funnel channel: lambda h 2^d.
+  double hot_funnel_rate(int d) const;
+  /// P(lowest differing dimension == d) for a uniform non-equal pair.
+  double first_dim_probability(int d) const;
+
+  /// Coarse bottleneck estimate seeding saturation searches: the dim n-1
+  /// funnel channel carries lambda h 2^{n-1} (+ background) at ~Lm cycles
+  /// per message.
+  double estimated_saturation_rate() const;
+
+ private:
+  HypercubeModelConfig cfg_;
+};
+
+}  // namespace kncube::model

@@ -1,0 +1,58 @@
+#include "model/mg1.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace kncube::model {
+
+namespace {
+// Utilisation this close to 1 (or above) is treated as saturated: the
+// steady-state wait diverges and the fixed point no longer exists.
+constexpr double kRhoMax = 1.0 - 1e-9;
+}  // namespace
+
+QueueDelay mg1_wait(double rate, double mean_service, double service_floor) {
+  KNC_DEBUG_ASSERT(rate >= 0.0 && mean_service >= 0.0 && service_floor >= 0.0);
+  QueueDelay out;
+  if (rate <= 0.0 || mean_service <= 0.0) return out;
+  const double rho = rate * mean_service;
+  if (rho >= kRhoMax) {
+    out.saturated = true;
+    return out;
+  }
+  const double dev = mean_service - service_floor;
+  // lambda (S^2 + (S - Lm)^2) / (2 (1 - rho))
+  out.value = rate * (mean_service * mean_service + dev * dev) / (2.0 * (1.0 - rho));
+  return out;
+}
+
+double busy_probability(const Stream& regular, const Stream& hot, bool on_inclusive) {
+  const double raw = on_inclusive
+                         ? regular.rate * regular.inclusive + hot.rate * hot.inclusive
+                         : regular.rate * regular.tx + hot.rate * hot.tx;
+  return std::min(1.0, raw);
+}
+
+QueueDelay blocking_delay(const Stream& regular, const Stream& hot,
+                          double service_floor, bool busy_on_inclusive) {
+  QueueDelay out;
+  const double rate = regular.rate + hot.rate;
+  if (rate <= 0.0) return out;
+
+  // Stability is a bandwidth property: the channel transmits Lm flits per
+  // crossing message regardless of blocking, so the pole sits at the
+  // contention-free holding times (R8).
+  const double mean_tx = (regular.rate * regular.tx + hot.rate * hot.tx) / rate;
+  const QueueDelay wait = mg1_wait(rate, mean_tx, service_floor);
+  if (wait.saturated) {
+    out.saturated = true;
+    return out;
+  }
+  const double pb = busy_probability(regular, hot, busy_on_inclusive);
+  if (pb <= 0.0) return out;
+  out.value = pb * wait.value;
+  return out;
+}
+
+}  // namespace kncube::model

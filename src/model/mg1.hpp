@@ -1,0 +1,67 @@
+// M/G/1 waiting-time and wormhole blocking machinery (paper eqs (26)-(30)).
+//
+// The paper follows Kleinrock's Pollaczek–Khinchine mean wait with the
+// standard wormhole-model variance approximation: the service-time variance
+// of a channel whose mean service time is S is taken as (S - Lm)^2 — the
+// squared deviation from the minimum (contention-free) service time:
+//
+//   w(lambda, S) = lambda * (S^2 + (S-Lm)^2) / (2 (1 - lambda S))      (28)
+//
+// The mean blocking delay at a channel crossed by a regular stream and a
+// hot-spot stream is the busy probability times the merged-stream wait:
+//
+//   B = Pb * wc                                                        (26)
+//
+// Two service-time scales enter (DESIGN.md reconstruction note R8):
+//
+//  * `inclusive` service times — the iterated downstream latencies S of
+//    eqs (16)-(25), which include blocking. They measure how long a message
+//    *holds* a channel and drive the busy probability
+//    Pb = min(1, lambda*S_l + gamma*S_g)                               (27)
+//    (a probability, hence the cap; congestion upstream of a bottleneck can
+//    make the raw product exceed 1 long before the channel's bandwidth is
+//    exhausted — the tree-saturation effect);
+//
+//  * `transmission` service times — the contention-free holding times
+//    (Lm + remaining hops), which bound the channel's *throughput*. They set
+//    the waiting-time moments and its stability pole: the wait diverges when
+//    rate * S_tx -> 1, i.e. when the channel runs out of flit bandwidth,
+//    which is where the simulator (and the paper's validation sweeps)
+//    actually saturate. Feeding the inclusive times into the pole instead
+//    collapses the fixed point at ~25% of capacity, inconsistent with the
+//    paper's own figures.
+#pragma once
+
+namespace kncube::model {
+
+/// Outcome of a queueing computation; `value` is meaningful only when
+/// `saturated` is false.
+struct QueueDelay {
+  double value = 0.0;
+  bool saturated = false;
+};
+
+/// Pollaczek–Khinchine mean waiting time with the paper's variance
+/// approximation (eq 28). `service_floor` is Lm, the contention-free service
+/// time used by the variance term. Saturated when rate*mean_service >= 1.
+QueueDelay mg1_wait(double rate, double mean_service, double service_floor);
+
+/// One traffic stream at a channel, as seen by the blocking model.
+struct Stream {
+  double rate = 0.0;       ///< messages/cycle crossing the channel
+  double inclusive = 0.0;  ///< blocking-inclusive downstream service time S
+  double tx = 0.0;         ///< contention-free holding time (>= Lm)
+};
+
+/// Mean blocking delay at a channel (eqs 26-30) crossed by a regular and a
+/// hot-spot stream (either may have zero rate). Saturated when the combined
+/// flit load reaches the channel's bandwidth (rate * mean_tx >= 1).
+/// `busy_on_inclusive` selects the service scale entering Pb (see R8).
+QueueDelay blocking_delay(const Stream& regular, const Stream& hot,
+                          double service_floor, bool busy_on_inclusive = true);
+
+/// Busy probability Pb (eq 27), capped at 1.
+double busy_probability(const Stream& regular, const Stream& hot,
+                        bool on_inclusive = true);
+
+}  // namespace kncube::model

@@ -1,0 +1,57 @@
+#include "model/path_probabilities.hpp"
+
+#include "topology/torus.hpp"
+#include "util/assert.hpp"
+
+namespace kncube::model {
+
+PathProbabilities path_probabilities(int k) {
+  KNC_ASSERT(k >= 2);
+  const double kd = k;
+  const double n = kd * kd;
+  const double denom = n * (n - 1.0);
+  PathProbabilities p;
+  // Ordered-pair counts (src != dst). The hot column contains k nodes.
+  p.x_only = n * (kd - 1.0) / denom;
+  p.y_only_hot = kd * (kd - 1.0) / denom;
+  p.y_only_nonhot = (n - kd) * (kd - 1.0) / denom;
+  p.x_then_hot_y = (n - kd) * (kd - 1.0) / denom;
+  p.x_then_nonhot_y = (n * (kd - 1.0) * (kd - 1.0) - (n - kd) * (kd - 1.0)) / denom;
+  return p;
+}
+
+PathProbabilities path_probabilities_bruteforce(int k) {
+  KNC_ASSERT(k >= 2);
+  const topo::KAryNCube net(k, 2, /*bidirectional=*/false);
+  // Place the hot node anywhere; the counts are invariant by torus symmetry.
+  const topo::NodeId hot = net.size() / 2;
+  const int hot_col = net.coord(hot, 0);
+
+  std::uint64_t x_only = 0, y_hot = 0, y_nonhot = 0, xy_hot = 0, xy_nonhot = 0;
+  for (topo::NodeId s = 0; s < net.size(); ++s) {
+    for (topo::NodeId d = 0; d < net.size(); ++d) {
+      if (s == d) continue;
+      const bool dx = net.coord(s, 0) != net.coord(d, 0);
+      const bool dy = net.coord(s, 1) != net.coord(d, 1);
+      if (dx && !dy) {
+        ++x_only;
+      } else if (!dx && dy) {
+        (net.coord(s, 0) == hot_col ? y_hot : y_nonhot) += 1;
+      } else {
+        // dx && dy: the y-ring used is the *destination* column (x first).
+        (net.coord(d, 0) == hot_col ? xy_hot : xy_nonhot) += 1;
+      }
+    }
+  }
+  const double denom = static_cast<double>(net.size()) *
+                       (static_cast<double>(net.size()) - 1.0);
+  PathProbabilities p;
+  p.x_only = static_cast<double>(x_only) / denom;
+  p.y_only_hot = static_cast<double>(y_hot) / denom;
+  p.y_only_nonhot = static_cast<double>(y_nonhot) / denom;
+  p.x_then_hot_y = static_cast<double>(xy_hot) / denom;
+  p.x_then_nonhot_y = static_cast<double>(xy_nonhot) / denom;
+  return p;
+}
+
+}  // namespace kncube::model

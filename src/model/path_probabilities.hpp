@@ -1,0 +1,33 @@
+// Exact path-class probabilities for deterministic XY routing on the 2-D
+// torus under uniform destinations (paper §3, eqs (11)-(15), (31)).
+//
+// A regular (uniform) message from a random source to a destination uniform
+// over the other N-1 nodes follows exactly one of five path classes. The
+// paper's printed prefactors are partially illegible (see DESIGN.md R2/R3);
+// we use the exact ordered-pair counts, which agree with the legible
+// 1/(k(k+1))-style factors to O(1/N).
+#pragma once
+
+namespace kncube::model {
+
+struct PathProbabilities {
+  double x_only = 0.0;        ///< Dx != 0, Dy == 0
+  double y_only_hot = 0.0;    ///< Dx == 0, Dy != 0, source column == hot column
+  double y_only_nonhot = 0.0; ///< Dx == 0, Dy != 0, source column != hot column
+  double x_then_hot_y = 0.0;  ///< Dx != 0, Dy != 0, destination column == hot column
+  double x_then_nonhot_y = 0.0;
+
+  double x_any() const noexcept { return x_only + x_then_hot_y + x_then_nonhot_y; }
+  double sum() const noexcept {
+    return x_only + y_only_hot + y_only_nonhot + x_then_hot_y + x_then_nonhot_y;
+  }
+};
+
+/// Closed-form probabilities for radix k (N = k^2). All five sum to 1.
+PathProbabilities path_probabilities(int k);
+
+/// Brute-force counterpart: enumerates every ordered (src, dst) pair on the
+/// torus and classifies its XY route. Used by tests to pin the closed forms.
+PathProbabilities path_probabilities_bruteforce(int k);
+
+}  // namespace kncube::model

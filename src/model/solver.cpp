@@ -1,0 +1,50 @@
+#include "model/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace kncube::model {
+
+FixedPointResult solve_fixed_point(
+    std::vector<double>& state,
+    const std::function<bool(const std::vector<double>&, std::vector<double>&)>& step,
+    const FixedPointOptions& options) {
+  FixedPointResult result;
+  std::vector<double> next(state.size());
+  const double alpha = options.damping;
+  KNC_ASSERT_MSG(alpha > 0.0 && alpha <= 1.0, "damping must be in (0, 1]");
+
+  for (int it = 0; it < options.max_iterations; ++it) {
+    result.iterations = it + 1;
+    if (!step(state, next)) {
+      result.diverged = true;
+      return result;
+    }
+    KNC_ASSERT_MSG(next.size() == state.size(), "step changed the state size");
+
+    double max_rel = 0.0;
+    bool over_cap = false;
+    for (std::size_t i = 0; i < state.size(); ++i) {
+      const double blended = (1.0 - alpha) * state[i] + alpha * next[i];
+      const double denom = std::max(std::abs(blended), 1.0);
+      max_rel = std::max(max_rel, std::abs(blended - state[i]) / denom);
+      state[i] = blended;
+      if (!std::isfinite(blended) || std::abs(blended) > options.divergence_cap) {
+        over_cap = true;
+      }
+    }
+    if (over_cap) {
+      result.diverged = true;
+      return result;
+    }
+    if (max_rel < options.tolerance) {
+      result.converged = true;
+      return result;
+    }
+  }
+  return result;  // neither converged nor provably diverged: caller decides
+}
+
+}  // namespace kncube::model

@@ -1,0 +1,39 @@
+// Damped fixed-point iteration for the model's interdependent equations.
+//
+// The paper notes that "a closed-form solution to these interdependencies is
+// very difficult to determine" and computes the variables "using iterative
+// techniques". We iterate x_{t+1} = (1-alpha) x_t + alpha F(x_t) (Jacobi
+// sweep with under-relaxation); alpha < 1 stabilises the strongly coupled
+// near-saturation region where undamped iteration oscillates.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace kncube::model {
+
+struct FixedPointOptions {
+  double tolerance = 1e-10;  ///< max relative change per component
+  int max_iterations = 50000;
+  double damping = 0.5;             ///< alpha; 1 = undamped
+  double divergence_cap = 1e12;     ///< any component beyond this => diverged
+};
+
+struct FixedPointResult {
+  bool converged = false;
+  /// The step callback reported an unserviceable state (utilisation >= 1) or
+  /// a component exceeded the divergence cap: the operating point has no
+  /// steady state (saturation).
+  bool diverged = false;
+  int iterations = 0;
+};
+
+/// `step(current, next)` must fill `next` (same size) and return false to
+/// signal saturation. `state` holds the initial guess on entry and the final
+/// iterate on exit.
+FixedPointResult solve_fixed_point(
+    std::vector<double>& state,
+    const std::function<bool(const std::vector<double>&, std::vector<double>&)>& step,
+    const FixedPointOptions& options = {});
+
+}  // namespace kncube::model

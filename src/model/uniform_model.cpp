@@ -1,0 +1,146 @@
+#include "model/uniform_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "model/mg1.hpp"
+#include "model/vcmux.hpp"
+#include "util/assert.hpp"
+
+namespace kncube::model {
+
+namespace {
+
+// State: Sy[j], Sx[j], Sxy[j] for j = 1..k-1, packed in that order.
+struct Lay {
+  int ns;
+  std::size_t y, x, xy, total;
+  explicit Lay(int k) : ns(k - 1) {
+    const auto n = static_cast<std::size_t>(ns);
+    y = 0;
+    x = n;
+    xy = 2 * n;
+    total = 3 * n;
+  }
+  std::size_t at(std::size_t base, int j) const {
+    return base + static_cast<std::size_t>(j - 1);
+  }
+};
+
+double avg(const std::vector<double>& v, std::size_t off, int n) {
+  double a = 0.0;
+  for (int i = 0; i < n; ++i) a += v[off + static_cast<std::size_t>(i)];
+  return a / static_cast<double>(n);
+}
+
+}  // namespace
+
+void UniformModelConfig::validate() const {
+  auto fail = [](const char* m) { throw std::invalid_argument(m); };
+  if (k < 2) fail("UniformModelConfig: k must be >= 2");
+  if (vcs < 1) fail("UniformModelConfig: need at least one VC");
+  if (message_length < 1) fail("UniformModelConfig: message length must be >= 1");
+  if (injection_rate < 0.0 || injection_rate > 1.0) {
+    fail("UniformModelConfig: rate must be in [0,1]");
+  }
+}
+
+UniformTorusModel::UniformTorusModel(const UniformModelConfig& cfg) : cfg_(cfg) {
+  cfg.validate();
+}
+
+double UniformTorusModel::channel_rate() const noexcept {
+  return cfg_.injection_rate * static_cast<double>(cfg_.k - 1) / 2.0;
+}
+
+UniformModelResult UniformTorusModel::solve() const {
+  const int k = cfg_.k;
+  const double lm = static_cast<double>(cfg_.message_length);
+  const double lc = channel_rate();
+  const Lay lay(k);
+
+  UniformModelResult res;
+
+  std::vector<double> state(lay.total);
+  const double y_ent0 = static_cast<double>(k) / 2.0 + lm - 1.0;
+  for (int j = 1; j < k; ++j) {
+    state[lay.at(lay.y, j)] = static_cast<double>(j) + lm - 1.0;
+    state[lay.at(lay.x, j)] = static_cast<double>(j) + lm - 1.0;
+    state[lay.at(lay.xy, j)] = static_cast<double>(j) + y_ent0;
+  }
+
+  // Contention-free holding times (R8): same formulas as the hot-spot
+  // engine's regular streams, so the h = 0 cross-check is exact.
+  const double tx_y = lm + static_cast<double>(k) / 2.0 - 1.0;
+  const double tx_x = tx_y + static_cast<double>(k - 1) / 2.0;
+
+  auto step = [&](const std::vector<double>& in, std::vector<double>& out) {
+    const double ey = avg(in, lay.y, lay.ns);
+    const double ex = avg(in, lay.x, lay.ns);
+    const QueueDelay by =
+        blocking_delay(Stream{lc, ey, tx_y}, Stream{}, lm, /*busy_on_inclusive=*/false);
+    const QueueDelay bx =
+        blocking_delay(Stream{lc, ex, tx_x}, Stream{}, lm, /*busy_on_inclusive=*/false);
+    if (by.saturated || bx.saturated) return false;
+    for (int j = 1; j < k; ++j) {
+      out[lay.at(lay.y, j)] =
+          by.value + 1.0 + (j == 1 ? lm - 1.0 : out[lay.at(lay.y, j - 1)]);
+      out[lay.at(lay.x, j)] =
+          bx.value + 1.0 + (j == 1 ? lm - 1.0 : out[lay.at(lay.x, j - 1)]);
+      out[lay.at(lay.xy, j)] =
+          bx.value + 1.0 + (j == 1 ? ey : out[lay.at(lay.xy, j - 1)]);
+    }
+    return true;
+  };
+
+  FixedPointResult fp = solve_fixed_point(state, step, cfg_.solver);
+  res.iterations = fp.iterations;
+  res.converged = fp.converged;
+  if (!fp.converged) return res;  // saturated (diverged or no steady state)
+
+  const double ey = avg(state, lay.y, lay.ns);
+  const double ex = avg(state, lay.x, lay.ns);
+  const double exy = avg(state, lay.xy, lay.ns);
+
+  // Exact path-class probabilities under uniform destinations.
+  const double n = static_cast<double>(k) * static_cast<double>(k);
+  const double p_xonly = (static_cast<double>(k) - 1.0) / (n - 1.0);
+  const double p_yonly = p_xonly;
+  const double p_xy = (static_cast<double>(k) - 1.0) * (static_cast<double>(k) - 1.0) /
+                      (n - 1.0);
+
+  const double s_net = p_xonly * ex + p_xy * exy + p_yonly * ey;
+  res.network_latency = s_net;
+
+  const double arr = cfg_.injection_rate / static_cast<double>(cfg_.vcs);
+  const QueueDelay ws = mg1_wait(arr, s_net, lm);
+  if (ws.saturated) return res;
+  res.source_wait = ws.value;
+
+  // Transmission-basis occupancy, matching the hot-spot engine's default.
+  res.vc_mux_x = vc_multiplexing_degree(lc, tx_x, cfg_.vcs);
+  res.vc_mux_y = vc_multiplexing_degree(lc, tx_y, cfg_.vcs);
+
+  res.latency = p_xonly * (ex + ws.value) * res.vc_mux_x +
+                p_xy * (exy + ws.value) * res.vc_mux_x +
+                p_yonly * (ey + ws.value) * res.vc_mux_y;
+  res.channel_utilization = std::min(1.0, lc * ex);
+  res.saturated = false;
+  return res;
+}
+
+double UniformTorusModel::zero_load_latency() const {
+  const int k = cfg_.k;
+  const double lm = static_cast<double>(cfg_.message_length);
+  const double kd = static_cast<double>(k);
+  const double n = kd * kd;
+  const double p_xonly = (kd - 1.0) / (n - 1.0);
+  const double p_yonly = p_xonly;
+  const double p_xy = (kd - 1.0) * (kd - 1.0) / (n - 1.0);
+  const double one_dim = kd / 2.0 + lm - 1.0;
+  const double two_dim = kd + lm - 1.0;
+  return (p_xonly + p_yonly) * one_dim + p_xy * two_dim;
+}
+
+}  // namespace kncube::model

@@ -1,0 +1,52 @@
+// Baseline: uniform-traffic analytical model for the deterministically-routed
+// 2-D unidirectional torus (the h = 0 special case, in the lineage of the
+// classic wormhole models [4, 6, 18] the paper builds on).
+//
+// This is an *independent* three-class implementation (x-only, x-then-y,
+// y-only), not a wrapper over HotspotModel: the hot-spot model with h = 0
+// must reproduce it to solver tolerance, which the integration tests use as
+// a strong structural cross-check of both implementations.
+#pragma once
+
+#include <limits>
+
+#include "model/solver.hpp"
+
+namespace kncube::model {
+
+struct UniformModelConfig {
+  int k = 16;
+  int vcs = 2;
+  int message_length = 32;
+  double injection_rate = 1e-4;
+  FixedPointOptions solver{};
+
+  void validate() const;
+};
+
+struct UniformModelResult {
+  double latency = std::numeric_limits<double>::infinity();
+  bool saturated = true;
+  bool converged = false;
+  int iterations = 0;
+  double network_latency = 0.0;  ///< unscaled mean network latency
+  double source_wait = 0.0;
+  double vc_mux_x = 1.0;
+  double vc_mux_y = 1.0;
+  double channel_utilization = 0.0;  ///< identical on every channel
+};
+
+class UniformTorusModel {
+ public:
+  explicit UniformTorusModel(const UniformModelConfig& cfg);
+
+  UniformModelResult solve() const;
+  double zero_load_latency() const;
+  /// Per-channel message rate lambda * (k-1)/2.
+  double channel_rate() const noexcept;
+
+ private:
+  UniformModelConfig cfg_;
+};
+
+}  // namespace kncube::model

@@ -1,0 +1,42 @@
+#include "model/vcmux.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace kncube::model {
+
+void vc_occupancy_distribution(double rate, double service, int vcs, double* out) {
+  KNC_ASSERT(vcs >= 1);
+  const double rho = std::clamp(rate * service, 0.0, 1.0 - 1e-9);
+  std::vector<double> q(static_cast<std::size_t>(vcs) + 1);
+  q[0] = 1.0;
+  for (int v = 1; v < vcs; ++v) {
+    q[static_cast<std::size_t>(v)] = q[static_cast<std::size_t>(v - 1)] * rho;
+  }
+  q[static_cast<std::size_t>(vcs)] =
+      q[static_cast<std::size_t>(vcs - 1)] * rho / (1.0 - rho);
+  double sum = 0.0;
+  for (double x : q) sum += x;
+  for (int v = 0; v <= vcs; ++v) {
+    out[v] = q[static_cast<std::size_t>(v)] / sum;
+  }
+}
+
+double vc_multiplexing_degree(double rate, double service, int vcs) {
+  if (rate <= 0.0 || service <= 0.0) return 1.0;
+  std::vector<double> p(static_cast<std::size_t>(vcs) + 1);
+  vc_occupancy_distribution(rate, service, vcs, p.data());
+  double num = 0.0;
+  double den = 0.0;
+  for (int v = 1; v <= vcs; ++v) {
+    const double pv = p[static_cast<std::size_t>(v)];
+    num += static_cast<double>(v) * static_cast<double>(v) * pv;
+    den += static_cast<double>(v) * pv;
+  }
+  if (den <= 0.0) return 1.0;
+  return num / den;
+}
+
+}  // namespace kncube::model

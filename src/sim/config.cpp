@@ -1,0 +1,37 @@
+#include "sim/config.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace kncube::sim {
+
+void SimConfig::validate() const {
+  auto fail = [](const std::string& msg) { throw std::invalid_argument("SimConfig: " + msg); };
+  if (k < 2) fail("radix k must be >= 2");
+  if (n < 1 || n > topo::kMaxDims) fail("dimension count out of range");
+  if (vcs < 1) fail("need at least one virtual channel");
+  if (!bidirectional && k > 2 && vcs < 2) {
+    // A unidirectional ring with a single VC can deadlock (paper assumption
+    // vi requires V >= 2); k == 2 rings have no cycle of length > 1.
+    fail("unidirectional torus requires V >= 2 for deadlock freedom");
+  }
+  if (buffer_depth < 1) fail("buffer depth must be >= 1");
+  if (message_length < 1) fail("message length must be >= 1 flit");
+  if (injection_rate < 0.0 || injection_rate > 1.0) {
+    fail("injection rate must be a per-cycle probability");
+  }
+  if (pattern == Pattern::kHotspot && (hot_fraction < 0.0 || hot_fraction > 1.0)) {
+    fail("hot fraction must be in [0,1]");
+  }
+  if (hot_node >= 0) {
+    std::uint64_t size = 1;
+    for (int d = 0; d < n; ++d) size *= static_cast<std::uint64_t>(k);
+    if (static_cast<std::uint64_t>(hot_node) >= size) fail("hot node outside network");
+  }
+  if (pattern == Pattern::kTranspose && n != 2) fail("transpose traffic needs n == 2");
+  if (batch_size == 0) fail("batch size must be positive");
+  if (steady_rel_tol <= 0.0) fail("steady-state tolerance must be positive");
+  if (max_cycles <= warmup_cycles) fail("max cycles must exceed warmup");
+}
+
+}  // namespace kncube::sim

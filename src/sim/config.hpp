@@ -1,0 +1,73 @@
+// Simulator configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "topology/torus.hpp"
+
+namespace kncube::sim {
+
+/// Destination pattern. Hotspot is the paper's traffic model (assumption ii):
+/// probability `hot_fraction` to the hot node, else uniform over the other
+/// nodes; the hot node itself only generates uniform traffic.
+enum class Pattern : int {
+  kUniform = 0,
+  kHotspot = 1,
+  kTranspose = 2,     ///< (x, y) -> (y, x); diagonal nodes fall back to uniform
+  kBitComplement = 3, ///< dest id = N-1 - src id
+  kBitReversal = 4,   ///< reverse the bits of the node index (N power of two)
+};
+
+/// Arrival process per node. Bernoulli(rate) per cycle is the discrete-time
+/// Poisson approximation used throughout the paper's operating range
+/// (rate << 1). MMPP is the bursty extension flagged as future work in §5:
+/// a two-state modulated Bernoulli with a burst state and an idle state.
+enum class Arrivals : int { kBernoulli = 0, kMmpp = 1 };
+
+struct MmppParams {
+  double burst_rate_multiplier = 4.0;  ///< rate in burst state = mult * mean rate
+  double p_enter_burst = 0.0005;       ///< idle -> burst transition prob per cycle
+  double p_leave_burst = 0.002;        ///< burst -> idle transition prob per cycle
+};
+
+struct SimConfig {
+  // --- network ---
+  int k = 16;                 ///< radix
+  int n = 2;                  ///< dimensions
+  bool bidirectional = false; ///< paper analyses the unidirectional torus
+  int vcs = 2;                ///< V, virtual channels per physical channel (>= 2)
+  int buffer_depth = 2;       ///< flit buffer per VC; >= 2 streams 1 flit/cycle
+
+  // --- workload ---
+  int message_length = 32;       ///< Lm flits
+  double injection_rate = 1e-4;  ///< lambda, messages/node/cycle
+  Pattern pattern = Pattern::kHotspot;
+  double hot_fraction = 0.2;  ///< h
+  /// Hot node id; -1 picks the centre node (k/2, k/2, ...). Position is
+  /// immaterial on a torus (full symmetry); configurable for tests.
+  std::int64_t hot_node = -1;
+  Arrivals arrivals = Arrivals::kBernoulli;
+  MmppParams mmpp{};
+
+  // --- measurement ---
+  std::uint64_t seed = 0xC0FFEE;
+  std::uint64_t warmup_cycles = 20000;
+  std::uint64_t target_messages = 2500;   ///< measured deliveries wanted
+  std::uint64_t max_cycles = 3'000'000;
+  std::uint64_t batch_size = 500;         ///< batch-means batch, in messages
+  double steady_rel_tol = 0.02;           ///< paper's "does not change appreciably"
+
+  topo::NodeId resolved_hot_node() const {
+    if (hot_node >= 0) return static_cast<topo::NodeId>(hot_node);
+    const topo::KAryNCube net(k, n, bidirectional);
+    topo::Coords c{};
+    for (int d = 0; d < n; ++d) c[static_cast<std::size_t>(d)] = k / 2;
+    return net.node_at(c);
+  }
+
+  /// Throws std::invalid_argument on inconsistent settings.
+  void validate() const;
+};
+
+}  // namespace kncube::sim

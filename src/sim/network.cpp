@@ -1,0 +1,98 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace kncube::sim {
+
+Network::Network(const SimConfig& cfg)
+    : topo_(cfg.k, cfg.n, cfg.bidirectional),
+      message_length_(static_cast<std::uint32_t>(cfg.message_length)) {
+  cfg.validate();
+  routers_.reserve(topo_.size());
+  for (topo::NodeId id = 0; id < topo_.size(); ++id) {
+    routers_.push_back(std::make_unique<Router>(topo_, id, cfg.vcs, cfg.buffer_depth));
+  }
+  // Wire links: output port p of node r feeds input port p of the neighbour
+  // in that port's (dim, dir); the input port keeps a pointer back to the
+  // upstream output port for credit/release return.
+  for (topo::NodeId id = 0; id < topo_.size(); ++id) {
+    Router& r = *routers_[id];
+    for (int p = 0; p < r.network_ports(); ++p) {
+      const int dim = r.port_dim(p);
+      const topo::Direction dir = r.port_dir(p);
+      const topo::NodeId down_id = topo_.neighbor(id, dim, dir);
+      Router& down = *routers_[down_id];
+      r.connect(p, &down, p);
+      down.connect_upstream(p, &r.output_port_mutable(p));
+    }
+  }
+}
+
+void Network::step(std::uint64_t cycle, Metrics& metrics) {
+  for (auto& r : routers_) r->refill_injection();
+  for (auto& r : routers_) r->phase_eject(cycle, metrics);
+  for (auto& r : routers_) r->phase_route();
+  for (auto& r : routers_) r->phase_vc_alloc();
+  for (auto& r : routers_) r->phase_switch(cycle, metrics);
+  for (auto& r : routers_) r->commit();
+}
+
+void Network::enqueue_message(const QueuedMessage& msg) {
+  KNC_ASSERT(msg.src < topo_.size() && msg.dest < topo_.size());
+  routers_[msg.src]->enqueue_message(msg, message_length_);
+}
+
+std::uint64_t Network::inflight_flits() const {
+  std::uint64_t total = 0;
+  for (const auto& r : routers_) total += r->buffered_flits();
+  return total;
+}
+
+std::uint64_t Network::source_backlog() const {
+  std::uint64_t total = 0;
+  for (const auto& r : routers_) total += r->source_queue_length();
+  return total;
+}
+
+void Network::reset_channel_stats() {
+  for (auto& r : routers_) {
+    for (int p = 0; p < r->network_ports(); ++p) {
+      r->output_port_mutable(p).reset_stats();
+    }
+  }
+}
+
+Network::ChannelSummary Network::channel_summary() const {
+  ChannelSummary s;
+  double util_sum = 0.0;
+  std::uint64_t channels = 0;
+  double vm_weighted = 0.0;
+  double vm_weight = 0.0;
+  for (const auto& r : routers_) {
+    for (int p = 0; p < r->network_ports(); ++p) {
+      const auto& op = r->output_port(p);
+      const double u = op.utilization();
+      util_sum += u;
+      s.max_utilization = std::max(s.max_utilization, u);
+      ++channels;
+      if (op.busy_cycles > 0) {
+        const auto w = static_cast<double>(op.flits_sent);
+        vm_weighted += op.vc_multiplexing() * w;
+        vm_weight += w;
+      }
+    }
+  }
+  if (channels) s.mean_utilization = util_sum / static_cast<double>(channels);
+  if (vm_weight > 0.0) s.mean_vc_multiplexing = vm_weighted / vm_weight;
+  return s;
+}
+
+double Network::channel_utilization(topo::NodeId node, int dim,
+                                    topo::Direction dir) const {
+  const Router& r = *routers_[node];
+  return r.output_port(r.out_port_for(dim, dir)).utilization();
+}
+
+}  // namespace kncube::sim

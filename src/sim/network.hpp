@@ -1,0 +1,57 @@
+// The assembled network: a k-ary n-cube of routers plus the synchronous
+// cycle engine. Phases run across *all* routers before the next phase starts,
+// so every router observes the same globally-consistent start-of-cycle state;
+// transfers and credit returns staged during a cycle become visible at the
+// next one (Router::commit).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/metrics.hpp"
+#include "sim/router.hpp"
+#include "topology/torus.hpp"
+
+namespace kncube::sim {
+
+class Network {
+ public:
+  explicit Network(const SimConfig& cfg);
+
+  const topo::KAryNCube& topology() const noexcept { return topo_; }
+  Router& router(topo::NodeId id) { return *routers_[id]; }
+  const Router& router(topo::NodeId id) const { return *routers_[id]; }
+  topo::NodeId size() const noexcept { return topo_.size(); }
+
+  /// Advances the whole network by one cycle.
+  void step(std::uint64_t cycle, Metrics& metrics);
+
+  void enqueue_message(const QueuedMessage& msg);
+
+  /// Flits resident in any router buffer or in-flight staging slot
+  /// (excludes messages still waiting, unmaterialised, in source queues).
+  std::uint64_t inflight_flits() const;
+  /// Messages waiting in source queues across all nodes (unmaterialised).
+  std::uint64_t source_backlog() const;
+
+  void reset_channel_stats();
+
+  struct ChannelSummary {
+    double mean_utilization = 0.0;
+    double max_utilization = 0.0;
+    /// Flit-weighted mean VC multiplexing degree over busy channels.
+    double mean_vc_multiplexing = 1.0;
+  };
+  ChannelSummary channel_summary() const;
+
+  /// Utilisation of a specific output channel (node, dim, dir).
+  double channel_utilization(topo::NodeId node, int dim, topo::Direction dir) const;
+
+ private:
+  topo::KAryNCube topo_;
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::uint32_t message_length_;
+};
+
+}  // namespace kncube::sim

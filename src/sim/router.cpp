@@ -1,0 +1,289 @@
+#include "sim/router.hpp"
+
+#include "util/assert.hpp"
+
+namespace kncube::sim {
+
+Router::Router(const topo::KAryNCube& net, topo::NodeId id, int vcs, int buffer_depth)
+    : net_(net),
+      id_(id),
+      vcs_(vcs),
+      buffer_depth_(buffer_depth),
+      net_ports_(net.channels_per_node()) {
+  KNC_ASSERT(vcs >= 1 && buffer_depth >= 1);
+  in_vcs_.resize(static_cast<std::size_t>((net_ports_ + 1) * vcs_));
+  out_.resize(static_cast<std::size_t>(net_ports_));
+  for (auto& op : out_) {
+    op.vcs.assign(static_cast<std::size_t>(vcs_), OutputVc{false, buffer_depth_});
+    op.staged_credits.assign(static_cast<std::size_t>(vcs_), 0);
+    op.staged_release.assign(static_cast<std::size_t>(vcs_), 0);
+  }
+  upstream_.assign(static_cast<std::size_t>(net_ports_), nullptr);
+  staged_in_.resize(static_cast<std::size_t>(net_ports_));
+  source_q_.resize(static_cast<std::size_t>(vcs_));
+}
+
+int Router::out_port_for(int dim, topo::Direction dir) const noexcept {
+  return net_.bidirectional() ? 2 * dim + static_cast<int>(dir) : dim;
+}
+
+int Router::port_dim(int port) const noexcept {
+  return net_.bidirectional() ? port / 2 : port;
+}
+
+topo::Direction Router::port_dir(int port) const noexcept {
+  return net_.bidirectional() ? static_cast<topo::Direction>(port % 2)
+                              : topo::Direction::kPlus;
+}
+
+void Router::connect(int out_port, Router* down, int down_port) {
+  auto& op = out_[static_cast<std::size_t>(out_port)];
+  op.down = down;
+  op.down_port = down_port;
+}
+
+void Router::connect_upstream(int in_port, OutputPort* upstream) {
+  upstream_[static_cast<std::size_t>(in_port)] = upstream;
+}
+
+int Router::class_vc_begin(int cls) const noexcept {
+  return cls == 0 ? 0 : (vcs_ + 1) / 2;
+}
+
+int Router::class_vc_end(int cls) const noexcept {
+  return cls == 0 ? (vcs_ + 1) / 2 : vcs_;
+}
+
+int Router::vc_class_for(const Flit& head, int dim, topo::Direction dir) const noexcept {
+  // The message entered this ring at its source coordinate (earlier
+  // dimensions were fully corrected before dimension `dim`, later ones are
+  // untouched), so whether the wrap-around link has been crossed is derivable
+  // from the source coordinate alone: travelling (+) from s, positions before
+  // the wrap satisfy c >= s and after it c < s (and symmetrically for (-)).
+  const int s = net_.coord(head.src, dim);
+  const int c = net_.coord(id_, dim);
+  if (dir == topo::Direction::kPlus) return c < s ? 1 : 0;
+  return c > s ? 1 : 0;
+}
+
+Flit Router::pop_and_credit(int port, int vc) {
+  InputVc& in = ivc(port, vc);
+  KNC_DEBUG_ASSERT(!in.buffer.empty());
+  Flit f = in.buffer.front();
+  in.buffer.pop_front();
+  if (port < net_ports_) {
+    OutputPort* up = upstream_[static_cast<std::size_t>(port)];
+    KNC_DEBUG_ASSERT(up != nullptr);
+    ++up->staged_credits[static_cast<std::size_t>(vc)];
+    if (f.tail) {
+      KNC_DEBUG_ASSERT(in.buffer.empty());  // tail is the last flit
+      up->staged_release[static_cast<std::size_t>(vc)] = 1;
+      in.active = false;
+    }
+  }
+  return f;
+}
+
+void Router::refill_injection() {
+  const int inj = injection_port();
+  for (int v = 0; v < vcs_; ++v) {
+    InputVc& in = ivc(inj, v);
+    auto& q = source_q_[static_cast<std::size_t>(v)];
+    if (!in.buffer.empty() || in.route_out != -1 || q.empty()) continue;
+    const QueuedMessage msg = q.front();
+    q.pop_front();
+    for (std::uint32_t seq = 0; seq < message_length_; ++seq) {
+      Flit f;
+      f.msg = msg.id;
+      f.src = msg.src;
+      f.dest = msg.dest;
+      f.seq = seq;
+      f.gen_cycle = msg.gen_cycle;
+      f.head = seq == 0;
+      f.tail = seq + 1 == message_length_;
+      in.buffer.push_back(f);
+    }
+  }
+}
+
+void Router::phase_eject(std::uint64_t cycle, Metrics& metrics) {
+  // Unlimited ejection bandwidth (assumption iv): drain every destined flit
+  // at a buffer head this cycle. Flits of one message arrive in order on a
+  // single VC, so draining per-VC preserves message ordering.
+  for (int p = 0; p < net_ports_; ++p) {
+    for (int v = 0; v < vcs_; ++v) {
+      InputVc& in = ivc(p, v);
+      while (!in.buffer.empty() && in.buffer.front().dest == id_) {
+        const Flit f = pop_and_credit(p, v);
+        metrics.on_flit_delivered();
+        if (f.tail) metrics.on_delivered(f.msg, f.gen_cycle, cycle, f.dest);
+      }
+    }
+  }
+}
+
+void Router::phase_route() {
+  const int total_ports = net_ports_ + 1;
+  for (int p = 0; p < total_ports; ++p) {
+    for (int v = 0; v < vcs_; ++v) {
+      InputVc& in = ivc(p, v);
+      if (in.route_out != -1 || in.buffer.empty()) continue;
+      const Flit& f = in.buffer.front();
+      if (!f.head) continue;  // cannot happen for well-formed streams
+      KNC_DEBUG_ASSERT(f.dest != id_);  // destined flits were ejected already
+      const int dim = net_.next_route_dim(id_, f.dest);
+      KNC_DEBUG_ASSERT(dim >= 0);
+      const topo::Direction dir =
+          net_.ring_direction(net_.coord(id_, dim), net_.coord(f.dest, dim));
+      in.route_out = out_port_for(dim, dir);
+    }
+  }
+}
+
+void Router::phase_vc_alloc() {
+  const int total_vcs = (net_ports_ + 1) * vcs_;
+  for (int op_idx = 0; op_idx < net_ports_; ++op_idx) {
+    OutputPort& op = out_[static_cast<std::size_t>(op_idx)];
+    // Round-robin over input VCs requesting this output port.
+    for (int off = 0; off < total_vcs; ++off) {
+      const int i = (static_cast<int>(op.rr_vc) + off) % total_vcs;
+      InputVc& in = in_vcs_[static_cast<std::size_t>(i)];
+      if (in.route_out != op_idx || in.out_vc != -1 || in.buffer.empty()) continue;
+      const Flit& head = in.buffer.front();
+      KNC_DEBUG_ASSERT(head.head);
+      const int cls =
+          vc_class_for(head, port_dim(op_idx), port_dir(op_idx));
+      int granted = -1;
+      for (int v = class_vc_begin(cls); v < class_vc_end(cls); ++v) {
+        if (!op.vcs[static_cast<std::size_t>(v)].busy) {
+          granted = v;
+          break;
+        }
+      }
+      if (granted < 0) continue;  // no free VC in this class right now
+      in.out_vc = granted;
+      op.vcs[static_cast<std::size_t>(granted)].busy = true;
+      op.rr_vc = static_cast<std::uint32_t>((i + 1) % total_vcs);
+    }
+  }
+}
+
+void Router::phase_switch(std::uint64_t cycle, Metrics& metrics) {
+  const int total_vcs = (net_ports_ + 1) * vcs_;
+  for (int op_idx = 0; op_idx < net_ports_; ++op_idx) {
+    OutputPort& op = out_[static_cast<std::size_t>(op_idx)];
+    // One flit per output physical channel per cycle: round-robin among the
+    // input VCs that hold an allocation, have a flit and downstream credit.
+    for (int off = 0; off < total_vcs; ++off) {
+      const int i = (static_cast<int>(op.rr_sw) + off) % total_vcs;
+      InputVc& in = in_vcs_[static_cast<std::size_t>(i)];
+      if (in.route_out != op_idx || in.out_vc == -1 || in.buffer.empty()) continue;
+      if (op.vcs[static_cast<std::size_t>(in.out_vc)].credits <= 0) continue;
+
+      const int port = i / vcs_;
+      const int vc = i % vcs_;
+      const int out_vc = in.out_vc;
+      Flit f = pop_and_credit(port, vc);
+      --op.vcs[static_cast<std::size_t>(out_vc)].credits;
+      ++op.flits_sent;
+      KNC_DEBUG_ASSERT(op.down != nullptr);
+      KNC_DEBUG_ASSERT(!op.down->staged_in_[static_cast<std::size_t>(op.down_port)]);
+      op.down->staged_in_[static_cast<std::size_t>(op.down_port)] =
+          std::make_pair(out_vc, f);
+
+      if (port == injection_port() && f.head) {
+        metrics.on_injected(f.msg, f.gen_cycle, cycle);
+      }
+      if (f.tail) {
+        // The message releases *this* input VC; the downstream (output) VC
+        // stays busy until the tail leaves the downstream buffer.
+        in.route_out = -1;
+        in.out_vc = -1;
+      }
+      op.rr_sw = static_cast<std::uint32_t>((i + 1) % total_vcs);
+      break;  // physical channel bandwidth: one flit per cycle
+    }
+  }
+}
+
+void Router::commit() {
+  // 1. Arrivals become visible.
+  for (int p = 0; p < net_ports_; ++p) {
+    auto& slot = staged_in_[static_cast<std::size_t>(p)];
+    if (!slot) continue;
+    const auto& [vc, f] = *slot;
+    InputVc& in = ivc(p, vc);
+    if (f.head) {
+      KNC_ASSERT_MSG(in.buffer.empty() && !in.active && in.route_out == -1,
+                     "head flit arrived at an occupied VC");
+      in.active = true;
+    } else {
+      KNC_DEBUG_ASSERT(in.active);
+    }
+    in.buffer.push_back(f);
+    KNC_ASSERT_MSG(static_cast<int>(in.buffer.size()) <= buffer_depth_,
+                   "buffer overflow: credit accounting broken");
+    slot.reset();
+  }
+  // 2. Credits and VC releases from downstream become visible.
+  for (auto& op : out_) {
+    for (std::size_t v = 0; v < op.vcs.size(); ++v) {
+      OutputVc& ovc = op.vcs[v];
+      ovc.credits += op.staged_credits[v];
+      op.staged_credits[v] = 0;
+      KNC_ASSERT_MSG(ovc.credits <= buffer_depth_, "credit overflow");
+      if (op.staged_release[v]) {
+        KNC_ASSERT_MSG(ovc.busy, "release of a free VC");
+        KNC_ASSERT_MSG(ovc.credits == buffer_depth_,
+                       "VC released while flits remain downstream");
+        ovc.busy = false;
+        op.staged_release[v] = 0;
+      }
+    }
+    // 3. Channel occupancy statistics.
+    std::uint64_t busy = 0;
+    for (const auto& ovc : op.vcs) busy += ovc.busy ? 1 : 0;
+    ++op.stat_cycles;
+    if (busy) {
+      op.busy_vc_cycles += busy;
+      op.busy_vc_sq_cycles += busy * busy;
+      ++op.busy_cycles;
+    }
+  }
+}
+
+void Router::enqueue_message(const QueuedMessage& msg, std::uint32_t lm) {
+  KNC_ASSERT_MSG(msg.dest != id_, "self-addressed message");
+  KNC_ASSERT_MSG(message_length_ == 0 || message_length_ == lm,
+                 "mixed message lengths are not modelled");
+  message_length_ = lm;
+  source_q_[next_inject_vc_].push_back(msg);
+  next_inject_vc_ = (next_inject_vc_ + 1) % static_cast<std::uint32_t>(vcs_);
+}
+
+std::uint64_t Router::source_queue_length() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& q : source_q_) total += q.size();
+  return total;
+}
+
+const Router::InputVc& Router::input_vc(int port, int vc) const {
+  return in_vcs_[static_cast<std::size_t>(port * vcs_ + vc)];
+}
+
+const Router::OutputPort& Router::output_port(int port) const {
+  return out_[static_cast<std::size_t>(port)];
+}
+
+Router::OutputPort& Router::output_port_mutable(int port) {
+  return out_[static_cast<std::size_t>(port)];
+}
+
+std::uint64_t Router::buffered_flits() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& in : in_vcs_) total += in.buffer.size();
+  for (const auto& slot : staged_in_) total += slot ? 1u : 0u;
+  return total;
+}
+
+}  // namespace kncube::sim

@@ -1,0 +1,155 @@
+// A wormhole router with virtual-channel flow control (paper §2).
+//
+// Microarchitecture (single-stage, one hop per cycle at zero load):
+//   * one network input port per incoming channel, each with V virtual
+//     channels backed by a `buffer_depth`-flit FIFO and credit-based
+//     backpressure;
+//   * one injection input port (V VCs fed from per-VC infinite source
+//     queues; a queued message's flits materialise lazily);
+//   * per-cycle phases: eject -> route -> VC allocation -> switch allocation
+//     -> transfer; transfers, credits and VC releases become visible at the
+//     next cycle boundary (commit), keeping the network synchronous;
+//   * the crossbar is non-blocking on inputs ("can simultaneously connect
+//     multiple incoming to multiple outgoing channels", §2); the only
+//     bandwidth limit is one flit per output physical channel per cycle,
+//     time-multiplexed across its VCs exactly as in Dally's VC model;
+//   * ejection consumes destined flits with unlimited bandwidth (assumption
+//     iv: "messages are transferred to the local PE as soon as they arrive");
+//   * deadlock freedom: dimension-order routing plus Dally–Seitz dateline VC
+//     classes inside each ring — class 0 until the message crosses the
+//     ring's wrap-around link, class 1 after; the V VCs split into
+//     ceil(V/2) class-0 and floor(V/2) class-1 channels.
+//
+// An output VC is held by a message from header allocation until the tail
+// flit leaves the *downstream* buffer (conservative release; the release and
+// the final credit travel back together with a one-cycle lag).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "sim/flit.hpp"
+#include "sim/metrics.hpp"
+#include "topology/torus.hpp"
+
+namespace kncube::sim {
+
+class Router {
+ public:
+  /// Per-input-VC state. A VC is owned by at most one message at a time:
+  /// `active` spans head arrival to tail departure, so buffers never
+  /// interleave flits of different messages.
+  struct InputVc {
+    std::deque<Flit> buffer;
+    int route_out = -1;  ///< chosen output port for the resident message
+    int out_vc = -1;     ///< allocated VC at the downstream input port
+    bool active = false;
+  };
+
+  struct OutputVc {
+    bool busy = false;  ///< allocated to an in-flight message
+    int credits = 0;    ///< free flit slots in the downstream buffer
+  };
+
+  struct OutputPort {
+    std::vector<OutputVc> vcs;
+    Router* down = nullptr;
+    int down_port = -1;
+    std::uint32_t rr_vc = 0;  ///< round-robin cursor, VC allocation
+    std::uint32_t rr_sw = 0;  ///< round-robin cursor, switch allocation
+    // Signals staged by the downstream router, applied at commit.
+    std::vector<std::uint16_t> staged_credits;
+    std::vector<std::uint8_t> staged_release;
+    // Channel statistics (since the last reset_stats).
+    std::uint64_t flits_sent = 0;
+    std::uint64_t busy_vc_cycles = 0;     ///< sum over cycles of busy-VC count
+    std::uint64_t busy_vc_sq_cycles = 0;  ///< sum of squared busy-VC count
+    std::uint64_t busy_cycles = 0;        ///< cycles with >= 1 busy VC
+    std::uint64_t stat_cycles = 0;
+
+    double utilization() const noexcept {
+      return stat_cycles ? static_cast<double>(flits_sent) /
+                               static_cast<double>(stat_cycles)
+                         : 0.0;
+    }
+    /// Dally's multiplexing degree estimate E[v^2]/E[v] over busy cycles.
+    double vc_multiplexing() const noexcept {
+      return busy_vc_cycles ? static_cast<double>(busy_vc_sq_cycles) /
+                                  static_cast<double>(busy_vc_cycles)
+                            : 1.0;
+    }
+    void reset_stats() noexcept {
+      flits_sent = busy_vc_cycles = busy_vc_sq_cycles = busy_cycles = stat_cycles = 0;
+    }
+  };
+
+  Router(const topo::KAryNCube& net, topo::NodeId id, int vcs, int buffer_depth);
+
+  topo::NodeId id() const noexcept { return id_; }
+  int network_ports() const noexcept { return net_ports_; }
+  int injection_port() const noexcept { return net_ports_; }
+  int vcs() const noexcept { return vcs_; }
+
+  /// Output port index used by a message travelling dimension `dim` in
+  /// direction `dir`.
+  int out_port_for(int dim, topo::Direction dir) const noexcept;
+  int port_dim(int port) const noexcept;
+  topo::Direction port_dir(int port) const noexcept;
+
+  // --- wiring (performed once by Network) ---
+  void connect(int out_port, Router* down, int down_port);
+  void connect_upstream(int in_port, OutputPort* upstream);
+
+  // --- per-cycle phases (invoked by Network in order, across all routers) ---
+  void refill_injection();
+  void phase_eject(std::uint64_t cycle, Metrics& metrics);
+  void phase_route();
+  void phase_vc_alloc();
+  void phase_switch(std::uint64_t cycle, Metrics& metrics);
+  void commit();
+
+  // --- source side ---
+  /// Enqueues a generated message; messages are spread round-robin across the
+  /// V injection VCs (the model's per-VC lambda/V source queues).
+  void enqueue_message(const QueuedMessage& msg, std::uint32_t lm);
+  std::uint64_t source_queue_length() const noexcept;
+
+  // --- introspection (tests, statistics) ---
+  const InputVc& input_vc(int port, int vc) const;
+  const OutputPort& output_port(int port) const;
+  OutputPort& output_port_mutable(int port);
+  std::uint64_t buffered_flits() const noexcept;
+
+ private:
+  InputVc& ivc(int port, int vc) {
+    return in_vcs_[static_cast<std::size_t>(port * vcs_ + vc)];
+  }
+  /// Dateline class of the next hop for a head flit at this router.
+  int vc_class_for(const Flit& head, int dim, topo::Direction dir) const noexcept;
+  int class_vc_begin(int cls) const noexcept;
+  int class_vc_end(int cls) const noexcept;
+  /// Pops the front flit of (port, vc) returning credit (and, on tail,
+  /// release) to the upstream output VC.
+  Flit pop_and_credit(int port, int vc);
+
+  const topo::KAryNCube& net_;
+  topo::NodeId id_;
+  int vcs_;
+  int buffer_depth_;
+  int net_ports_;
+
+  std::vector<InputVc> in_vcs_;       ///< (net_ports_+1) * V, injection last
+  std::vector<OutputPort> out_;       ///< network output ports
+  std::vector<OutputPort*> upstream_; ///< per network input port
+  /// <=1 staged arrival per network input port per cycle: (vc, flit)
+  std::vector<std::optional<std::pair<int, Flit>>> staged_in_;
+
+  std::vector<std::deque<QueuedMessage>> source_q_;  ///< one per injection VC
+  std::uint32_t next_inject_vc_ = 0;
+  std::uint32_t message_length_ = 0;  ///< Lm of the messages being enqueued
+};
+
+}  // namespace kncube::sim

@@ -1,0 +1,157 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+
+#include "topology/hotspot_geometry.hpp"
+#include "util/assert.hpp"
+#include "util/log.hpp"
+
+namespace kncube::sim {
+
+namespace {
+
+double latency_histogram_ceiling(const SimConfig& cfg) {
+  // Generous: a few hundred times the zero-load scale, so quantiles stay
+  // meaningful deep into the congested region.
+  return 200.0 * static_cast<double>(cfg.message_length + cfg.k * cfg.n);
+}
+
+}  // namespace
+
+Simulator::Simulator(const SimConfig& cfg)
+    : cfg_(cfg),
+      net_(cfg),
+      metrics_(cfg.batch_size, cfg.steady_rel_tol, latency_histogram_ceiling(cfg)),
+      pattern_(make_pattern(cfg, net_.topology())) {
+  if (cfg.pattern == Pattern::kHotspot) {
+    metrics_.set_hot_node(cfg.resolved_hot_node());
+  }
+  util::Xoshiro256 root(cfg.seed);
+  rng_.reserve(net_.size());
+  arrivals_.reserve(net_.size());
+  for (topo::NodeId id = 0; id < net_.size(); ++id) {
+    rng_.push_back(root.split(id));
+    arrivals_.push_back(make_arrivals(cfg));
+  }
+}
+
+void Simulator::tick() {
+  // Traffic generation at the cycle boundary, deterministic node order.
+  for (topo::NodeId id = 0; id < net_.size(); ++id) {
+    if (!arrivals_[id]->fire(rng_[id])) continue;
+    QueuedMessage msg;
+    msg.id = next_msg_id_++;
+    msg.src = id;
+    msg.dest = pattern_->pick_dest(id, rng_[id]);
+    msg.gen_cycle = cycle_;
+    net_.enqueue_message(msg);
+    metrics_.on_generated(msg.gen_cycle);
+  }
+  net_.step(cycle_, metrics_);
+  ++cycle_;
+}
+
+void Simulator::step_cycles(std::uint64_t cycles) {
+  for (std::uint64_t i = 0; i < cycles; ++i) tick();
+}
+
+MessageId Simulator::inject_now(topo::NodeId src, topo::NodeId dest) {
+  QueuedMessage msg;
+  msg.id = next_msg_id_++;
+  msg.src = src;
+  msg.dest = dest;
+  msg.gen_cycle = cycle_;
+  net_.enqueue_message(msg);
+  metrics_.on_generated(msg.gen_cycle);
+  return msg.id;
+}
+
+SimResult Simulator::run() {
+  std::uint64_t backlog_at_measure_start = 0;
+  // Stop polling is amortised: checking counters every cycle is wasteful.
+  constexpr std::uint64_t kPollPeriod = 512;
+
+  while (cycle_ < cfg_.max_cycles) {
+    if (cycle_ == cfg_.warmup_cycles) {
+      metrics_.begin_measurement(cycle_);
+      net_.reset_channel_stats();
+      backlog_at_measure_start = metrics_.source_backlog();
+    }
+    tick();
+    if (metrics_.measuring() && cycle_ % kPollPeriod == 0) {
+      const std::uint64_t delivered = metrics_.delivered_measured();
+      if (delivered >= cfg_.target_messages &&
+          (metrics_.steady() || delivered >= 4 * cfg_.target_messages)) {
+        break;
+      }
+    }
+  }
+  if (!metrics_.measuring()) {
+    // max_cycles <= warmup is rejected by validate(); still, guard the
+    // arithmetic below.
+    metrics_.begin_measurement(cycle_);
+  }
+  return finalize(backlog_at_measure_start);
+}
+
+SimResult Simulator::finalize(std::uint64_t backlog_at_measure_start) const {
+  SimResult res;
+  res.cycles = cycle_;
+  res.measured_cycles = cycle_ - metrics_.measure_start();
+  res.measured_messages = metrics_.delivered_measured();
+  res.offered_load = cfg_.injection_rate;
+
+  const auto& lat = metrics_.latency();
+  res.mean_latency = lat.mean();
+  res.latency_ci95 = lat.ci95_half_width();
+  res.mean_network_latency = metrics_.network_latency().mean();
+  res.mean_source_wait = metrics_.source_wait().mean();
+  res.mean_latency_hot = metrics_.latency_hot().mean();
+  res.mean_latency_regular = metrics_.latency_regular().mean();
+  const auto& hist = metrics_.latency_histogram();
+  res.p50_latency = hist.quantile(0.50);
+  res.p95_latency = hist.quantile(0.95);
+  res.p99_latency = hist.quantile(0.99);
+
+  const double nodes = static_cast<double>(net_.size());
+  const double mc = static_cast<double>(std::max<std::uint64_t>(res.measured_cycles, 1));
+  res.generated_load = static_cast<double>(metrics_.generated_measured()) / (nodes * mc);
+  res.accepted_load = static_cast<double>(res.measured_messages) / (nodes * mc);
+
+  res.steady = metrics_.steady();
+  // Saturation: the aggregate source backlog grew steadily through the
+  // measurement window. A stable network keeps queues near-empty (rho < 1),
+  // so sustained growth beyond noise marks the saturated regime.
+  const std::uint64_t backlog_end = metrics_.source_backlog();
+  const std::uint64_t growth =
+      backlog_end > backlog_at_measure_start ? backlog_end - backlog_at_measure_start : 0;
+  const std::uint64_t generated = metrics_.generated_measured();
+  res.saturated = growth > std::max<std::uint64_t>(64, generated / 5);
+
+  const auto chan = net_.channel_summary();
+  res.mean_channel_utilization = chan.mean_utilization;
+  res.max_channel_utilization = chan.max_utilization;
+  res.mean_vc_multiplexing = chan.mean_vc_multiplexing;
+
+  if (cfg_.pattern == Pattern::kHotspot && cfg_.n == 2 && !cfg_.bidirectional) {
+    // The bottleneck channel: hot-y-ring channel one hop from the hot node,
+    // i.e. the outgoing y channel of the hot column node directly upstream.
+    const auto& topo = net_.topology();
+    const topo::NodeId hot = cfg_.resolved_hot_node();
+    const topo::NodeId upstream = topo.neighbor(hot, 1, topo::Direction::kMinus);
+    res.hot_channel_utilization =
+        net_.channel_utilization(upstream, 1, topo::Direction::kPlus);
+  }
+
+  KNC_LOG_DEBUG << "sim done: lambda=" << cfg_.injection_rate
+                << " latency=" << res.mean_latency << " msgs=" << res.measured_messages
+                << " cycles=" << res.cycles << (res.saturated ? " SATURATED" : "");
+  return res;
+}
+
+SimResult simulate(const SimConfig& cfg) {
+  Simulator sim(cfg);
+  return sim.run();
+}
+
+}  // namespace kncube::sim

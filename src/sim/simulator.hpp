@@ -1,0 +1,88 @@
+// Simulation driver: traffic generation, warm-up, steady-state measurement
+// and result extraction — the experimental protocol of the paper's §4.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/metrics.hpp"
+#include "sim/network.hpp"
+#include "sim/traffic.hpp"
+#include "util/rng.hpp"
+
+namespace kncube::sim {
+
+struct SimResult {
+  // Latency in cycles, measured generation -> tail ejection (includes source
+  // queueing, like the model's Latency of eq (10)).
+  double mean_latency = 0.0;
+  double latency_ci95 = 0.0;
+  double p50_latency = 0.0;
+  double p95_latency = 0.0;
+  double p99_latency = 0.0;
+  /// Head injection -> tail ejection (excludes source queueing).
+  double mean_network_latency = 0.0;
+  /// Generation -> head injection (the model's Ws term).
+  double mean_source_wait = 0.0;
+  /// Per-class means (hot-spot pattern only; 0 otherwise).
+  double mean_latency_hot = 0.0;
+  double mean_latency_regular = 0.0;
+
+  std::uint64_t measured_messages = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t measured_cycles = 0;
+
+  double offered_load = 0.0;    ///< configured lambda (messages/node/cycle)
+  double generated_load = 0.0;  ///< measured generation rate
+  double accepted_load = 0.0;   ///< measured delivery rate
+
+  bool steady = false;     ///< batch-means criterion satisfied
+  bool saturated = false;  ///< source backlog grew without bound
+
+  double mean_channel_utilization = 0.0;
+  double max_channel_utilization = 0.0;
+  double mean_vc_multiplexing = 1.0;
+  /// Utilisation of the hot-y-ring channel entering the hot node (the
+  /// system bottleneck under hot-spot traffic); 0 for other patterns.
+  double hot_channel_utilization = 0.0;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(const SimConfig& cfg);
+
+  /// Runs the full measurement protocol and returns aggregate results.
+  SimResult run();
+
+  // --- fine-grained control for tests ---
+  /// Advances exactly `cycles` cycles (with traffic generation).
+  void step_cycles(std::uint64_t cycles);
+  /// Enqueues one message immediately (bypasses the traffic pattern).
+  MessageId inject_now(topo::NodeId src, topo::NodeId dest);
+  std::uint64_t current_cycle() const noexcept { return cycle_; }
+
+  Network& network() noexcept { return net_; }
+  const Network& network() const noexcept { return net_; }
+  Metrics& metrics() noexcept { return metrics_; }
+  const SimConfig& config() const noexcept { return cfg_; }
+
+ private:
+  void tick();
+  SimResult finalize(std::uint64_t backlog_at_measure_start) const;
+
+  SimConfig cfg_;
+  Network net_;
+  Metrics metrics_;
+  std::unique_ptr<TrafficPattern> pattern_;
+  std::vector<std::unique_ptr<ArrivalProcess>> arrivals_;  ///< per node
+  std::vector<util::Xoshiro256> rng_;                      ///< per node
+  std::uint64_t cycle_ = 0;
+  MessageId next_msg_id_ = 1;
+};
+
+/// Convenience wrapper: configure, run, return results.
+SimResult simulate(const SimConfig& cfg);
+
+}  // namespace kncube::sim

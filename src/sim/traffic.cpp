@@ -1,0 +1,139 @@
+#include "sim/traffic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace kncube::sim {
+
+namespace {
+
+/// Uniform over [0, size) excluding `excluded`.
+topo::NodeId uniform_excluding(topo::NodeId size, topo::NodeId excluded,
+                               util::Xoshiro256& rng) {
+  const auto raw =
+      static_cast<topo::NodeId>(rng.uniform_below(static_cast<std::uint64_t>(size) - 1));
+  return raw >= excluded ? raw + 1 : raw;
+}
+
+}  // namespace
+
+topo::NodeId UniformTraffic::pick_dest(topo::NodeId src, util::Xoshiro256& rng) {
+  return uniform_excluding(size_, src, rng);
+}
+
+HotspotTraffic::HotspotTraffic(topo::NodeId size, topo::NodeId hot, double h)
+    : size_(size), hot_(hot), h_(h) {
+  KNC_ASSERT_MSG(hot < size, "hot node outside the network");
+  KNC_ASSERT_MSG(h >= 0.0 && h <= 1.0, "hot fraction must be a probability");
+}
+
+topo::NodeId HotspotTraffic::pick_dest(topo::NodeId src, util::Xoshiro256& rng) {
+  // "When the source is the hot-spot node, only regular traffic is generated."
+  if (src != hot_ && rng.bernoulli(h_)) return hot_;
+  return uniform_excluding(size_, src, rng);
+}
+
+TransposeTraffic::TransposeTraffic(const topo::KAryNCube& net) : net_(net) {
+  KNC_ASSERT_MSG(net.dims() == 2, "transpose is a 2-D permutation");
+}
+
+topo::NodeId TransposeTraffic::pick_dest(topo::NodeId src, util::Xoshiro256& rng) {
+  topo::Coords c = net_.coords(src);
+  std::swap(c[0], c[1]);
+  const topo::NodeId dest = net_.node_at(c);
+  if (dest == src) return uniform_excluding(net_.size(), src, rng);
+  return dest;
+}
+
+BitComplementTraffic::BitComplementTraffic(topo::NodeId size) : size_(size) {
+  KNC_ASSERT_MSG(size % 2 == 0, "bit-complement needs even N to avoid self-traffic");
+}
+
+topo::NodeId BitComplementTraffic::pick_dest(topo::NodeId src, util::Xoshiro256&) {
+  return size_ - 1 - src;
+}
+
+BitReversalTraffic::BitReversalTraffic(topo::NodeId size) : size_(size), bits_(0) {
+  KNC_ASSERT_MSG(size >= 2 && (size & (size - 1)) == 0,
+                 "bit-reversal needs a power-of-two node count");
+  for (topo::NodeId v = size; v > 1; v >>= 1) ++bits_;
+}
+
+topo::NodeId BitReversalTraffic::pick_dest(topo::NodeId src, util::Xoshiro256& rng) {
+  topo::NodeId rev = 0;
+  for (int b = 0; b < bits_; ++b) {
+    rev = static_cast<topo::NodeId>(rev << 1) | ((src >> b) & 1u);
+  }
+  if (rev == src) return uniform_excluding(size_, src, rng);
+  return rev;
+}
+
+BernoulliArrivals::BernoulliArrivals(double rate) : rate_(rate) {
+  KNC_ASSERT_MSG(rate >= 0.0 && rate <= 1.0,
+                 "Bernoulli arrivals need a per-cycle probability");
+}
+
+bool BernoulliArrivals::fire(util::Xoshiro256& rng) { return rng.bernoulli(rate_); }
+
+MmppArrivals::MmppArrivals(double mean_rate, const MmppParams& params)
+    : mean_rate_(mean_rate),
+      p_enter_(params.p_enter_burst),
+      p_leave_(params.p_leave_burst) {
+  KNC_ASSERT_MSG(mean_rate >= 0.0 && mean_rate <= 1.0, "mean rate must be in [0,1]");
+  KNC_ASSERT_MSG(p_enter_ > 0.0 && p_enter_ <= 1.0 && p_leave_ > 0.0 && p_leave_ <= 1.0,
+                 "MMPP transition probabilities must be in (0,1]");
+  // Stationary distribution of the 2-state chain.
+  pi_burst_ = p_enter_ / (p_enter_ + p_leave_);
+  const double mult = params.burst_rate_multiplier;
+  KNC_ASSERT_MSG(mult >= 1.0, "burst multiplier must be >= 1");
+  // Solve pi_burst*burst + (1-pi_burst)*idle == mean with burst = mult*mean,
+  // clamping so both rates remain valid probabilities.
+  burst_rate_ = std::min(1.0, mult * mean_rate);
+  const double pi_idle = 1.0 - pi_burst_;
+  idle_rate_ = pi_idle > 0.0
+                   ? std::max(0.0, (mean_rate - pi_burst_ * burst_rate_) / pi_idle)
+                   : mean_rate;
+}
+
+bool MmppArrivals::fire(util::Xoshiro256& rng) {
+  // Transition first, then emit with the new state's rate.
+  if (in_burst_) {
+    if (rng.bernoulli(p_leave_)) in_burst_ = false;
+  } else {
+    if (rng.bernoulli(p_enter_)) in_burst_ = true;
+  }
+  return rng.bernoulli(in_burst_ ? burst_rate_ : idle_rate_);
+}
+
+std::unique_ptr<TrafficPattern> make_pattern(const SimConfig& cfg,
+                                             const topo::KAryNCube& net) {
+  switch (cfg.pattern) {
+    case Pattern::kUniform:
+      return std::make_unique<UniformTraffic>(net.size());
+    case Pattern::kHotspot:
+      return std::make_unique<HotspotTraffic>(net.size(), cfg.resolved_hot_node(),
+                                              cfg.hot_fraction);
+    case Pattern::kTranspose:
+      return std::make_unique<TransposeTraffic>(net);
+    case Pattern::kBitComplement:
+      return std::make_unique<BitComplementTraffic>(net.size());
+    case Pattern::kBitReversal:
+      return std::make_unique<BitReversalTraffic>(net.size());
+  }
+  throw std::invalid_argument("unknown traffic pattern");
+}
+
+std::unique_ptr<ArrivalProcess> make_arrivals(const SimConfig& cfg) {
+  switch (cfg.arrivals) {
+    case Arrivals::kBernoulli:
+      return std::make_unique<BernoulliArrivals>(cfg.injection_rate);
+    case Arrivals::kMmpp:
+      return std::make_unique<MmppArrivals>(cfg.injection_rate, cfg.mmpp);
+  }
+  throw std::invalid_argument("unknown arrival process");
+}
+
+}  // namespace kncube::sim

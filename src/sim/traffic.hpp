@@ -1,0 +1,136 @@
+// Traffic generation: destination patterns and arrival processes.
+//
+// Destinations and arrivals are split so any pattern can be driven by any
+// arrival process. Both are deterministic functions of the per-node RNG
+// stream, so a simulation is reproducible from (config, seed).
+#pragma once
+
+#include <memory>
+
+#include "sim/config.hpp"
+#include "topology/torus.hpp"
+#include "util/rng.hpp"
+
+namespace kncube::sim {
+
+/// Chooses a destination for a message generated at `src`. Implementations
+/// never return `src` itself (messages to self are meaningless in the model).
+class TrafficPattern {
+ public:
+  virtual ~TrafficPattern() = default;
+  virtual topo::NodeId pick_dest(topo::NodeId src, util::Xoshiro256& rng) = 0;
+};
+
+/// Uniform over the other N-1 nodes.
+class UniformTraffic final : public TrafficPattern {
+ public:
+  explicit UniformTraffic(topo::NodeId size) : size_(size) {}
+  topo::NodeId pick_dest(topo::NodeId src, util::Xoshiro256& rng) override;
+
+ private:
+  topo::NodeId size_;
+};
+
+/// Pfister–Norton hot-spot traffic (paper assumption ii): probability h to
+/// the hot node, else uniform over the other N-1 nodes (the hot node remains
+/// a legal uniform destination). The hot node generates only uniform traffic.
+class HotspotTraffic final : public TrafficPattern {
+ public:
+  HotspotTraffic(topo::NodeId size, topo::NodeId hot, double h);
+  topo::NodeId pick_dest(topo::NodeId src, util::Xoshiro256& rng) override;
+
+  topo::NodeId hot_node() const noexcept { return hot_; }
+  double hot_fraction() const noexcept { return h_; }
+
+ private:
+  topo::NodeId size_;
+  topo::NodeId hot_;
+  double h_;
+};
+
+/// Matrix-transpose permutation for the 2-D torus: (x, y) -> (y, x).
+/// Diagonal nodes (x == y) have no transpose partner and fall back to a
+/// uniform destination so every node offers the same load.
+class TransposeTraffic final : public TrafficPattern {
+ public:
+  explicit TransposeTraffic(const topo::KAryNCube& net);
+  topo::NodeId pick_dest(topo::NodeId src, util::Xoshiro256& rng) override;
+
+ private:
+  const topo::KAryNCube& net_;
+};
+
+/// dest = (N-1) - src; self-mapping is impossible for even N, asserted at
+/// construction.
+class BitComplementTraffic final : public TrafficPattern {
+ public:
+  explicit BitComplementTraffic(topo::NodeId size);
+  topo::NodeId pick_dest(topo::NodeId src, util::Xoshiro256& rng) override;
+
+ private:
+  topo::NodeId size_;
+};
+
+/// Reverse the log2(N) address bits. Requires N to be a power of two;
+/// palindromic addresses fall back to uniform.
+class BitReversalTraffic final : public TrafficPattern {
+ public:
+  explicit BitReversalTraffic(topo::NodeId size);
+  topo::NodeId pick_dest(topo::NodeId src, util::Xoshiro256& rng) override;
+
+ private:
+  topo::NodeId size_;
+  int bits_;
+};
+
+/// Per-node arrival process; fire() is polled once per node per cycle.
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  virtual bool fire(util::Xoshiro256& rng) = 0;
+  /// Long-run mean arrivals per cycle (for offered-load accounting).
+  virtual double mean_rate() const = 0;
+};
+
+/// Bernoulli(rate) per cycle: the discrete-time Poisson stand-in.
+class BernoulliArrivals final : public ArrivalProcess {
+ public:
+  explicit BernoulliArrivals(double rate);
+  bool fire(util::Xoshiro256& rng) override;
+  double mean_rate() const override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+/// Two-state Markov-modulated Bernoulli process (bursty traffic, the paper's
+/// §5 future-work extension). State transitions occur per cycle; the burst
+/// state fires at `burst_rate`, the idle state at `idle_rate`, chosen so the
+/// long-run mean equals the requested rate.
+class MmppArrivals final : public ArrivalProcess {
+ public:
+  MmppArrivals(double mean_rate, const MmppParams& params);
+  bool fire(util::Xoshiro256& rng) override;
+  double mean_rate() const override { return mean_rate_; }
+
+  double burst_rate() const noexcept { return burst_rate_; }
+  double idle_rate() const noexcept { return idle_rate_; }
+  /// Stationary probability of the burst state.
+  double burst_state_probability() const noexcept { return pi_burst_; }
+
+ private:
+  double mean_rate_;
+  double p_enter_;
+  double p_leave_;
+  double pi_burst_;
+  double burst_rate_;
+  double idle_rate_;
+  bool in_burst_ = false;
+};
+
+/// Factory helpers mapping SimConfig enums to concrete instances.
+std::unique_ptr<TrafficPattern> make_pattern(const SimConfig& cfg,
+                                             const topo::KAryNCube& net);
+std::unique_ptr<ArrivalProcess> make_arrivals(const SimConfig& cfg);
+
+}  // namespace kncube::sim

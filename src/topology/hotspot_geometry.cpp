@@ -1,0 +1,109 @@
+#include "topology/hotspot_geometry.hpp"
+
+namespace kncube::topo {
+
+HotspotGeometry::HotspotGeometry(const KAryNCube& net, NodeId hot)
+    : net_(net), hot_(hot) {
+  KNC_ASSERT_MSG(net.dims() == 2, "hot-spot geometry follows the paper's 2-D analysis");
+  KNC_ASSERT_MSG(!net.bidirectional(), "hot-spot geometry assumes unidirectional rings");
+  KNC_ASSERT(hot < net.size());
+}
+
+int HotspotGeometry::x_channel_hops_from_hot_ring(NodeId node) const noexcept {
+  const int k = net_.radix();
+  const int vx = net_.coord(node, 0);
+  const int hx = net_.coord(hot_, 0);
+  // Solve hx - vx == j (mod k) with j in [1, k].
+  return ((hx - vx - 1) % k + k) % k + 1;
+}
+
+int HotspotGeometry::hot_y_channel_hops_from_hot(NodeId node) const noexcept {
+  KNC_DEBUG_ASSERT(in_hot_column(node));
+  const int k = net_.radix();
+  const int vy = net_.coord(node, 1);
+  const int hy = net_.coord(hot_, 1);
+  return ((hy - vy - 1) % k + k) % k + 1;
+}
+
+int HotspotGeometry::x_ring_hops_from_hot(NodeId node) const noexcept {
+  const int k = net_.radix();
+  const int vy = net_.coord(node, 1);
+  const int hy = net_.coord(hot_, 1);
+  return ((hy - vy - 1) % k + k) % k + 1;
+}
+
+bool HotspotGeometry::in_hot_column(NodeId node) const noexcept {
+  return net_.coord(node, 0) == net_.coord(hot_, 0);
+}
+
+double HotspotGeometry::p_hx(int j) const noexcept {
+  const int k = net_.radix();
+  KNC_DEBUG_ASSERT(j >= 1 && j <= k);
+  if (j == k) return 0.0;
+  return static_cast<double>(k - j) / static_cast<double>(net_.size());
+}
+
+double HotspotGeometry::p_hy(int j) const noexcept {
+  const int k = net_.radix();
+  KNC_DEBUG_ASSERT(j >= 1 && j <= k);
+  if (j == k) return 0.0;
+  return static_cast<double>(k) * static_cast<double>(k - j) /
+         static_cast<double>(net_.size());
+}
+
+double HotspotGeometry::p_hx_bruteforce(int j) const {
+  // Count sources whose hot-bound route crosses *one specific* x-channel j
+  // hops from the hot column. By ring symmetry every (row, j) channel sees
+  // the same count from the sources of its own row; the paper's fraction is
+  // per channel, counted over all N sources.
+  const int k = net_.radix();
+  KNC_ASSERT(j >= 1 && j <= k);
+  // The fraction is identical for every row by ring symmetry; count against
+  // row 0's class-j channel, the one at x == (hx - j) mod k.
+  const int hx = net_.coord(hot_, 0);
+  Coords c{};
+  c[0] = ((hx - j) % k + k) % k;
+  c[1] = 0;
+  const NodeId owner = net_.node_at(c);
+
+  std::uint64_t count = 0;
+  for (NodeId src = 0; src < net_.size(); ++src) {
+    if (src == hot_) continue;
+    for (const Hop& hop : net_.route(src, hot_)) {
+      if (hop.dim == 0 && hop.from == owner) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(count) / static_cast<double>(net_.size());
+}
+
+double HotspotGeometry::p_hy_bruteforce(int j) const {
+  const int k = net_.radix();
+  KNC_ASSERT(j >= 1 && j <= k);
+  const int hx = net_.coord(hot_, 0);
+  const int hy = net_.coord(hot_, 1);
+  Coords c{};
+  c[0] = hx;
+  c[1] = ((hy - j) % k + k) % k;
+  const NodeId owner = net_.node_at(c);
+
+  std::uint64_t count = 0;
+  for (NodeId src = 0; src < net_.size(); ++src) {
+    if (src == hot_) continue;
+    for (const Hop& hop : net_.route(src, hot_)) {
+      if (hop.dim == 1 && hop.from == owner) {
+        ++count;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(count) / static_cast<double>(net_.size());
+}
+
+int HotspotGeometry::hot_message_hops(NodeId src) const noexcept {
+  return net_.hops(src, hot_);
+}
+
+}  // namespace kncube::topo

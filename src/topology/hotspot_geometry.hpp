@@ -1,0 +1,66 @@
+// Hot-spot geometry for the 2-D unidirectional torus (paper §3).
+//
+// The analytical model classifies every channel by its position relative to
+// the hot-spot node H = (hx, hy):
+//
+//  * an x-channel (outgoing channel of node v in dimension x) is j hops,
+//    1 <= j <= k, away from the *hot y-ring* (the column x == hx) when
+//    vx == (hx - j) mod k; j == k means the channel leaves a node of the hot
+//    column itself (such channels carry no hot-spot traffic);
+//  * a channel of the hot y-ring is j hops away from the hot node when
+//    vy == (hy - j) mod k; j == k is the hot node's own outgoing y channel
+//    (again no hot-spot traffic);
+//  * an x-ring (row) is t hops, 1 <= t <= k, away from the hot node when its
+//    nodes have vy == (hy - t) mod k; t == k is the hot node's own row.
+//
+// This header provides those classifications in closed form plus brute-force
+// counters (explicit path enumeration) that the tests use to validate the
+// closed-form node fractions P_hx,j = (k-j)/N and P_hy,j = k(k-j)/N of
+// eqs (4)-(5).
+#pragma once
+
+#include "topology/torus.hpp"
+
+namespace kncube::topo {
+
+class HotspotGeometry {
+ public:
+  /// Requires a 2-D unidirectional torus, matching the paper's analysis.
+  HotspotGeometry(const KAryNCube& net, NodeId hot);
+
+  const KAryNCube& network() const noexcept { return net_; }
+  NodeId hot_node() const noexcept { return hot_; }
+  int radix() const noexcept { return net_.radix(); }
+
+  /// j in [1, k] for the outgoing x-channel of `node` (see file comment).
+  int x_channel_hops_from_hot_ring(NodeId node) const noexcept;
+  /// j in [1, k] for the outgoing y-channel of a hot-column node.
+  /// Precondition: node lies in the hot column.
+  int hot_y_channel_hops_from_hot(NodeId node) const noexcept;
+  /// t in [1, k] for the x-ring (row) containing `node`.
+  int x_ring_hops_from_hot(NodeId node) const noexcept;
+  bool in_hot_column(NodeId node) const noexcept;
+
+  /// Eq (4): fraction of system nodes whose hot-spot messages cross an
+  /// x-channel j hops from the hot y-ring. Zero for j == k.
+  double p_hx(int j) const noexcept;
+  /// Eq (5): fraction crossing the hot-y-ring channel j hops from the hot
+  /// node. Zero for j == k.
+  double p_hy(int j) const noexcept;
+
+  /// Brute-force counterparts of p_hx/p_hy: enumerate every source node,
+  /// trace the deterministic route of its hot-spot message and count the
+  /// sources whose path crosses a channel of the given class. The returned
+  /// value is count/N, which eqs (4)-(5) predict in closed form.
+  double p_hx_bruteforce(int j) const;
+  double p_hy_bruteforce(int j) const;
+
+  /// Hops of a hot-spot message from `src`: x-distance then y-distance.
+  int hot_message_hops(NodeId src) const noexcept;
+
+ private:
+  const KAryNCube& net_;
+  NodeId hot_;
+};
+
+}  // namespace kncube::topo

@@ -1,0 +1,100 @@
+// The k-ary n-cube (torus) substrate: addressing, ring arithmetic and
+// deterministic dimension-order routing.
+//
+// Terminology follows the paper (§2–3): N = k^n nodes; each node has one
+// outgoing channel per dimension (unidirectional rings, +1 mod k) or two
+// (bidirectional extension). Dimension 0 is "x", dimension 1 is "y", and
+// deterministic routing corrects dimensions in increasing order (x before y,
+// paper assumption v). An *x-ring* is the set of nodes varying in dimension 0
+// with the other coordinates fixed; for n = 2 that is a row, and a *y-ring*
+// is a column.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/assert.hpp"
+
+namespace kncube::topo {
+
+using NodeId = std::uint32_t;
+
+/// Link direction around a ring. Unidirectional networks only use kPlus.
+enum class Direction : std::uint8_t { kPlus = 0, kMinus = 1 };
+
+/// Maximum supported dimensionality. The analysis in the paper is 2-D; the
+/// simulator is generic but a compile-time bound keeps coordinates on the
+/// stack in the per-cycle hot path.
+inline constexpr int kMaxDims = 8;
+
+using Coords = std::array<int, kMaxDims>;
+
+/// One hop of a deterministic route.
+struct Hop {
+  NodeId from;
+  NodeId to;
+  int dim;
+  Direction dir;
+  bool wraps;  ///< true when this hop traverses the ring's wrap-around link
+};
+
+class KAryNCube {
+ public:
+  /// Builds a k-ary n-cube. `bidirectional` enables the paper's "easily
+  /// extended" variant with links in both ring directions and shortest-path
+  /// direction choice (ties resolved to kPlus).
+  KAryNCube(int k, int n, bool bidirectional = false);
+
+  int radix() const noexcept { return k_; }
+  int dims() const noexcept { return n_; }
+  NodeId size() const noexcept { return size_; }
+  bool bidirectional() const noexcept { return bidirectional_; }
+  /// Outgoing network channels per node (n for unidirectional, 2n otherwise).
+  int channels_per_node() const noexcept { return bidirectional_ ? 2 * n_ : n_; }
+
+  /// Coordinate of `node` in dimension `dim` (dimension 0 varies fastest).
+  int coord(NodeId node, int dim) const noexcept;
+  Coords coords(NodeId node) const noexcept;
+  NodeId node_at(const Coords& c) const noexcept;
+
+  /// Neighbour of `node` one hop along `dim` in direction `dir`.
+  NodeId neighbor(NodeId node, int dim, Direction dir) const noexcept;
+
+  /// Hops from coordinate a to b travelling in `dir` around a ring.
+  int ring_distance(int a, int b, Direction dir) const noexcept;
+  /// Shortest-hop distance within a ring honouring directionality: for the
+  /// unidirectional torus this is the (+) distance; for bidirectional, the
+  /// smaller of the two (ties count as the (+) distance).
+  int ring_hops(int a, int b) const noexcept;
+  /// Direction a deterministic message takes in a ring (kPlus when
+  /// unidirectional or tied).
+  Direction ring_direction(int a, int b) const noexcept;
+
+  /// Total hop count of the deterministic route src -> dst.
+  int hops(NodeId src, NodeId dst) const noexcept;
+
+  /// First dimension (in x-before-y order) still to be corrected, or -1 when
+  /// cur == dst (message has arrived).
+  int next_route_dim(NodeId cur, NodeId dst) const noexcept;
+
+  /// Full deterministic path src -> dst as a hop list (empty if src == dst).
+  std::vector<Hop> route(NodeId src, NodeId dst) const;
+
+  /// True when the link (node, dim, dir) is the ring's wrap-around link,
+  /// i.e. it crosses the dateline used for deadlock-free VC classing.
+  bool is_wrap_link(NodeId node, int dim, Direction dir) const noexcept;
+
+  /// Mean hops per dimension under uniform traffic (paper eq (1)):
+  /// unidirectional (k-1)/2; bidirectional ~ k/4 (exact value returned).
+  double mean_ring_hops_uniform() const noexcept;
+
+ private:
+  int k_;
+  int n_;
+  bool bidirectional_;
+  NodeId size_;
+  std::array<NodeId, kMaxDims> stride_;  // k^dim
+};
+
+}  // namespace kncube::topo

@@ -1,0 +1,38 @@
+// Lightweight runtime assertion macros.
+//
+// KNC_ASSERT is active in all build types: the simulator's invariants (credit
+// accounting, VC ownership, flit ordering) are cheap relative to the work per
+// cycle and catching a violated invariant immediately is worth far more than
+// the branch. KNC_DEBUG_ASSERT compiles out in release builds and is meant for
+// hot inner loops.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace kncube {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "kncube assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace kncube
+
+#define KNC_ASSERT(expr)                                                  \
+  do {                                                                    \
+    if (!(expr)) ::kncube::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define KNC_ASSERT_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr)) ::kncube::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define KNC_DEBUG_ASSERT(expr) ((void)0)
+#else
+#define KNC_DEBUG_ASSERT(expr) KNC_ASSERT(expr)
+#endif

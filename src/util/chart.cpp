@@ -1,0 +1,98 @@
+#include "util/chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace kncube::util {
+
+namespace {
+
+std::string format_tick(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%10.4g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string render_chart(const std::vector<Series>& series,
+                         const ChartOptions& options) {
+  KNC_ASSERT(options.width >= 16 && options.height >= 4);
+
+  // Joint ranges over finite points.
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin;
+  double ymin = std::numeric_limits<double>::infinity();
+  double ymax = -ymin;
+  std::vector<double> finite_y;
+  for (const auto& s : series) {
+    KNC_ASSERT(s.x.size() == s.y.size());
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (!std::isfinite(s.x[i]) || !std::isfinite(s.y[i])) continue;
+      xmin = std::min(xmin, s.x[i]);
+      xmax = std::max(xmax, s.x[i]);
+      ymin = std::min(ymin, s.y[i]);
+      ymax = std::max(ymax, s.y[i]);
+      finite_y.push_back(s.y[i]);
+    }
+  }
+  std::ostringstream out;
+  if (!options.title.empty()) out << options.title << '\n';
+  if (finite_y.empty()) {
+    out << "  (no finite points)\n";
+    return out.str();
+  }
+  if (options.y_clip_quantile < 1.0 && finite_y.size() > 2) {
+    std::sort(finite_y.begin(), finite_y.end());
+    const auto idx = static_cast<std::size_t>(
+        options.y_clip_quantile * static_cast<double>(finite_y.size() - 1));
+    ymax = std::min(ymax, finite_y[idx]);
+  }
+  if (xmax <= xmin) xmax = xmin + 1.0;
+  if (ymax <= ymin) ymax = ymin + 1.0;
+
+  const int w = options.width;
+  const int hgt = options.height;
+  std::vector<std::string> grid(static_cast<std::size_t>(hgt),
+                                std::string(static_cast<std::size_t>(w), ' '));
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      if (!std::isfinite(s.x[i]) || !std::isfinite(s.y[i])) continue;
+      const double fx = (s.x[i] - xmin) / (xmax - xmin);
+      const double fy = (std::min(s.y[i], ymax) - ymin) / (ymax - ymin);
+      const int col = std::clamp(static_cast<int>(std::lround(fx * (w - 1))), 0, w - 1);
+      const int row =
+          std::clamp(static_cast<int>(std::lround(fy * (hgt - 1))), 0, hgt - 1);
+      // Row 0 is the top of the box.
+      grid[static_cast<std::size_t>(hgt - 1 - row)][static_cast<std::size_t>(col)] =
+          s.marker;
+    }
+  }
+
+  if (!options.y_label.empty()) out << options.y_label << '\n';
+  for (int r = 0; r < hgt; ++r) {
+    const double y_at =
+        ymax - (ymax - ymin) * static_cast<double>(r) / static_cast<double>(hgt - 1);
+    out << (r % 4 == 0 ? format_tick(y_at) : std::string(10, ' ')) << " |"
+        << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  out << std::string(11, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-')
+      << '\n';
+  out << std::string(12, ' ') << format_tick(xmin)
+      << std::string(static_cast<std::size_t>(std::max(1, w - 24)), ' ')
+      << format_tick(xmax) << '\n';
+  if (!options.x_label.empty()) {
+    out << std::string(12, ' ') << options.x_label << '\n';
+  }
+  for (const auto& s : series) {
+    out << "  " << s.marker << " = " << s.name << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace kncube::util

@@ -1,0 +1,35 @@
+// ASCII scatter/line charts for the figure-reproduction benches.
+//
+// The paper's evaluation is six latency-vs-rate panels; printing the same
+// curves as text charts next to the numeric tables makes the shape —
+// flat region, knee, asymptote — reviewable straight from the bench logs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace kncube::util {
+
+struct Series {
+  std::string name;
+  char marker = '*';
+  std::vector<double> x;
+  std::vector<double> y;  ///< non-finite values are skipped
+};
+
+struct ChartOptions {
+  int width = 72;   ///< plot area columns
+  int height = 20;  ///< plot area rows
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+  /// Clip y at this quantile of the finite values (keeps the asymptote from
+  /// flattening the rest of the curve); 1.0 disables clipping.
+  double y_clip_quantile = 1.0;
+};
+
+/// Renders the series onto a common axis box. X and Y ranges are the joint
+/// min/max over all finite points; collisions print the later series' marker.
+std::string render_chart(const std::vector<Series>& series, const ChartOptions& options);
+
+}  // namespace kncube::util

@@ -1,0 +1,58 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace kncube::util {
+
+namespace {
+
+LogLevel initial_level() {
+  const char* env = std::getenv("KNCUBE_LOG");
+  if (!env) return LogLevel::kWarn;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  if (std::strcmp(env, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(env, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  return LogLevel::kWarn;
+}
+
+std::atomic<int>& level_storage() {
+  static std::atomic<int> level{static_cast<int>(initial_level())};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel log_level() noexcept {
+  return static_cast<LogLevel>(level_storage().load(std::memory_order_relaxed));
+}
+
+void set_log_level(LogLevel level) noexcept {
+  level_storage().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) <= static_cast<int>(log_level());
+}
+
+void log_write(LogLevel level, const std::string& message) {
+  static std::mutex mutex;
+  std::lock_guard lock(mutex);
+  std::fprintf(stderr, "[kncube %s] %s\n", level_name(level), message.c_str());
+}
+
+}  // namespace kncube::util

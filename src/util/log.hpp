@@ -1,0 +1,52 @@
+// Minimal leveled logging to stderr.
+//
+// The level is read once from KNCUBE_LOG (error|warn|info|debug, default
+// warn) so library code can emit diagnostics without a configuration object
+// threading through every call site. Formatting uses iostreams on a local
+// buffer so concurrent sweep workers do not interleave partial lines.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace kncube::util {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+bool log_enabled(LogLevel level) noexcept;
+void log_write(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_write(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace kncube::util
+
+#define KNC_LOG(level)                                   \
+  if (!::kncube::util::log_enabled(level)) {             \
+  } else                                                 \
+    ::kncube::util::detail::LogLine(level)
+
+#define KNC_LOG_ERROR KNC_LOG(::kncube::util::LogLevel::kError)
+#define KNC_LOG_WARN KNC_LOG(::kncube::util::LogLevel::kWarn)
+#define KNC_LOG_INFO KNC_LOG(::kncube::util::LogLevel::kInfo)
+#define KNC_LOG_DEBUG KNC_LOG(::kncube::util::LogLevel::kDebug)

@@ -1,0 +1,5 @@
+#include "util/rng.hpp"
+
+// Header-only implementation; this translation unit exists so the library has
+// a concrete object for the module and to catch ODR/compile issues early.
+namespace kncube::util {}

@@ -1,0 +1,125 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// We use xoshiro256** (Blackman & Vigna) seeded through SplitMix64. Compared
+// with std::mt19937_64 it is faster, has a tiny state (32 bytes, friendly to
+// one-generator-per-node layouts), and gives us bit-for-bit reproducible
+// streams across platforms, which std:: distributions do not guarantee. All
+// distribution helpers below are therefore hand-rolled.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/assert.hpp"
+
+namespace kncube::util {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Also a perfectly serviceable (if lower-quality) generator in its own right.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the project-wide PRNG.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four state words via SplitMix64 so that any 64-bit seed
+  /// (including 0) yields a valid, well-mixed state.
+  explicit Xoshiro256(std::uint64_t seed = 0x9fb21c651e98df25ULL) noexcept {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Uniform integer in [0, bound) via Lemire's multiply-shift rejection.
+  std::uint64_t uniform_below(std::uint64_t bound) noexcept {
+    KNC_DEBUG_ASSERT(bound > 0);
+    // Rejection-free fast path is fine for our purposes: the modulo bias of
+    // the naive approach is ~bound/2^64, but we keep the unbiased version
+    // because destination-choice bias would corrupt traffic statistics.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) noexcept {
+    KNC_DEBUG_ASSERT(lo <= hi);
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(uniform_below(span));
+  }
+
+  /// Exponentially distributed value with the given rate (mean 1/rate).
+  double exponential(double rate) noexcept {
+    KNC_DEBUG_ASSERT(rate > 0.0);
+    // 1 - uniform() is in (0, 1], so the log is finite.
+    return -std::log(1.0 - uniform()) / rate;
+  }
+
+  /// Geometric number of failed Bernoulli(p) trials before the first success,
+  /// i.e. inter-arrival gap of a discrete-time Bernoulli process.
+  std::uint64_t geometric(double p) noexcept {
+    KNC_DEBUG_ASSERT(p > 0.0 && p <= 1.0);
+    if (p >= 1.0) return 0;
+    const double u = 1.0 - uniform();  // in (0, 1]
+    return static_cast<std::uint64_t>(std::floor(std::log(u) / std::log1p(-p)));
+  }
+
+  /// Derives an independent stream for substream `index` (per-node RNGs).
+  Xoshiro256 split(std::uint64_t index) noexcept {
+    SplitMix64 sm(s_[0] ^ (0xd1342543de82ef95ULL * (index + 1)));
+    return Xoshiro256(sm.next());
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int r) noexcept {
+    return (x << r) | (x >> (64 - r));
+  }
+  std::uint64_t s_[4];
+};
+
+}  // namespace kncube::util

@@ -1,0 +1,148 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace kncube::util {
+
+void RunningStats::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::sem() const noexcept {
+  if (n_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double RunningStats::ci95_half_width() const noexcept { return 1.96 * sem(); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)), counts_(bins, 0) {
+  KNC_ASSERT_MSG(hi > lo && bins > 0, "histogram needs a positive range and bins");
+}
+
+void Histogram::add(double x) noexcept {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  if (idx >= counts_.size()) idx = counts_.size() - 1;  // fp edge at hi_
+  ++counts_[idx];
+}
+
+double Histogram::bin_lo(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const noexcept {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return lo_;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<double>(total_) * q;
+  double seen = static_cast<double>(underflow_);
+  if (seen >= target) return lo_;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto c = static_cast<double>(counts_[i]);
+    if (seen + c >= target && c > 0) {
+      const double frac = (target - seen) / c;
+      return bin_lo(i) + frac * width_;
+    }
+    seen += c;
+  }
+  return hi_;
+}
+
+BatchMeans::BatchMeans(std::uint64_t batch_size, double rel_tol, std::size_t window)
+    : batch_size_(batch_size), rel_tol_(rel_tol), window_(window) {
+  KNC_ASSERT_MSG(batch_size > 0 && window >= 1, "degenerate batch-means config");
+}
+
+bool BatchMeans::add(double x) {
+  current_batch_.add(x);
+  overall_.add(x);
+  if (current_batch_.count() < batch_size_) return false;
+
+  batch_means_.push_back(current_batch_.mean());
+  cumulative_means_.push_back(overall_.mean());
+  current_batch_.reset();
+
+  // Need two full windows of batches before comparing them.
+  if (!converged_ && cumulative_means_.size() >= 2 * window_) {
+    const std::size_t m = cumulative_means_.size();
+    const double recent = cumulative_means_[m - 1];
+    const double earlier = cumulative_means_[m - 1 - window_];
+    const double denom = std::max(std::abs(recent), 1e-300);
+    if (std::abs(recent - earlier) / denom < rel_tol_) converged_ = true;
+  }
+  return converged_;
+}
+
+double pearson_correlation(const std::vector<double>& a, const std::vector<double>& b) {
+  KNC_ASSERT(a.size() == b.size());
+  const std::size_t n = a.size();
+  if (n < 2) return 0.0;
+  RunningStats sa, sb;
+  for (double x : a) sa.add(x);
+  for (double x : b) sb.add(x);
+  double cov = 0.0;
+  for (std::size_t i = 0; i < n; ++i) cov += (a[i] - sa.mean()) * (b[i] - sb.mean());
+  cov /= static_cast<double>(n - 1);
+  const double denom = sa.stddev() * sb.stddev();
+  if (denom == 0.0) return 0.0;
+  return cov / denom;
+}
+
+double mean_relative_error(const std::vector<double>& a, const std::vector<double>& b) {
+  KNC_ASSERT(a.size() == b.size());
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (b[i] > 0.0) {
+      acc += std::abs(a[i] - b[i]) / b[i];
+      ++n;
+    }
+  }
+  return n ? acc / static_cast<double>(n) : 0.0;
+}
+
+}  // namespace kncube::util

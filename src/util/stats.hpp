@@ -1,0 +1,113 @@
+// Streaming statistics used by both the simulator (latency / utilisation
+// measurement, steady-state detection) and the experiment harness (confidence
+// intervals on model-vs-simulation comparisons).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace kncube::util {
+
+/// Welford single-pass accumulator: numerically stable mean/variance without
+/// storing samples.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  std::uint64_t count() const noexcept { return n_; }
+  bool empty() const noexcept { return n_ == 0; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance (0 for fewer than two samples).
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  /// Standard error of the mean.
+  double sem() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return mean_ * static_cast<double>(n_); }
+
+  /// Half-width of an approximate 95% confidence interval on the mean
+  /// (normal approximation; our sample counts are in the thousands).
+  double ci95_half_width() const noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bin histogram over [lo, hi); samples outside the range land in
+/// saturating under/overflow bins. Used for latency distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  std::uint64_t total() const noexcept { return total_; }
+  std::size_t bins() const noexcept { return counts_.size(); }
+  std::uint64_t bin_count(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t underflow() const noexcept { return underflow_; }
+  std::uint64_t overflow() const noexcept { return overflow_; }
+  double bin_lo(std::size_t i) const noexcept;
+  double bin_hi(std::size_t i) const noexcept;
+
+  /// Approximate quantile (q in [0,1]) by linear interpolation inside the
+  /// containing bin. Returns range endpoints for degenerate cases.
+  double quantile(double q) const noexcept;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Batch-means steady-state detector.
+///
+/// The paper runs each simulation "until a further increase in simulated
+/// network cycles does not change the collected statistics appreciably". We
+/// implement that as: split the measurement phase into batches of equal
+/// sample count; declare steady state once the running cumulative mean over
+/// the last `window` batches changes by less than `rel_tol` relative to the
+/// previous window.
+class BatchMeans {
+ public:
+  BatchMeans(std::uint64_t batch_size, double rel_tol, std::size_t window = 3);
+
+  /// Feeds one sample; returns true the moment convergence is declared.
+  bool add(double x);
+
+  bool converged() const noexcept { return converged_; }
+  std::size_t completed_batches() const noexcept { return batch_means_.size(); }
+  const std::vector<double>& batch_means() const noexcept { return batch_means_; }
+  double overall_mean() const noexcept { return overall_.mean(); }
+  const RunningStats& overall() const noexcept { return overall_; }
+
+ private:
+  std::uint64_t batch_size_;
+  double rel_tol_;
+  std::size_t window_;
+  RunningStats current_batch_;
+  RunningStats overall_;
+  std::vector<double> batch_means_;
+  std::vector<double> cumulative_means_;
+  bool converged_ = false;
+};
+
+/// Pearson correlation of two equally-sized series; used by tests to check
+/// that model and simulation latency curves co-move.
+double pearson_correlation(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Mean relative error |a-b|/b over positive entries of b.
+double mean_relative_error(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace kncube::util

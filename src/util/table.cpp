@@ -1,0 +1,118 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+
+#include "util/assert.hpp"
+
+namespace kncube::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  KNC_ASSERT_MSG(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::add_row(std::vector<Cell> row) {
+  KNC_ASSERT_MSG(row.size() == headers_.size(), "row width must match headers");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::format_cell(const Cell& c) const {
+  if (const auto* s = std::get_if<std::string>(&c)) return *s;
+  if (const auto* i = std::get_if<long long>(&c)) return std::to_string(*i);
+  const double d = std::get<double>(c);
+  std::ostringstream os;
+  if (d != d) {
+    os << "nan";
+  } else if (d == std::numeric_limits<double>::infinity()) {
+    os << "inf (saturated)";
+  } else {
+    os.setf(std::ios::fmtflags(0), std::ios::floatfield);
+    os.precision(precision_);
+    os << d;
+  }
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << to_string(); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  std::vector<std::vector<std::string>> formatted;
+  formatted.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> frow;
+    frow.reserve(row.size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      frow.push_back(format_cell(row[c]));
+      widths[c] = std::max(widths[c], frow.back().size());
+    }
+    formatted.push_back(std::move(frow));
+  }
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << '\n';
+  auto rule = [&] {
+    os << '+';
+    for (auto w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << ' ' << cells[c] << std::string(widths[c] - cells[c].size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+  rule();
+  emit(headers_);
+  rule();
+  for (const auto& frow : formatted) emit(frow);
+  rule();
+  return os.str();
+}
+
+namespace {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char ch : field) {
+    if (ch == '"') out += "\"\"";
+    else out += ch;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  if (!title_.empty()) os << "# " << title_ << '\n';
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    os << csv_escape(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(format_cell(row[c]));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << to_csv();
+  return static_cast<bool>(f);
+}
+
+}  // namespace kncube::util

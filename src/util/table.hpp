@@ -1,0 +1,50 @@
+// Text/CSV table rendering for benchmark output.
+//
+// Every figure/table reproducer prints (a) a human-readable aligned table to
+// stdout, mirroring the series the paper plots, and (b) optionally a CSV file
+// so the curves can be re-plotted. This module is that single formatting path.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace kncube::util {
+
+/// A cell is a string, a double (formatted with the table's precision), or an
+/// integer count.
+using Cell = std::variant<std::string, double, long long>;
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<Cell> row);
+  void set_precision(int digits) { precision_ = digits; }
+  /// Title printed above the table (and as a CSV comment line).
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+  std::size_t columns() const noexcept { return headers_.size(); }
+
+  /// Aligned, boxed text rendering.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+  /// RFC-4180-ish CSV (quotes fields containing commas/quotes/newlines).
+  std::string to_csv() const;
+  /// Writes CSV to `path`; returns false (and leaves no partial file
+  /// guarantees) on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::string format_cell(const Cell& c) const;
+
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<Cell>> rows_;
+  int precision_ = 4;
+};
+
+}  // namespace kncube::util

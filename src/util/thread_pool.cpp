@@ -1,0 +1,119 @@
+#include "util/thread_pool.hpp"
+
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <string>
+
+namespace kncube::util {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    threads = hc ? hc : 1;
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (stop_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  // Small counts: run inline, no synchronisation overhead.
+  if (count == 1 || workers_.empty()) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  // Shared state is heap-owned: queued drain tasks can outlive this call (a
+  // busy worker may pop one after every iteration has already been claimed),
+  // so they must not reference the caller's stack.
+  struct Shared {
+    std::function<void(std::size_t)> body;
+    std::size_t count;
+    std::atomic<std::size_t> next{0};
+    std::atomic<std::size_t> done{0};
+    std::exception_ptr error;
+    std::mutex error_mutex;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->body = body;
+  shared->count = count;
+
+  auto drain = [shared] {
+    for (;;) {
+      const std::size_t i = shared->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= shared->count) break;
+      try {
+        shared->body(i);
+      } catch (...) {
+        std::lock_guard lock(shared->error_mutex);
+        if (!shared->error) shared->error = std::current_exception();
+      }
+      if (shared->done.fetch_add(1, std::memory_order_acq_rel) + 1 == shared->count) {
+        std::lock_guard lock(shared->done_mutex);
+        shared->done_cv.notify_all();
+      }
+    }
+  };
+
+  // One queue entry per worker; each entry drains iterations dynamically.
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t w = 0; w < workers_.size(); ++w) queue_.emplace_back(drain);
+  }
+  cv_.notify_all();
+  drain();  // caller participates
+
+  {
+    std::unique_lock lock(shared->done_mutex);
+    shared->done_cv.wait(lock, [&shared] {
+      return shared->done.load(std::memory_order_acquire) >= shared->count;
+    });
+  }
+  if (shared->error) std::rethrow_exception(shared->error);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("KNCUBE_THREADS")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) return static_cast<std::size_t>(v);
+    }
+    return std::size_t{0};
+  }());
+  return pool;
+}
+
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body) {
+  global_pool().parallel_for(count, body);
+}
+
+}  // namespace kncube::util

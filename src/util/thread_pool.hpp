@@ -1,0 +1,53 @@
+// Work-stealing-free, fixed-size thread pool with a parallel_for front end.
+//
+// The experiment harness runs many independent (λ, h, Lm) simulation points;
+// each point is single-threaded (a cycle-accurate simulator is inherently
+// sequential across cycles) so we parallelise across points. Dynamic
+// chunk-of-one scheduling keeps long near-saturation points from straggling
+// behind short low-load points.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace kncube::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` means hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Runs body(i) for i in [0, count) across the pool and blocks until all
+  /// iterations finish. Exceptions from the body propagate (first one wins).
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Convenience: one-shot parallel for on a process-wide pool.
+void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+/// The process-wide pool (lazily constructed). Size can be pinned by setting
+/// KNCUBE_THREADS before first use.
+ThreadPool& global_pool();
+
+}  // namespace kncube::util

@@ -1,0 +1,113 @@
+#include "core/experiment.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace kncube::core {
+namespace {
+
+Scenario small_scenario() {
+  Scenario s;
+  s.k = 8;
+  s.vcs = 2;
+  s.message_length = 8;
+  s.hot_fraction = 0.3;
+  s.target_messages = 500;
+  s.warmup_cycles = 2000;
+  s.max_cycles = 300000;
+  return s;
+}
+
+TEST(Experiment, ModelConfigMapping) {
+  const Scenario s = small_scenario();
+  const model::ModelConfig mc = to_model_config(s, 1.25e-4);
+  EXPECT_EQ(mc.k, 8);
+  EXPECT_EQ(mc.vcs, 2);
+  EXPECT_EQ(mc.message_length, 8);
+  EXPECT_DOUBLE_EQ(mc.hot_fraction, 0.3);
+  EXPECT_DOUBLE_EQ(mc.injection_rate, 1.25e-4);
+}
+
+TEST(Experiment, SimConfigMapping) {
+  const Scenario s = small_scenario();
+  const sim::SimConfig sc = to_sim_config(s, 2e-4);
+  EXPECT_EQ(sc.k, 8);
+  EXPECT_EQ(sc.n, 2);
+  EXPECT_FALSE(sc.bidirectional);
+  EXPECT_EQ(sc.pattern, sim::Pattern::kHotspot);
+  EXPECT_DOUBLE_EQ(sc.hot_fraction, 0.3);
+  EXPECT_DOUBLE_EQ(sc.injection_rate, 2e-4);
+  EXPECT_EQ(sc.target_messages, 500u);
+  EXPECT_NO_THROW(sc.validate());
+}
+
+TEST(Experiment, ModelOnlySeriesPreservesOrder) {
+  const Scenario s = small_scenario();
+  const std::vector<double> lams = {1e-4, 5e-5, 2e-4};
+  const auto pts = run_series(s, lams, /*run_sim=*/false);
+  ASSERT_EQ(pts.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(pts[i].lambda, lams[i]);
+    EXPECT_FALSE(pts[i].has_sim);
+  }
+  // Monotone in load regardless of input order.
+  EXPECT_LT(pts[1].model.latency, pts[0].model.latency);
+  EXPECT_LT(pts[0].model.latency, pts[2].model.latency);
+}
+
+TEST(Experiment, SeriesWithSimProducesComparablePoints) {
+  const Scenario s = small_scenario();
+  const auto pts = run_series(s, {8e-4}, /*run_sim=*/true);
+  ASSERT_EQ(pts.size(), 1u);
+  EXPECT_TRUE(pts[0].has_sim);
+  EXPECT_FALSE(pts[0].model.saturated);
+  EXPECT_FALSE(pts[0].sim.saturated);
+  const double rel = pts[0].relative_error();
+  EXPECT_FALSE(std::isnan(rel));
+  EXPECT_LT(rel, 0.6);
+}
+
+TEST(Experiment, SeriesIsReproducibleAcrossRuns) {
+  const Scenario s = small_scenario();
+  const auto a = run_series(s, {5e-4, 8e-4});
+  const auto b = run_series(s, {5e-4, 8e-4});
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].sim.mean_latency, b[i].sim.mean_latency);
+  }
+}
+
+TEST(Experiment, PointSeedsDifferAcrossIndices) {
+  // Identical lambdas at different indices get decorrelated seeds.
+  const Scenario s = small_scenario();
+  const auto pts = run_series(s, {8e-4, 8e-4});
+  EXPECT_NE(pts[0].sim.mean_latency, pts[1].sim.mean_latency);
+}
+
+TEST(Experiment, RelativeErrorNanCases) {
+  PointResult p;
+  EXPECT_TRUE(std::isnan(p.relative_error()));  // no sim
+  p.has_sim = true;
+  p.sim.mean_latency = 0.0;
+  EXPECT_TRUE(std::isnan(p.relative_error()));  // empty sim
+  p.sim.mean_latency = 50.0;
+  p.model.saturated = true;
+  EXPECT_TRUE(std::isnan(p.relative_error()));  // saturated model
+  p.model.saturated = false;
+  p.model.latency = 60.0;
+  EXPECT_NEAR(p.relative_error(), 0.2, 1e-12);
+}
+
+TEST(Experiment, LambdaSweepSpansRequestedRange) {
+  const Scenario s = small_scenario();
+  const auto lams = lambda_sweep(s, 5, 0.2, 0.9);
+  ASSERT_EQ(lams.size(), 5u);
+  for (std::size_t i = 1; i < lams.size(); ++i) EXPECT_GT(lams[i], lams[i - 1]);
+  EXPECT_NEAR(lams.back() / lams.front(), 0.9 / 0.2, 1e-9);
+  // Every point below saturation must be stable for the model.
+  const auto pts = run_series(s, lams, /*run_sim=*/false);
+  for (const auto& p : pts) EXPECT_FALSE(p.model.saturated);
+}
+
+}  // namespace
+}  // namespace kncube::core

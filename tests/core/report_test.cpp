@@ -1,0 +1,92 @@
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+
+namespace kncube::core {
+namespace {
+
+PointResult make_point(double lambda, double model_lat, double sim_lat,
+                       bool model_sat = false, bool sim_sat = false) {
+  PointResult p;
+  p.lambda = lambda;
+  p.model.latency = model_lat;
+  p.model.saturated = model_sat;
+  p.has_sim = true;
+  p.sim.mean_latency = sim_lat;
+  p.sim.latency_ci95 = 1.0;
+  p.sim.saturated = sim_sat;
+  return p;
+}
+
+TEST(Report, FigureTableHasRowPerPoint) {
+  const std::vector<PointResult> pts = {make_point(1e-4, 50, 48),
+                                        make_point(2e-4, 60, 55)};
+  const util::Table t = figure_table("panel", pts);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.columns(), 7u);
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("panel"), std::string::npos);
+  EXPECT_NE(out.find("0.0001"), std::string::npos);
+}
+
+TEST(Report, SaturatedModelRendersInfinity) {
+  const std::vector<PointResult> pts = {make_point(9e-4, 0, 300, true, true)};
+  const std::string out = figure_table("x", pts).to_string();
+  EXPECT_NE(out.find("inf (saturated)"), std::string::npos);
+  EXPECT_NE(out.find("yes"), std::string::npos);
+}
+
+TEST(Report, PanelSummaryCountsAndErrors) {
+  const std::vector<PointResult> pts = {
+      make_point(1e-4, 55, 50),                      // rel err 0.1
+      make_point(2e-4, 66, 60),                      // rel err 0.1
+      make_point(3e-4, 0, 200, true, false),         // model saturated
+      make_point(4e-4, 100, 500, false, true),       // sim saturated
+  };
+  const PanelSummary s = summarize_panel(pts);
+  EXPECT_EQ(s.stable_points, 2);
+  EXPECT_NEAR(s.mean_rel_error, 0.1, 1e-9);
+  EXPECT_EQ(s.model_saturated_points, 1);
+  EXPECT_EQ(s.sim_saturated_points, 1);
+  EXPECT_NEAR(s.correlation, 1.0, 1e-9);  // two co-moving points
+}
+
+TEST(Report, SummaryTableRenders) {
+  PanelSummary s;
+  s.stable_points = 5;
+  s.mean_rel_error = 0.12;
+  const util::Table t = summary_table("summary", {{"h=20%", s}});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_NE(t.to_string().find("h=20%"), std::string::npos);
+}
+
+TEST(Report, ExportCsvHonoursEnvironment) {
+  util::Table t({"a"});
+  t.add_row({1.0});
+
+  unsetenv("KNCUBE_OUT");
+  EXPECT_EQ(export_csv(t, "test_table"), "");
+
+  const std::string dir = testing::TempDir();
+  setenv("KNCUBE_OUT", dir.c_str(), 1);
+  const std::string path = export_csv(t, "test_table");
+  ASSERT_FALSE(path.empty());
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::remove(path.c_str());
+  unsetenv("KNCUBE_OUT");
+}
+
+TEST(Report, ExportCsvFailsGracefullyOnBadDir) {
+  util::Table t({"a"});
+  t.add_row({1.0});
+  setenv("KNCUBE_OUT", "/nonexistent-kncube-dir", 1);
+  EXPECT_EQ(export_csv(t, "x"), "");
+  unsetenv("KNCUBE_OUT");
+}
+
+}  // namespace
+}  // namespace kncube::core

@@ -1,0 +1,79 @@
+#include "core/saturation.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kncube::core {
+namespace {
+
+Scenario scenario(int k, int lm, double h) {
+  Scenario s;
+  s.k = k;
+  s.message_length = lm;
+  s.hot_fraction = h;
+  s.target_messages = 500;
+  s.warmup_cycles = 2000;
+  s.max_cycles = 150000;
+  return s;
+}
+
+TEST(ModelSaturation, BoundaryIsTight) {
+  const Scenario s = scenario(16, 32, 0.2);
+  const SaturationResult sat = model_saturation_rate(s, 1e-4);
+  EXPECT_GT(sat.rate, 0.0);
+  // Just below: stable. Just above: saturated.
+  EXPECT_FALSE(
+      model::HotspotModel(to_model_config(s, sat.rate * 0.999)).solve().saturated);
+  EXPECT_TRUE(
+      model::HotspotModel(to_model_config(s, sat.rate * 1.01)).solve().saturated);
+}
+
+TEST(ModelSaturation, DecreasesWithHotFraction) {
+  double prev = 1.0;
+  for (double h : {0.1, 0.2, 0.4, 0.7}) {
+    const double rate = model_saturation_rate(scenario(16, 32, h)).rate;
+    EXPECT_LT(rate, prev) << h;
+    prev = rate;
+  }
+}
+
+TEST(ModelSaturation, DecreasesWithMessageLength) {
+  const double short_sat = model_saturation_rate(scenario(16, 32, 0.2)).rate;
+  const double long_sat = model_saturation_rate(scenario(16, 100, 0.2)).rate;
+  EXPECT_LT(long_sat, short_sat);
+  // Roughly inverse in Lm (service scales with message length).
+  EXPECT_NEAR(short_sat / long_sat, 100.0 / 32.0, 1.0);
+}
+
+TEST(ModelSaturation, DecreasesWithRadix) {
+  // Larger k concentrates more hot traffic on the bottleneck column.
+  const double k8 = model_saturation_rate(scenario(8, 32, 0.2)).rate;
+  const double k16 = model_saturation_rate(scenario(16, 32, 0.2)).rate;
+  EXPECT_GT(k8, k16);
+}
+
+TEST(ModelSaturation, MatchesPaperOperatingRanges) {
+  // The paper's Figure 1/2 x-axes end near the saturation rate; our model
+  // must place saturation in the same decade.
+  const double f1_h20 = model_saturation_rate(scenario(16, 32, 0.2)).rate;
+  EXPECT_GT(f1_h20, 3e-4);
+  EXPECT_LT(f1_h20, 9e-4);  // paper plots to 6e-4
+  const double f1_h70 = model_saturation_rate(scenario(16, 32, 0.7)).rate;
+  EXPECT_GT(f1_h70, 1e-4);
+  EXPECT_LT(f1_h70, 3e-4);  // paper plots to 2e-4
+  const double f2_h20 = model_saturation_rate(scenario(16, 100, 0.2)).rate;
+  EXPECT_GT(f2_h20, 1e-4);
+  EXPECT_LT(f2_h20, 3e-4);  // paper plots to 2e-4
+}
+
+TEST(SimSaturation, AgreesWithModelBoundary) {
+  // Small network so each probe is fast. The sim boundary should land within
+  // ~35% of the model's (the model is approximate, not exact).
+  const Scenario s = scenario(8, 8, 0.3);
+  const double model_rate = model_saturation_rate(s).rate;
+  const double sim_rate = sim_saturation_rate(s, 0.1).rate;
+  EXPECT_GT(sim_rate, 0.65 * model_rate);
+  EXPECT_LT(sim_rate, 1.6 * model_rate);
+}
+
+}  // namespace
+}  // namespace kncube::core

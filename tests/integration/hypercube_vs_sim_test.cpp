@@ -1,0 +1,99 @@
+// Hypercube model vs the flit-level simulator in hypercube mode: a k = 2
+// n-cube *is* the binary hypercube, and dimension-order routing is e-cube,
+// so the simulator validates the predecessor model with zero extra code.
+#include <gtest/gtest.h>
+
+#include "model/hypercube_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace kncube {
+namespace {
+
+constexpr int kDims = 6;  // N = 64
+
+model::HypercubeModelResult run_model(double lambda, double h) {
+  model::HypercubeModelConfig mc;
+  mc.dims = kDims;
+  mc.vcs = 2;
+  mc.message_length = 16;
+  mc.injection_rate = lambda;
+  mc.hot_fraction = h;
+  return model::HypercubeHotspotModel(mc).solve();
+}
+
+sim::SimResult run_sim(double lambda, double h) {
+  sim::SimConfig sc;
+  sc.k = 2;  // binary hypercube
+  sc.n = kDims;
+  sc.vcs = 2;
+  sc.message_length = 16;
+  sc.pattern = sim::Pattern::kHotspot;
+  sc.hot_fraction = h;
+  sc.injection_rate = lambda;
+  sc.target_messages = 1500;
+  sc.warmup_cycles = 4000;
+  sc.max_cycles = 600000;
+  return sim::simulate(sc);
+}
+
+double saturation_estimate(double h) {
+  model::HypercubeModelConfig mc;
+  mc.dims = kDims;
+  mc.message_length = 16;
+  mc.hot_fraction = h;
+  return model::HypercubeHotspotModel(mc).estimated_saturation_rate();
+}
+
+TEST(HypercubeVsSim, ZeroLoadLatencyMatchesExactly) {
+  const auto sr = run_sim(1e-4, 0.0);
+  model::HypercubeModelConfig mc;
+  mc.dims = kDims;
+  mc.message_length = 16;
+  const double zero = model::HypercubeHotspotModel(mc).zero_load_latency();
+  EXPECT_NEAR(sr.mean_latency, zero, 0.05 * zero);
+}
+
+TEST(HypercubeVsSim, TracksAtLightLoad) {
+  for (double h : {0.1, 0.3}) {
+    const double lambda = 0.2 * saturation_estimate(h);
+    const auto mr = run_model(lambda, h);
+    const auto sr = run_sim(lambda, h);
+    ASSERT_FALSE(mr.saturated) << h;
+    ASSERT_FALSE(sr.saturated) << h;
+    const double rel = std::abs(mr.latency - sr.mean_latency) / sr.mean_latency;
+    EXPECT_LT(rel, 0.15) << "h=" << h << " model=" << mr.latency
+                         << " sim=" << sr.mean_latency;
+  }
+}
+
+TEST(HypercubeVsSim, ReasonableAtModerateLoad) {
+  const double h = 0.2;
+  const double lambda = 0.5 * saturation_estimate(h);
+  const auto mr = run_model(lambda, h);
+  const auto sr = run_sim(lambda, h);
+  ASSERT_FALSE(mr.saturated);
+  ASSERT_FALSE(sr.saturated);
+  EXPECT_LT(std::abs(mr.latency - sr.mean_latency) / sr.mean_latency, 0.45);
+}
+
+TEST(HypercubeVsSim, BothSaturateInTheSameRegion) {
+  const double h = 0.3;
+  const double est = saturation_estimate(h);
+  const auto lo = run_sim(0.3 * est, h);
+  EXPECT_FALSE(lo.saturated);
+  const auto hi = run_sim(4.0 * est, h);
+  EXPECT_TRUE(hi.saturated);
+}
+
+TEST(HypercubeVsSim, HotClassOrderingAgrees) {
+  const double h = 0.3;
+  const double lambda = 0.5 * saturation_estimate(h);
+  const auto mr = run_model(lambda, h);
+  const auto sr = run_sim(lambda, h);
+  ASSERT_FALSE(sr.saturated);
+  EXPECT_GT(mr.hot_latency, mr.regular_latency);
+  EXPECT_GT(sr.mean_latency_hot, sr.mean_latency_regular);
+}
+
+}  // namespace
+}  // namespace kncube

@@ -1,0 +1,83 @@
+// The uniform-traffic baseline model against the simulator running the
+// uniform pattern — validates the substrate independently of the hot-spot
+// machinery, and pins the *direction* of the model's bias: it tracks at
+// light load and under-predicts near capacity, where chained wormhole
+// blocking (every channel equally loaded, one VC per dateline class at V=2)
+// congests the simulator well before the channels run out of flit bandwidth.
+#include <gtest/gtest.h>
+
+#include "model/uniform_model.hpp"
+#include "sim/simulator.hpp"
+
+namespace kncube {
+namespace {
+
+constexpr int kRadix = 8;
+constexpr int kLm = 16;
+// Raw flit-bandwidth capacity of a channel: rate*(k-1)/2*tx = 1 with
+// tx ~ Lm + k/2 - 1.
+constexpr double kCapacity = 1.0 / (3.5 * 19.0);
+
+model::UniformModelResult run_model(double lambda) {
+  model::UniformModelConfig mc;
+  mc.k = kRadix;
+  mc.vcs = 2;
+  mc.message_length = kLm;
+  mc.injection_rate = lambda;
+  return model::UniformTorusModel(mc).solve();
+}
+
+sim::SimResult run_sim(double lambda) {
+  sim::SimConfig sc;
+  sc.k = kRadix;
+  sc.n = 2;
+  sc.vcs = 2;
+  sc.message_length = kLm;
+  sc.pattern = sim::Pattern::kUniform;
+  sc.injection_rate = lambda;
+  sc.target_messages = 1500;
+  sc.warmup_cycles = 4000;
+  sc.max_cycles = 500000;
+  return sim::simulate(sc);
+}
+
+TEST(UniformVsSim, LatencyAgreesAtLightLoad) {
+  for (double frac : {0.1, 0.3}) {
+    const double lambda = frac * kCapacity;
+    const auto mr = run_model(lambda);
+    const auto sr = run_sim(lambda);
+    ASSERT_FALSE(mr.saturated) << frac;
+    ASSERT_FALSE(sr.saturated) << frac;
+    const double rel = std::abs(mr.latency - sr.mean_latency) / sr.mean_latency;
+    EXPECT_LT(rel, frac < 0.2 ? 0.2 : 0.3)
+        << "frac=" << frac << " model=" << mr.latency << " sim=" << sr.mean_latency;
+  }
+}
+
+TEST(UniformVsSim, SimCongestsBeforeModelNearCapacity) {
+  // At ~45% of raw capacity the simulator's source queues blow up while the
+  // model still reports moderate latency: the documented bias direction for
+  // the uniform pattern (the hot-spot pattern biases the other way).
+  const double lambda = 0.45 * kCapacity;
+  const auto mr = run_model(lambda);
+  const auto sr = run_sim(lambda);
+  ASSERT_FALSE(mr.saturated);
+  EXPECT_GT(sr.mean_latency, 1.3 * mr.latency);
+}
+
+TEST(UniformVsSim, SourceWaitSmallAtLightLoad) {
+  const double lambda = 0.2 * kCapacity;
+  const auto mr = run_model(lambda);
+  const auto sr = run_sim(lambda);
+  EXPECT_LT(mr.source_wait, 0.2 * mr.network_latency);
+  EXPECT_LT(sr.mean_source_wait, 0.2 * sr.mean_network_latency);
+}
+
+TEST(UniformVsSim, ThroughputMatchesOfferedBelowCongestion) {
+  const auto sr = run_sim(0.3 * kCapacity);
+  EXPECT_FALSE(sr.saturated);
+  EXPECT_NEAR(sr.accepted_load, 0.3 * kCapacity, 0.1 * 0.3 * kCapacity);
+}
+
+}  // namespace
+}  // namespace kncube

@@ -1,0 +1,121 @@
+#include "model/mg1.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kncube::model {
+namespace {
+
+TEST(Mg1Wait, ZeroRateHasNoWait) {
+  const QueueDelay w = mg1_wait(0.0, 50.0, 32.0);
+  EXPECT_FALSE(w.saturated);
+  EXPECT_EQ(w.value, 0.0);
+}
+
+TEST(Mg1Wait, ZeroServiceHasNoWait) {
+  const QueueDelay w = mg1_wait(0.1, 0.0, 32.0);
+  EXPECT_EQ(w.value, 0.0);
+  EXPECT_FALSE(w.saturated);
+}
+
+TEST(Mg1Wait, SaturatesAtUnitUtilization) {
+  EXPECT_TRUE(mg1_wait(0.05, 20.0, 10.0).saturated);   // rho = 1
+  EXPECT_TRUE(mg1_wait(0.06, 20.0, 10.0).saturated);   // rho > 1
+  EXPECT_FALSE(mg1_wait(0.049, 20.0, 10.0).saturated); // rho < 1
+}
+
+TEST(Mg1Wait, MatchesMd1WhenServiceEqualsFloor) {
+  // With S == Lm the variance term vanishes: w = rate*S^2 / (2(1-rho)),
+  // the M/D/1 Pollaczek-Khinchine wait.
+  const double rate = 0.01;
+  const double s = 32.0;
+  const QueueDelay w = mg1_wait(rate, s, s);
+  const double rho = rate * s;
+  EXPECT_NEAR(w.value, rate * s * s / (2.0 * (1.0 - rho)), 1e-12);
+}
+
+TEST(Mg1Wait, VarianceTermIncreasesWait) {
+  const double rate = 0.01;
+  const QueueDelay base = mg1_wait(rate, 40.0, 40.0);
+  const QueueDelay spread = mg1_wait(rate, 40.0, 32.0);  // dev = 8
+  EXPECT_GT(spread.value, base.value);
+  // Exactly the paper's eq (28): extra term rate*dev^2/(2(1-rho)).
+  const double rho = rate * 40.0;
+  EXPECT_NEAR(spread.value - base.value, rate * 64.0 / (2.0 * (1.0 - rho)), 1e-12);
+}
+
+TEST(Mg1Wait, MonotoneInRate) {
+  double prev = 0.0;
+  for (double rate = 0.001; rate < 0.02; rate += 0.001) {
+    const QueueDelay w = mg1_wait(rate, 40.0, 32.0);
+    ASSERT_FALSE(w.saturated);
+    EXPECT_GE(w.value, prev);
+    prev = w.value;
+  }
+}
+
+TEST(Mg1Wait, DivergesApproachingSaturation) {
+  const double s = 40.0;
+  const QueueDelay near = mg1_wait(0.0249, s, 32.0);  // rho ~ 0.996
+  const QueueDelay mid = mg1_wait(0.02, s, 32.0);     // rho = 0.8
+  EXPECT_GT(near.value, 10.0 * mid.value);
+}
+
+TEST(BusyProbability, WeightsBothStreams) {
+  const Stream reg{0.01, 40.0, 35.0};
+  const Stream hot{0.005, 60.0, 33.0};
+  EXPECT_NEAR(busy_probability(reg, hot, true), 0.01 * 40 + 0.005 * 60, 1e-12);
+  EXPECT_NEAR(busy_probability(reg, hot, false), 0.01 * 35 + 0.005 * 33, 1e-12);
+}
+
+TEST(BusyProbability, IsCappedAtOne) {
+  const Stream reg{0.5, 40.0, 40.0};
+  EXPECT_EQ(busy_probability(reg, Stream{}, true), 1.0);
+  EXPECT_EQ(busy_probability(reg, Stream{}, false), 1.0);
+}
+
+TEST(BlockingDelay, ZeroRatesGiveZero) {
+  const QueueDelay b = blocking_delay(Stream{}, Stream{}, 32.0);
+  EXPECT_EQ(b.value, 0.0);
+  EXPECT_FALSE(b.saturated);
+}
+
+TEST(BlockingDelay, SingleStreamEqualsPbTimesWait) {
+  const Stream reg{0.01, 45.0, 38.0};
+  const QueueDelay b = blocking_delay(reg, Stream{}, 32.0, true);
+  const QueueDelay w = mg1_wait(0.01, 38.0, 32.0);
+  EXPECT_NEAR(b.value, (0.01 * 45.0) * w.value, 1e-12);
+}
+
+TEST(BlockingDelay, SaturationIsGovernedByTransmissionTimes) {
+  // Huge inclusive times do NOT saturate the channel (busy prob merely caps
+  // at 1); only transmission-bandwidth exhaustion does.
+  const Stream reg{0.01, 1e6, 38.0};
+  EXPECT_FALSE(blocking_delay(reg, Stream{}, 32.0).saturated);
+
+  const Stream overloaded{0.03, 40.0, 40.0};  // rate * tx = 1.2
+  EXPECT_TRUE(blocking_delay(overloaded, Stream{}, 32.0).saturated);
+}
+
+TEST(BlockingDelay, MergedStreamUsesWeightedTransmission) {
+  const Stream reg{0.01, 40.0, 40.0};
+  const Stream hot{0.01, 40.0, 20.0};
+  // Weighted tx = 30, rho = 0.6 < 1: stable despite reg alone being rho 0.4.
+  const QueueDelay b = blocking_delay(reg, hot, 20.0);
+  EXPECT_FALSE(b.saturated);
+  EXPECT_GT(b.value, 0.0);
+}
+
+TEST(BlockingDelay, MonotoneInHotRate) {
+  const Stream reg{0.005, 40.0, 36.0};
+  double prev = 0.0;
+  for (double rh = 0.0; rh < 0.015; rh += 0.003) {
+    const Stream hot{rh, 50.0, 33.0};
+    const QueueDelay b = blocking_delay(reg, hot, 32.0);
+    ASSERT_FALSE(b.saturated);
+    EXPECT_GE(b.value, prev);
+    prev = b.value;
+  }
+}
+
+}  // namespace
+}  // namespace kncube::model

@@ -1,0 +1,64 @@
+#include "model/path_probabilities.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kncube::model {
+namespace {
+
+class PathProbabilitiesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PathProbabilitiesTest, SumToOne) {
+  const PathProbabilities p = path_probabilities(GetParam());
+  EXPECT_NEAR(p.sum(), 1.0, 1e-12);
+}
+
+TEST_P(PathProbabilitiesTest, MatchBruteForceEnumeration) {
+  const int k = GetParam();
+  const PathProbabilities closed = path_probabilities(k);
+  const PathProbabilities brute = path_probabilities_bruteforce(k);
+  EXPECT_NEAR(closed.x_only, brute.x_only, 1e-12) << "k=" << k;
+  EXPECT_NEAR(closed.y_only_hot, brute.y_only_hot, 1e-12) << "k=" << k;
+  EXPECT_NEAR(closed.y_only_nonhot, brute.y_only_nonhot, 1e-12) << "k=" << k;
+  EXPECT_NEAR(closed.x_then_hot_y, brute.x_then_hot_y, 1e-12) << "k=" << k;
+  EXPECT_NEAR(closed.x_then_nonhot_y, brute.x_then_nonhot_y, 1e-12) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Radices, PathProbabilitiesTest,
+                         ::testing::Values(2, 3, 4, 5, 6, 8, 9));
+
+TEST(PathProbabilities, KnownValuesForK2) {
+  // N=4: each source has 3 destinations: one same-row (x only), one
+  // same-column (y only), one diagonal (x then y).
+  const PathProbabilities p = path_probabilities(2);
+  EXPECT_NEAR(p.x_only, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(p.y_only_hot + p.y_only_nonhot, 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(p.x_then_hot_y + p.x_then_nonhot_y, 1.0 / 3.0, 1e-12);
+}
+
+TEST(PathProbabilities, HotColumnShareIsOneOverK) {
+  // Among y-only messages, the hot column's share is exactly 1/k (k of k^2
+  // sources sit in the hot column).
+  for (int k : {3, 4, 7, 16}) {
+    const PathProbabilities p = path_probabilities(k);
+    EXPECT_NEAR(p.y_only_hot / (p.y_only_hot + p.y_only_nonhot), 1.0 / k, 1e-12);
+  }
+}
+
+TEST(PathProbabilities, XEnteringShareGrowsWithK) {
+  // P(enter x) = k/(k+1) -> 1 as k grows.
+  const PathProbabilities p4 = path_probabilities(4);
+  const PathProbabilities p16 = path_probabilities(16);
+  EXPECT_NEAR(p4.x_any(), 4.0 / 5.0, 1e-12);
+  EXPECT_NEAR(p16.x_any(), 16.0 / 17.0, 1e-12);
+}
+
+TEST(PathProbabilities, SymmetricClassesForXySplit) {
+  // "x then hot y" counts (N-k)(k-1) pairs, identical to y_only_nonhot.
+  for (int k : {3, 5, 16}) {
+    const PathProbabilities p = path_probabilities(k);
+    EXPECT_NEAR(p.x_then_hot_y, p.y_only_nonhot, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace kncube::model

@@ -1,0 +1,86 @@
+#include "model/vcmux.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace kncube::model {
+namespace {
+
+TEST(VcMux, ZeroLoadGivesOne) {
+  EXPECT_EQ(vc_multiplexing_degree(0.0, 40.0, 2), 1.0);
+  EXPECT_EQ(vc_multiplexing_degree(0.01, 0.0, 4), 1.0);
+}
+
+TEST(VcMux, LightLoadStaysNearOne) {
+  const double v = vc_multiplexing_degree(0.001, 10.0, 2);  // rho = 0.01
+  EXPECT_GT(v, 1.0);
+  EXPECT_LT(v, 1.05);
+}
+
+TEST(VcMux, ApproachesVcCountAtSaturation) {
+  for (int vcs : {2, 3, 4}) {
+    const double v = vc_multiplexing_degree(1.0, 0.99999999, vcs);
+    EXPECT_GT(v, 0.95 * vcs) << "V=" << vcs;
+    EXPECT_LE(v, vcs + 1e-9);
+  }
+}
+
+TEST(VcMux, MonotoneInLoad) {
+  double prev = 1.0;
+  for (double rho = 0.05; rho < 1.0; rho += 0.05) {
+    const double v = vc_multiplexing_degree(rho, 1.0, 3);
+    EXPECT_GE(v, prev - 1e-12);
+    prev = v;
+  }
+}
+
+TEST(VcMux, BoundedByOneAndV) {
+  for (int vcs : {1, 2, 4, 8}) {
+    for (double rho = 0.0; rho <= 1.2; rho += 0.1) {
+      const double v = vc_multiplexing_degree(rho, 1.0, vcs);
+      EXPECT_GE(v, 1.0);
+      EXPECT_LE(v, static_cast<double>(vcs) + 1e-12);
+    }
+  }
+}
+
+TEST(VcMux, SingleVcIsAlwaysOne) {
+  for (double rho = 0.1; rho < 1.0; rho += 0.2) {
+    EXPECT_DOUBLE_EQ(vc_multiplexing_degree(rho, 1.0, 1), 1.0);
+  }
+}
+
+TEST(VcMux, OccupancyDistributionIsNormalized) {
+  std::vector<double> p(5);
+  vc_occupancy_distribution(0.4, 1.0, 4, p.data());
+  double sum = 0.0;
+  for (double x : p) {
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(VcMux, OccupancyMatchesDallysChain) {
+  // rho = 0.5, V = 2: q = {1, 0.5, 0.5*0.5/0.5 = 0.5}; P = {0.5, 0.25, 0.25}.
+  std::vector<double> p(3);
+  vc_occupancy_distribution(0.5, 1.0, 2, p.data());
+  EXPECT_NEAR(p[0], 0.5, 1e-12);
+  EXPECT_NEAR(p[1], 0.25, 1e-12);
+  EXPECT_NEAR(p[2], 0.25, 1e-12);
+  // Vbar = (1*0.25 + 4*0.25) / (1*0.25 + 2*0.25) = 1.25/0.75.
+  EXPECT_NEAR(vc_multiplexing_degree(0.5, 1.0, 2), 1.25 / 0.75, 1e-12);
+}
+
+TEST(VcMux, OverloadedInputIsClamped) {
+  // rho > 1 must not produce negative probabilities or Vbar > V.
+  std::vector<double> p(3);
+  vc_occupancy_distribution(2.0, 1.0, 2, p.data());
+  for (double x : p) EXPECT_GE(x, 0.0);
+  const double v = vc_multiplexing_degree(2.0, 1.0, 2);
+  EXPECT_LE(v, 2.0 + 1e-9);
+}
+
+}  // namespace
+}  // namespace kncube::model

@@ -1,0 +1,96 @@
+// The bidirectional-torus extension (paper §2: "can be easily extended to
+// deal with [the] bi-directional case"): shortest-direction routing, twice
+// the channels, datelines per direction. The analytical model stays
+// unidirectional (as in the paper); these property sweeps pin the simulator
+// side of the extension.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/simulator.hpp"
+
+namespace kncube::sim {
+namespace {
+
+class BidirectionalSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(BidirectionalSweep, StableAndConservative) {
+  const auto [k, lm, h] = GetParam();
+  SimConfig cfg;
+  cfg.k = k;
+  cfg.n = 2;
+  cfg.bidirectional = true;
+  cfg.vcs = 2;
+  cfg.message_length = lm;
+  cfg.pattern = Pattern::kHotspot;
+  cfg.hot_fraction = h;
+  // Bidirectional halves hot-column pressure (two approach directions).
+  const double coeff = h * k * (k - 1.0) / 2.0 + (1 - h) * k / 4.0;
+  cfg.injection_rate = 0.25 / (coeff * lm);
+  cfg.warmup_cycles = 3000;
+  cfg.target_messages = 600;
+  cfg.max_cycles = 500000;
+  const SimResult r = simulate(cfg);
+  EXPECT_FALSE(r.saturated);
+  EXPECT_GE(r.measured_messages, 600u);
+  EXPECT_GT(r.mean_latency, static_cast<double>(lm));
+  EXPECT_LE(r.max_channel_utilization, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(DesignSpace, BidirectionalSweep,
+                         ::testing::Combine(::testing::Values(4, 8),
+                                            ::testing::Values(4, 16),
+                                            ::testing::Values(0.0, 0.3)));
+
+TEST(Bidirectional, BeatsUnidirectionalLatencyAtEqualLoad) {
+  SimConfig uni;
+  uni.k = 8;
+  uni.n = 2;
+  uni.vcs = 2;
+  uni.message_length = 16;
+  uni.pattern = Pattern::kUniform;
+  uni.injection_rate = 1e-3;
+  uni.warmup_cycles = 3000;
+  uni.target_messages = 1000;
+  uni.max_cycles = 400000;
+  SimConfig bi = uni;
+  bi.bidirectional = true;
+  const SimResult ru = simulate(uni);
+  const SimResult rb = simulate(bi);
+  ASSERT_FALSE(ru.saturated);
+  ASSERT_FALSE(rb.saturated);
+  // Half the mean hops (k/4 vs (k-1)/2 per dimension) and twice the links.
+  EXPECT_LT(rb.mean_latency, ru.mean_latency);
+  EXPECT_LT(rb.mean_channel_utilization, ru.mean_channel_utilization);
+}
+
+TEST(Bidirectional, HotSpotPressureSplitsAcrossDirections) {
+  SimConfig cfg;
+  cfg.k = 8;
+  cfg.n = 2;
+  cfg.bidirectional = true;
+  cfg.vcs = 2;
+  cfg.message_length = 16;
+  cfg.pattern = Pattern::kHotspot;
+  cfg.hot_fraction = 0.5;
+  cfg.injection_rate = 4e-4;
+  cfg.warmup_cycles = 3000;
+  cfg.target_messages = 1500;
+  cfg.max_cycles = 400000;
+  Simulator sim(cfg);
+  sim.run();
+  const auto& topo = sim.network().topology();
+  const topo::NodeId hot = cfg.resolved_hot_node();
+  // Both y-approach channels into the hot node carry comparable load.
+  const double from_minus = sim.network().channel_utilization(
+      topo.neighbor(hot, 1, topo::Direction::kMinus), 1, topo::Direction::kPlus);
+  const double from_plus = sim.network().channel_utilization(
+      topo.neighbor(hot, 1, topo::Direction::kPlus), 1, topo::Direction::kMinus);
+  EXPECT_GT(from_minus, 0.05);
+  EXPECT_GT(from_plus, 0.05);
+  EXPECT_NEAR(from_minus, from_plus, 0.4 * std::max(from_minus, from_plus));
+}
+
+}  // namespace
+}  // namespace kncube::sim

@@ -1,0 +1,97 @@
+#include "sim/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+namespace kncube::sim {
+namespace {
+
+SimConfig valid_config() {
+  SimConfig cfg;
+  cfg.k = 8;
+  cfg.n = 2;
+  cfg.vcs = 2;
+  cfg.message_length = 16;
+  cfg.injection_rate = 1e-3;
+  return cfg;
+}
+
+TEST(SimConfig, DefaultIsValid) {
+  EXPECT_NO_THROW(SimConfig{}.validate());
+  EXPECT_NO_THROW(valid_config().validate());
+}
+
+struct BadCase {
+  const char* name;
+  std::function<void(SimConfig&)> mutate;
+};
+
+class SimConfigValidation : public ::testing::TestWithParam<BadCase> {};
+
+TEST_P(SimConfigValidation, Rejects) {
+  SimConfig cfg = valid_config();
+  GetParam().mutate(cfg);
+  EXPECT_THROW(cfg.validate(), std::invalid_argument) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadConfigs, SimConfigValidation,
+    ::testing::Values(
+        BadCase{"radix_too_small", [](SimConfig& c) { c.k = 1; }},
+        BadCase{"dims_zero", [](SimConfig& c) { c.n = 0; }},
+        BadCase{"dims_too_many", [](SimConfig& c) { c.n = 99; }},
+        BadCase{"no_vcs", [](SimConfig& c) { c.vcs = 0; }},
+        BadCase{"single_vc_unidirectional",
+                [](SimConfig& c) {
+                  c.vcs = 1;  // deadlock-prone on rings with k > 2
+                }},
+        BadCase{"zero_buffer", [](SimConfig& c) { c.buffer_depth = 0; }},
+        BadCase{"zero_length", [](SimConfig& c) { c.message_length = 0; }},
+        BadCase{"negative_rate", [](SimConfig& c) { c.injection_rate = -0.1; }},
+        BadCase{"rate_above_one", [](SimConfig& c) { c.injection_rate = 1.5; }},
+        BadCase{"bad_hot_fraction",
+                [](SimConfig& c) {
+                  c.pattern = Pattern::kHotspot;
+                  c.hot_fraction = 1.2;
+                }},
+        BadCase{"hot_node_outside", [](SimConfig& c) { c.hot_node = 1 << 20; }},
+        BadCase{"transpose_needs_2d",
+                [](SimConfig& c) {
+                  c.pattern = Pattern::kTranspose;
+                  c.n = 3;
+                }},
+        BadCase{"zero_batch", [](SimConfig& c) { c.batch_size = 0; }},
+        BadCase{"bad_tolerance", [](SimConfig& c) { c.steady_rel_tol = 0.0; }},
+        BadCase{"warmup_swallows_budget",
+                [](SimConfig& c) { c.max_cycles = c.warmup_cycles; }}),
+    [](const ::testing::TestParamInfo<BadCase>& param_info) {
+      return param_info.param.name;
+    });
+
+TEST(SimConfig, SingleVcAllowedOnK2) {
+  SimConfig cfg = valid_config();
+  cfg.k = 2;
+  cfg.vcs = 1;
+  EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(SimConfig, ResolvedHotNodeDefaultsToCentre) {
+  SimConfig cfg = valid_config();  // k=8
+  cfg.hot_node = -1;
+  const topo::KAryNCube net(cfg.k, cfg.n);
+  const topo::NodeId hot = cfg.resolved_hot_node();
+  EXPECT_EQ(net.coord(hot, 0), 4);
+  EXPECT_EQ(net.coord(hot, 1), 4);
+}
+
+TEST(SimConfig, ResolvedHotNodeHonoursExplicitChoice) {
+  SimConfig cfg = valid_config();
+  cfg.hot_node = 11;
+  EXPECT_EQ(cfg.resolved_hot_node(), 11u);
+}
+
+}  // namespace
+}  // namespace kncube::sim

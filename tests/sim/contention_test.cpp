@@ -1,0 +1,131 @@
+// Contention behaviour: physical-channel bandwidth sharing, VC multiplexing
+// and blocking when messages compete for the same outputs.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace kncube::sim {
+namespace {
+
+SimConfig quiet(int k, int lm, int vcs = 2) {
+  SimConfig cfg;
+  cfg.k = k;
+  cfg.n = 2;
+  cfg.vcs = vcs;
+  cfg.buffer_depth = 2;
+  cfg.message_length = lm;
+  cfg.injection_rate = 0.0;
+  return cfg;
+}
+
+void run_until_delivered(Simulator& sim, std::uint64_t count, std::uint64_t cap) {
+  while (sim.metrics().delivered_total() < count && sim.current_cycle() < cap) {
+    sim.step_cycles(1);
+  }
+  ASSERT_EQ(sim.metrics().delivered_total(), count);
+}
+
+TEST(Contention, TwoMessagesSharingALinkSplitBandwidth) {
+  // Sources 0 and 1 both send along row 0 through the link 1->2.
+  Simulator sim(quiet(8, 20));
+  sim.metrics().begin_measurement(0);
+  sim.inject_now(0, 3);
+  sim.inject_now(1, 3);
+  run_until_delivered(sim, 2, 5000);
+
+  // Zero-load latencies would be (3 hops + 19) = 22 and (2 + 19) = 21; with
+  // sharing, total delivered time stretches but both must complete within
+  // roughly the sum of the message service times.
+  EXPECT_GE(sim.metrics().latency().max(), 21.0 + 10.0);  // someone was delayed
+  EXPECT_LE(sim.metrics().latency().max(), 21.0 + 20.0 + 8.0);
+  EXPECT_EQ(sim.metrics().flits_delivered(), 40u);
+}
+
+TEST(Contention, ObservedVcMultiplexingStaysWithinV) {
+  Simulator sim(quiet(8, 24, 2));
+  sim.metrics().begin_measurement(0);
+  // Four flows through overlapping row-0 links.
+  sim.inject_now(0, 4);
+  sim.inject_now(1, 5);
+  sim.inject_now(2, 6);
+  sim.inject_now(3, 7);
+  run_until_delivered(sim, 4, 5000);
+  for (topo::NodeId id = 0; id < sim.network().size(); ++id) {
+    const Router& r = sim.network().router(id);
+    for (int p = 0; p < r.network_ports(); ++p) {
+      const double v = r.output_port(p).vc_multiplexing();
+      EXPECT_GE(v, 1.0);
+      EXPECT_LE(v, 2.0);
+    }
+  }
+}
+
+TEST(Contention, SameClassMessagesSerializePerLink) {
+  // With V=2 the dateline split leaves exactly one VC per class, so two
+  // class-0 messages sharing a link serialize on it: the channel never has
+  // both VCs busy.
+  Simulator sim(quiet(8, 32, 2));
+  sim.metrics().begin_measurement(0);
+  sim.inject_now(1, 4);  // class 0 everywhere (no wrap)
+  sim.inject_now(2, 5);  // class 0 everywhere
+  run_until_delivered(sim, 2, 5000);
+  const Router& r2 = sim.network().router(2);
+  const auto& port = r2.output_port(r2.out_port_for(0, topo::Direction::kPlus));
+  EXPECT_DOUBLE_EQ(port.vc_multiplexing(), 1.0);
+  EXPECT_EQ(port.flits_sent, 64u);
+}
+
+TEST(Contention, CrossClassMessagesMultiplexALink) {
+  // A pre-wrap (class 0) and a post-wrap (class 1) message occupy the two
+  // VC classes of the shared link simultaneously and time-multiplex its
+  // bandwidth — the behaviour Dally's Vbar models.
+  Simulator sim(quiet(8, 32, 2));
+  sim.metrics().begin_measurement(0);
+  sim.inject_now(1, 4);  // 1->2->3->4, class 0 at link 2->3
+  sim.inject_now(7, 5);  // 7->0(wrap)->...->5, class 1 at link 2->3
+  run_until_delivered(sim, 2, 5000);
+  const Router& r2 = sim.network().router(2);
+  const auto& port = r2.output_port(r2.out_port_for(0, topo::Direction::kPlus));
+  EXPECT_GT(port.vc_multiplexing(), 1.0);
+  EXPECT_EQ(port.flits_sent, 64u);
+}
+
+TEST(Contention, UtilizationReflectsFlitsSent) {
+  Simulator sim(quiet(6, 10));
+  sim.metrics().begin_measurement(0);
+  sim.inject_now(0, 2);
+  sim.step_cycles(300);
+  const Router& r0 = sim.network().router(0);
+  const auto& port = r0.output_port(0);
+  EXPECT_EQ(port.flits_sent, 10u);
+  EXPECT_NEAR(port.utilization(), 10.0 / 300.0, 1e-9);
+}
+
+TEST(Contention, HeadOfLineMessageDoesNotStarveOtherVc) {
+  // Message A occupies a path; message B on the other injection VC with a
+  // disjoint path must proceed immediately (crossbar is non-blocking).
+  Simulator sim(quiet(8, 40));
+  sim.metrics().begin_measurement(0);
+  sim.inject_now(0, 2);   // row 0
+  sim.inject_now(0, 16);  // column 0 (disjoint output port)
+  run_until_delivered(sim, 2, 5000);
+  // B (2 hops in y... node 16 is (0,2): 2 y-hops): zero-load 2+39=41; no
+  // interference expected.
+  EXPECT_LE(sim.metrics().latency().min(), 41.0 + 1.0);
+}
+
+TEST(Contention, ManyToOneCreatesTreeOfBlockedMessages) {
+  // All row-0 nodes fire at the same destination: deliveries must serialise
+  // on the last link, roughly one message per Lm cycles.
+  const int lm = 12;
+  Simulator sim(quiet(8, lm));
+  sim.metrics().begin_measurement(0);
+  for (topo::NodeId src = 0; src < 7; ++src) sim.inject_now(src, 7);
+  run_until_delivered(sim, 7, 20000);
+  EXPECT_GE(sim.current_cycle(), 7u * lm);  // serialisation lower bound
+  EXPECT_EQ(sim.metrics().flits_delivered(), 7u * lm);
+  EXPECT_EQ(sim.network().inflight_flits(), 0u);
+}
+
+}  // namespace
+}  // namespace kncube::sim

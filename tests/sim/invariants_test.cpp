@@ -1,0 +1,145 @@
+// White-box flow-control invariants: after any finite workload fully
+// drains, every credit must be returned, every VC released and every buffer
+// empty — the credit/release protocol leaks nothing. Violations here are
+// the bugs that silently skew latency results long before they deadlock.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace kncube::sim {
+namespace {
+
+SimConfig quiet_config(int k, int n, int vcs, int buffer_depth, int lm) {
+  SimConfig cfg;
+  cfg.k = k;
+  cfg.n = n;
+  cfg.vcs = vcs;
+  cfg.buffer_depth = buffer_depth;
+  cfg.message_length = lm;
+  cfg.injection_rate = 0.0;
+  return cfg;
+}
+
+void assert_network_pristine(const Network& net, int vcs, int buffer_depth) {
+  for (topo::NodeId id = 0; id < net.size(); ++id) {
+    const Router& r = net.router(id);
+    for (int p = 0; p < r.network_ports(); ++p) {
+      const auto& port = r.output_port(p);
+      for (int v = 0; v < vcs; ++v) {
+        const auto& ovc = port.vcs[static_cast<std::size_t>(v)];
+        EXPECT_FALSE(ovc.busy) << "node " << id << " port " << p << " vc " << v;
+        EXPECT_EQ(ovc.credits, buffer_depth)
+            << "node " << id << " port " << p << " vc " << v;
+      }
+    }
+    for (int p = 0; p <= r.network_ports(); ++p) {
+      for (int v = 0; v < vcs; ++v) {
+        const auto& ivc = r.input_vc(p, v);
+        EXPECT_TRUE(ivc.buffer.empty()) << "node " << id << " port " << p;
+        EXPECT_EQ(ivc.route_out, -1) << "node " << id << " port " << p;
+        EXPECT_EQ(ivc.out_vc, -1) << "node " << id << " port " << p;
+        EXPECT_FALSE(ivc.active) << "node " << id << " port " << p;
+      }
+    }
+  }
+}
+
+class DrainInvariants
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(DrainInvariants, EverythingReleasedAfterDrain) {
+  const auto [vcs, depth, lm, seed] = GetParam();
+  SimConfig cfg = quiet_config(4, 2, vcs, depth, lm);
+  Simulator sim(cfg);
+  sim.metrics().begin_measurement(0);
+
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(seed));
+  const topo::NodeId n = sim.network().size();
+  const std::uint64_t count = 200;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const auto src = static_cast<topo::NodeId>(rng.uniform_below(n));
+    auto dest = static_cast<topo::NodeId>(rng.uniform_below(n - 1));
+    if (dest >= src) ++dest;
+    sim.inject_now(src, dest);
+  }
+  const std::uint64_t cap = count * static_cast<std::uint64_t>(lm) * 8 + 20000;
+  while (sim.metrics().delivered_total() < count && sim.current_cycle() < cap) {
+    sim.step_cycles(32);
+  }
+  ASSERT_EQ(sim.metrics().delivered_total(), count);
+  // Let trailing credits/releases land (one-cycle lag).
+  sim.step_cycles(4);
+  assert_network_pristine(sim.network(), vcs, depth);
+}
+
+INSTANTIATE_TEST_SUITE_P(FlowControlSpace, DrainInvariants,
+                         ::testing::Combine(::testing::Values(2, 4),   // V
+                                            ::testing::Values(1, 2, 4), // B
+                                            ::testing::Values(1, 8),    // Lm
+                                            ::testing::Values(3, 11)    // seed
+                                            ));
+
+TEST(FlowControl, OutputVcHeldExactlyForMessageLifetime) {
+  // One message, watched cycle by cycle: the first-hop VC must be busy while
+  // any of its flits remain downstream and free afterwards.
+  SimConfig cfg = quiet_config(4, 2, 2, 2, 4);
+  Simulator sim(cfg);
+  sim.metrics().begin_measurement(0);
+  sim.inject_now(0, 2);  // two x-hops
+
+  const Router& r0 = sim.network().router(0);
+  const auto& port = r0.output_port(0);
+  bool was_busy = false;
+  for (int cycle = 0; cycle < 40; ++cycle) {
+    sim.step_cycles(1);
+    bool busy = false;
+    for (const auto& ovc : port.vcs) busy |= ovc.busy;
+    was_busy |= busy;
+    if (sim.metrics().delivered_total() == 1 && !busy) break;
+  }
+  EXPECT_TRUE(was_busy);
+  sim.step_cycles(4);
+  for (const auto& ovc : port.vcs) {
+    EXPECT_FALSE(ovc.busy);
+    EXPECT_EQ(ovc.credits, 2);
+  }
+}
+
+TEST(FlowControl, CreditsNeverExceedDepthNorGoNegative) {
+  // Sustained random traffic with frequent checks; the KNC_ASSERTs inside
+  // commit() would abort on accounting bugs, this test additionally scans
+  // externally-visible state.
+  SimConfig cfg = quiet_config(4, 2, 2, 2, 6);
+  cfg.injection_rate = 0.02;
+  cfg.pattern = Pattern::kUniform;
+  Simulator sim(cfg);
+  for (int round = 0; round < 50; ++round) {
+    sim.step_cycles(20);
+    for (topo::NodeId id = 0; id < sim.network().size(); ++id) {
+      const Router& r = sim.network().router(id);
+      for (int p = 0; p < r.network_ports(); ++p) {
+        for (const auto& ovc : r.output_port(p).vcs) {
+          ASSERT_GE(ovc.credits, 0);
+          ASSERT_LE(ovc.credits, 2);
+        }
+      }
+    }
+  }
+}
+
+TEST(FlowControl, StatsCyclesAdvanceUniformly) {
+  SimConfig cfg = quiet_config(4, 2, 2, 2, 4);
+  Simulator sim(cfg);
+  sim.network().reset_channel_stats();
+  sim.step_cycles(123);
+  for (topo::NodeId id = 0; id < sim.network().size(); ++id) {
+    const Router& r = sim.network().router(id);
+    for (int p = 0; p < r.network_ports(); ++p) {
+      EXPECT_EQ(r.output_port(p).stat_cycles, 123u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace kncube::sim

@@ -1,0 +1,141 @@
+// Zero-load correctness: a lone message's latency is exactly
+// hops + Lm - 1 cycles (one cycle per header hop, then the body drains at
+// one flit per cycle), for every route shape including wrap-arounds.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace kncube::sim {
+namespace {
+
+SimConfig quiet_config(int k, int lm, int vcs = 2, int buffer_depth = 2) {
+  SimConfig cfg;
+  cfg.k = k;
+  cfg.n = 2;
+  cfg.vcs = vcs;
+  cfg.buffer_depth = buffer_depth;
+  cfg.message_length = lm;
+  cfg.injection_rate = 0.0;  // manual injection only
+  cfg.pattern = Pattern::kUniform;
+  return cfg;
+}
+
+/// Injects src->dest into an idle network and returns the measured latency.
+double lone_message_latency(const SimConfig& cfg, topo::NodeId src,
+                            topo::NodeId dest) {
+  Simulator sim(cfg);
+  sim.metrics().begin_measurement(0);
+  sim.inject_now(src, dest);
+  const std::uint64_t cap = 10000;
+  for (std::uint64_t i = 0; i < cap && sim.metrics().delivered_total() == 0; ++i) {
+    sim.step_cycles(1);
+  }
+  EXPECT_EQ(sim.metrics().delivered_total(), 1u) << "message never arrived";
+  return sim.metrics().latency().mean();
+}
+
+TEST(SingleMessage, AdjacentHopMinimalLatency) {
+  const SimConfig cfg = quiet_config(4, 1);
+  EXPECT_EQ(lone_message_latency(cfg, 0, 1), 1.0);  // H=1, Lm=1
+}
+
+TEST(SingleMessage, LatencyIsHopsPlusBodyDrain) {
+  const SimConfig cfg = quiet_config(8, 16);
+  const topo::KAryNCube net(8, 2);
+  const topo::NodeId src = 0;
+  for (topo::NodeId dest : {1u, 7u, 8u, 9u, 36u, 63u}) {
+    const double expected = net.hops(src, dest) + 16 - 1;
+    EXPECT_EQ(lone_message_latency(cfg, src, dest), expected) << "dest=" << dest;
+  }
+}
+
+TEST(SingleMessage, WrapAroundPathsAreExact) {
+  const SimConfig cfg = quiet_config(6, 8);
+  const topo::KAryNCube net(6, 2);
+  topo::Coords a{}, b{};
+  a[0] = 5;
+  a[1] = 5;
+  b[0] = 1;
+  b[1] = 2;
+  const topo::NodeId src = net.node_at(a);
+  const topo::NodeId dest = net.node_at(b);
+  // x: 5->1 wraps (2 hops), y: 5->2 wraps (3 hops).
+  EXPECT_EQ(net.hops(src, dest), 5);
+  EXPECT_EQ(lone_message_latency(cfg, src, dest), 5 + 8 - 1);
+}
+
+TEST(SingleMessage, LongestPathInNetwork) {
+  const SimConfig cfg = quiet_config(5, 4);
+  const topo::KAryNCube net(5, 2);
+  // Unidirectional: worst case is k-1 hops per dimension.
+  topo::Coords a{}, b{};
+  b[0] = 4;
+  b[1] = 4;
+  const double lat =
+      lone_message_latency(cfg, net.node_at(a), net.node_at(b));
+  EXPECT_EQ(lat, 8 + 4 - 1);
+}
+
+TEST(SingleMessage, ThreeDimensionalRouting) {
+  SimConfig cfg = quiet_config(4, 8);
+  cfg.n = 3;
+  const topo::KAryNCube net(4, 3);
+  const topo::NodeId src = 0;
+  const topo::NodeId dest = net.size() - 1;  // (3,3,3): 3 hops per dim
+  EXPECT_EQ(lone_message_latency(cfg, src, dest), 9 + 8 - 1);
+}
+
+TEST(SingleMessage, BidirectionalTakesShortestDirection) {
+  SimConfig cfg = quiet_config(8, 8);
+  cfg.bidirectional = true;
+  const topo::KAryNCube net(8, 2, true);
+  topo::Coords a{}, b{};
+  a[0] = 0;
+  b[0] = 6;  // minus direction: 2 hops instead of 6
+  EXPECT_EQ(lone_message_latency(cfg, net.node_at(a), net.node_at(b)), 2 + 8 - 1);
+}
+
+TEST(SingleMessage, NetworkLatencyEqualsTotalWhenSourceIdle) {
+  const SimConfig cfg = quiet_config(8, 16);
+  Simulator sim(cfg);
+  sim.metrics().begin_measurement(0);
+  sim.inject_now(0, 3);
+  sim.step_cycles(100);
+  ASSERT_EQ(sim.metrics().delivered_total(), 1u);
+  EXPECT_DOUBLE_EQ(sim.metrics().source_wait().mean(), 0.0);
+  EXPECT_DOUBLE_EQ(sim.metrics().network_latency().mean(),
+                   sim.metrics().latency().mean());
+}
+
+TEST(SingleMessage, AllFlitsConsumedNoResidue) {
+  const SimConfig cfg = quiet_config(6, 12);
+  Simulator sim(cfg);
+  sim.metrics().begin_measurement(0);
+  sim.inject_now(2, 17);
+  sim.step_cycles(200);
+  EXPECT_EQ(sim.metrics().flits_delivered(), 12u);
+  EXPECT_EQ(sim.network().inflight_flits(), 0u);
+  EXPECT_EQ(sim.network().source_backlog(), 0u);
+}
+
+TEST(SingleMessage, UtilizationAccountingMatchesPath) {
+  // A lone Lm-flit message crossing H channels sends exactly H*Lm flits.
+  const SimConfig cfg = quiet_config(6, 10);
+  Simulator sim(cfg);
+  sim.metrics().begin_measurement(0);
+  const topo::KAryNCube& net = sim.network().topology();
+  const topo::NodeId src = 1;
+  const topo::NodeId dest = 15;
+  sim.inject_now(src, dest);
+  sim.step_cycles(200);
+  std::uint64_t flits = 0;
+  for (topo::NodeId id = 0; id < net.size(); ++id) {
+    for (int p = 0; p < sim.network().router(id).network_ports(); ++p) {
+      flits += sim.network().router(id).output_port(p).flits_sent;
+    }
+  }
+  EXPECT_EQ(flits, static_cast<std::uint64_t>(net.hops(src, dest)) * 10u);
+}
+
+}  // namespace
+}  // namespace kncube::sim

@@ -1,0 +1,189 @@
+#include "sim/traffic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "util/rng.hpp"
+
+namespace kncube::sim {
+namespace {
+
+TEST(UniformTraffic, NeverPicksSelfAndCoversAll) {
+  UniformTraffic pattern(16);
+  util::Xoshiro256 rng(1);
+  std::map<topo::NodeId, int> counts;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    const topo::NodeId d = pattern.pick_dest(5, rng);
+    ASSERT_NE(d, 5u);
+    ASSERT_LT(d, 16u);
+    ++counts[d];
+  }
+  EXPECT_EQ(counts.size(), 15u);
+  for (const auto& [node, c] : counts) EXPECT_NEAR(c, n / 15, n / 75) << node;
+}
+
+TEST(HotspotTraffic, HitsHotNodeAtConfiguredFraction) {
+  HotspotTraffic pattern(64, 10, 0.3);
+  util::Xoshiro256 rng(2);
+  int hot = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hot += pattern.pick_dest(3, rng) == 10 ? 1 : 0;
+  // P(dest == hot) = h + (1-h)/(N-1).
+  const double expected = 0.3 + 0.7 / 63.0;
+  EXPECT_NEAR(static_cast<double>(hot) / n, expected, 0.01);
+}
+
+TEST(HotspotTraffic, HotNodeSendsOnlyUniform) {
+  HotspotTraffic pattern(64, 10, 0.9);
+  util::Xoshiro256 rng(3);
+  std::map<topo::NodeId, int> counts;
+  for (int i = 0; i < 63000; ++i) {
+    const topo::NodeId d = pattern.pick_dest(10, rng);
+    ASSERT_NE(d, 10u);
+    ++counts[d];
+  }
+  EXPECT_EQ(counts.size(), 63u);  // all other nodes reachable, no hot bias
+  for (const auto& [node, c] : counts) EXPECT_NEAR(c, 1000, 250) << node;
+}
+
+TEST(HotspotTraffic, FractionZeroEqualsUniform) {
+  HotspotTraffic pattern(16, 0, 0.0);
+  util::Xoshiro256 rng(4);
+  int hot = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) hot += pattern.pick_dest(5, rng) == 0 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hot) / n, 1.0 / 15.0, 0.01);
+}
+
+TEST(HotspotTraffic, FractionOneAlwaysHitsHot) {
+  HotspotTraffic pattern(16, 3, 1.0);
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(pattern.pick_dest(7, rng), 3u);
+}
+
+TEST(TransposeTraffic, SwapsCoordinates) {
+  const topo::KAryNCube net(4, 2);
+  TransposeTraffic pattern(net);
+  util::Xoshiro256 rng(6);
+  topo::Coords c{};
+  c[0] = 1;
+  c[1] = 3;
+  const topo::NodeId src = net.node_at(c);
+  const topo::NodeId dst = pattern.pick_dest(src, rng);
+  EXPECT_EQ(net.coord(dst, 0), 3);
+  EXPECT_EQ(net.coord(dst, 1), 1);
+}
+
+TEST(TransposeTraffic, DiagonalFallsBackToUniform) {
+  const topo::KAryNCube net(4, 2);
+  TransposeTraffic pattern(net);
+  util::Xoshiro256 rng(7);
+  topo::Coords c{};
+  c[0] = 2;
+  c[1] = 2;
+  const topo::NodeId src = net.node_at(c);
+  for (int i = 0; i < 100; ++i) ASSERT_NE(pattern.pick_dest(src, rng), src);
+}
+
+TEST(BitComplementTraffic, MapsToComplement) {
+  BitComplementTraffic pattern(16);
+  util::Xoshiro256 rng(8);
+  EXPECT_EQ(pattern.pick_dest(0, rng), 15u);
+  EXPECT_EQ(pattern.pick_dest(5, rng), 10u);
+}
+
+TEST(BitReversalTraffic, ReversesAddressBits) {
+  BitReversalTraffic pattern(16);
+  util::Xoshiro256 rng(9);
+  // 16 nodes -> 4 bits: 0b0001 -> 0b1000.
+  EXPECT_EQ(pattern.pick_dest(1, rng), 8u);
+  EXPECT_EQ(pattern.pick_dest(3, rng), 12u);  // 0011 -> 1100
+}
+
+TEST(BitReversalTraffic, PalindromeFallsBackToUniform) {
+  BitReversalTraffic pattern(16);
+  util::Xoshiro256 rng(10);
+  for (int i = 0; i < 50; ++i) ASSERT_NE(pattern.pick_dest(9, rng), 9u);  // 1001
+}
+
+TEST(BernoulliArrivals, MatchesRate) {
+  BernoulliArrivals arr(0.05);
+  util::Xoshiro256 rng(11);
+  int fires = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) fires += arr.fire(rng) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(fires) / n, 0.05, 0.003);
+  EXPECT_DOUBLE_EQ(arr.mean_rate(), 0.05);
+}
+
+TEST(MmppArrivals, LongRunMeanMatchesRequestedRate) {
+  MmppParams params;
+  params.burst_rate_multiplier = 5.0;
+  params.p_enter_burst = 0.002;
+  params.p_leave_burst = 0.008;
+  MmppArrivals arr(0.01, params);
+  util::Xoshiro256 rng(12);
+  int fires = 0;
+  const int n = 2000000;
+  for (int i = 0; i < n; ++i) fires += arr.fire(rng) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(fires) / n, 0.01, 0.002);
+}
+
+TEST(MmppArrivals, StationarySplitIsConsistent) {
+  MmppParams params;
+  params.p_enter_burst = 0.001;
+  params.p_leave_burst = 0.004;
+  MmppArrivals arr(0.01, params);
+  EXPECT_NEAR(arr.burst_state_probability(), 0.2, 1e-12);
+  // pi_b*burst + pi_i*idle == mean.
+  EXPECT_NEAR(0.2 * arr.burst_rate() + 0.8 * arr.idle_rate(), 0.01, 1e-12);
+  EXPECT_GT(arr.burst_rate(), arr.idle_rate());
+}
+
+TEST(MmppArrivals, IsBurstierThanBernoulli) {
+  // Dispersion of per-window counts: MMPP must exceed Bernoulli's.
+  MmppParams params;
+  params.burst_rate_multiplier = 8.0;
+  params.p_enter_burst = 0.0005;
+  params.p_leave_burst = 0.002;
+  const double rate = 0.02;
+  util::Xoshiro256 rng_m(13), rng_b(13);
+  MmppArrivals mmpp(rate, params);
+  BernoulliArrivals bern(rate);
+
+  auto window_variance = [](auto& arr, util::Xoshiro256& rng) {
+    const int windows = 400;
+    const int len = 1000;
+    double mean = 0.0, m2 = 0.0;
+    for (int w = 0; w < windows; ++w) {
+      int count = 0;
+      for (int i = 0; i < len; ++i) count += arr.fire(rng) ? 1 : 0;
+      const double delta = count - mean;
+      mean += delta / (w + 1);
+      m2 += delta * (count - mean);
+    }
+    return m2 / (windows - 1);
+  };
+  EXPECT_GT(window_variance(mmpp, rng_m), 2.0 * window_variance(bern, rng_b));
+}
+
+TEST(Factories, BuildConfiguredTypes) {
+  const topo::KAryNCube net(8, 2);
+  SimConfig cfg;
+  cfg.k = 8;
+  cfg.pattern = Pattern::kHotspot;
+  cfg.hot_fraction = 0.4;
+  auto pattern = make_pattern(cfg, net);
+  auto* hotspot = dynamic_cast<HotspotTraffic*>(pattern.get());
+  ASSERT_NE(hotspot, nullptr);
+  EXPECT_DOUBLE_EQ(hotspot->hot_fraction(), 0.4);
+
+  cfg.arrivals = Arrivals::kMmpp;
+  auto arrivals = make_arrivals(cfg);
+  EXPECT_NE(dynamic_cast<MmppArrivals*>(arrivals.get()), nullptr);
+}
+
+}  // namespace
+}  // namespace kncube::sim

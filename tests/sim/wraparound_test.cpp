@@ -1,0 +1,122 @@
+// Dateline / wrap-around correctness: messages crossing ring wrap links must
+// switch VC class and still deliver, including under ring-saturating load.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.hpp"
+
+namespace kncube::sim {
+namespace {
+
+SimConfig quiet(int k, int lm, int vcs = 2) {
+  SimConfig cfg;
+  cfg.k = k;
+  cfg.n = 2;
+  cfg.vcs = vcs;
+  cfg.buffer_depth = 2;
+  cfg.message_length = lm;
+  cfg.injection_rate = 0.0;
+  return cfg;
+}
+
+TEST(Wraparound, EveryWrapPairDelivers) {
+  const int k = 5;
+  Simulator sim(quiet(k, 6));
+  sim.metrics().begin_measurement(0);
+  const topo::KAryNCube& net = sim.network().topology();
+  // All source/dest pairs in row 0 that wrap in x.
+  std::uint64_t expected = 0;
+  for (int sx = 1; sx < k; ++sx) {
+    for (int dx = 0; dx < sx; ++dx) {  // dx < sx => path wraps
+      topo::Coords a{}, b{};
+      a[0] = sx;
+      b[0] = dx;
+      sim.inject_now(net.node_at(a), net.node_at(b));
+      ++expected;
+    }
+  }
+  while (sim.metrics().delivered_total() < expected && sim.current_cycle() < 20000) {
+    sim.step_cycles(1);
+  }
+  EXPECT_EQ(sim.metrics().delivered_total(), expected);
+  EXPECT_EQ(sim.network().inflight_flits(), 0u);
+}
+
+TEST(Wraparound, FullRingLoadDrainsWithTwoVcs) {
+  // Every node of a ring sends k-1 hops (maximal wrap pressure): with the
+  // dateline classes this must drain; without them it could deadlock.
+  const int k = 6;
+  Simulator sim(quiet(k, 8, 2));
+  sim.metrics().begin_measurement(0);
+  const topo::KAryNCube& net = sim.network().topology();
+  for (int x = 0; x < k; ++x) {
+    topo::Coords a{}, b{};
+    a[0] = x;
+    b[0] = (x + k - 1) % k;  // k-1 hops ahead, every message wraps or nearly
+    sim.inject_now(net.node_at(a), net.node_at(b));
+  }
+  while (sim.metrics().delivered_total() < static_cast<std::uint64_t>(k) &&
+         sim.current_cycle() < 50000) {
+    sim.step_cycles(1);
+  }
+  EXPECT_EQ(sim.metrics().delivered_total(), static_cast<std::uint64_t>(k));
+}
+
+TEST(Wraparound, BothDimensionsWrapInOneRoute) {
+  const int k = 4;
+  Simulator sim(quiet(k, 5));
+  sim.metrics().begin_measurement(0);
+  const topo::KAryNCube& net = sim.network().topology();
+  topo::Coords a{}, b{};
+  a[0] = 3;
+  a[1] = 3;
+  b[0] = 1;
+  b[1] = 1;
+  sim.inject_now(net.node_at(a), net.node_at(b));
+  sim.step_cycles(100);
+  ASSERT_EQ(sim.metrics().delivered_total(), 1u);
+  EXPECT_DOUBLE_EQ(sim.metrics().latency().mean(), 4 + 5 - 1);
+}
+
+TEST(Wraparound, DatelineRestartsPerDimension) {
+  // A route that wraps in x must start again in class 0 when entering y;
+  // observable end-to-end: the message still delivers with exact latency
+  // even when the y leg also wraps.
+  const int k = 5;
+  Simulator sim(quiet(k, 7));
+  sim.metrics().begin_measurement(0);
+  const topo::KAryNCube& net = sim.network().topology();
+  topo::Coords a{}, b{};
+  a[0] = 4;
+  a[1] = 4;
+  b[0] = 2;  // x wraps: 3 hops
+  b[1] = 3;  // y wraps: 4 hops
+  sim.inject_now(net.node_at(a), net.node_at(b));
+  sim.step_cycles(200);
+  ASSERT_EQ(sim.metrics().delivered_total(), 1u);
+  EXPECT_DOUBLE_EQ(sim.metrics().latency().mean(), 7 + 7 - 1);
+}
+
+TEST(Wraparound, ManyVcsSplitIntoClassesCorrectly) {
+  // V=6: classes get 3+3 VCs; ring-saturating traffic must still drain.
+  const int k = 6;
+  Simulator sim(quiet(k, 4, 6));
+  sim.metrics().begin_measurement(0);
+  const topo::KAryNCube& net = sim.network().topology();
+  std::uint64_t count = 0;
+  for (int x = 0; x < k; ++x) {
+    for (int d = 1; d < k; ++d) {
+      topo::Coords a{}, b{};
+      a[0] = x;
+      b[0] = (x + d) % k;
+      sim.inject_now(net.node_at(a), net.node_at(b));
+      ++count;
+    }
+  }
+  while (sim.metrics().delivered_total() < count && sim.current_cycle() < 100000) {
+    sim.step_cycles(1);
+  }
+  EXPECT_EQ(sim.metrics().delivered_total(), count);
+}
+
+}  // namespace
+}  // namespace kncube::sim

@@ -1,0 +1,143 @@
+#include "topology/hotspot_geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kncube::topo {
+namespace {
+
+class HotspotGeometryTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HotspotGeometryTest, ClosedFormMatchesBruteForceXChannels) {
+  const int k = GetParam();
+  const KAryNCube net(k, 2);
+  const HotspotGeometry geo(net, net.size() / 2 + 1);
+  for (int j = 1; j <= k; ++j) {
+    EXPECT_NEAR(geo.p_hx(j), geo.p_hx_bruteforce(j), 1e-12)
+        << "k=" << k << " j=" << j;
+  }
+}
+
+TEST_P(HotspotGeometryTest, ClosedFormMatchesBruteForceYChannels) {
+  const int k = GetParam();
+  const KAryNCube net(k, 2);
+  const HotspotGeometry geo(net, net.size() / 2 + 1);
+  for (int j = 1; j <= k; ++j) {
+    EXPECT_NEAR(geo.p_hy(j), geo.p_hy_bruteforce(j), 1e-12)
+        << "k=" << k << " j=" << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Radices, HotspotGeometryTest, ::testing::Values(3, 4, 5, 8));
+
+TEST(HotspotGeometry, ChannelClassificationAroundHotNode) {
+  const KAryNCube net(4, 2);
+  Coords hc{};
+  hc[0] = 2;
+  hc[1] = 1;
+  const NodeId hot = net.node_at(hc);
+  const HotspotGeometry geo(net, hot);
+
+  // Node just left of the hot column (x == 1): its x channel is 1 hop away.
+  Coords c{};
+  c[0] = 1;
+  c[1] = 3;
+  EXPECT_EQ(geo.x_channel_hops_from_hot_ring(net.node_at(c)), 1);
+  // A hot-column node's own x channel is k hops away (carries no hot traffic).
+  c[0] = 2;
+  EXPECT_EQ(geo.x_channel_hops_from_hot_ring(net.node_at(c)), 4);
+  // Wrap-around: x == 3 is k-1 hops away from column 2.
+  c[0] = 3;
+  EXPECT_EQ(geo.x_channel_hops_from_hot_ring(net.node_at(c)), 3);
+}
+
+TEST(HotspotGeometry, HotYChannelClassification) {
+  const KAryNCube net(4, 2);
+  Coords hc{};
+  hc[0] = 0;
+  hc[1] = 0;
+  const NodeId hot = net.node_at(hc);
+  const HotspotGeometry geo(net, hot);
+
+  Coords c{};
+  c[0] = 0;
+  c[1] = 3;  // one hop below the hot node (3 -> 0 wraps)
+  EXPECT_EQ(geo.hot_y_channel_hops_from_hot(net.node_at(c)), 1);
+  // The hot node's own outgoing y channel is k hops away.
+  EXPECT_EQ(geo.hot_y_channel_hops_from_hot(hot), 4);
+}
+
+TEST(HotspotGeometry, XRingClassification) {
+  const KAryNCube net(5, 2);
+  Coords hc{};
+  hc[0] = 2;
+  hc[1] = 2;
+  const HotspotGeometry geo(net, net.node_at(hc));
+
+  Coords c{};
+  c[0] = 4;
+  c[1] = 1;  // row 1 is one hop below the hot row 2
+  EXPECT_EQ(geo.x_ring_hops_from_hot(net.node_at(c)), 1);
+  c[1] = 2;  // the hot node's own row is k hops away
+  EXPECT_EQ(geo.x_ring_hops_from_hot(net.node_at(c)), 5);
+}
+
+TEST(HotspotGeometry, InHotColumn) {
+  const KAryNCube net(4, 2);
+  Coords hc{};
+  hc[0] = 1;
+  hc[1] = 2;
+  const HotspotGeometry geo(net, net.node_at(hc));
+  Coords c{};
+  c[0] = 1;
+  c[1] = 0;
+  EXPECT_TRUE(geo.in_hot_column(net.node_at(c)));
+  c[0] = 2;
+  EXPECT_FALSE(geo.in_hot_column(net.node_at(c)));
+}
+
+TEST(HotspotGeometry, FractionsSumOverChannelCrossingsMatchesTotalHops) {
+  // Sum over j of N*P_hy(j) counts every hot-y-ring channel crossing of all
+  // hot messages; equally Sum_j N*P_hx(j) counts x-ring crossings. Their sum
+  // must equal the total hop count of all N-1 hot-bound routes.
+  const int k = 6;
+  const KAryNCube net(k, 2);
+  const NodeId hot = 13;
+  const HotspotGeometry geo(net, hot);
+
+  double crossings = 0.0;
+  for (int j = 1; j <= k; ++j) {
+    crossings += static_cast<double>(net.size()) * geo.p_hy(j);
+    // Each of the k rows contains one x-channel class-j instance; hot
+    // messages cross the one in their own row.
+    crossings += static_cast<double>(net.size()) * geo.p_hx(j) *
+                 static_cast<double>(k);
+  }
+  double total_hops = 0.0;
+  for (NodeId s = 0; s < net.size(); ++s) {
+    if (s == hot) continue;
+    total_hops += geo.hot_message_hops(s);
+  }
+  EXPECT_NEAR(crossings, total_hops, 1e-9);
+}
+
+TEST(HotspotGeometry, HotMessageHops) {
+  const KAryNCube net(4, 2);
+  Coords hc{};
+  hc[0] = 0;
+  hc[1] = 0;
+  const HotspotGeometry geo(net, net.node_at(hc));
+  Coords c{};
+  c[0] = 3;
+  c[1] = 3;
+  EXPECT_EQ(geo.hot_message_hops(net.node_at(c)), 2);  // 3->0 wrap in each dim
+}
+
+TEST(HotspotGeometryDeathTest, RequiresPaperTopology) {
+  const KAryNCube three_d(4, 3);
+  EXPECT_DEATH(HotspotGeometry(three_d, 0), "2-D");
+  const KAryNCube bidir(4, 2, true);
+  EXPECT_DEATH(HotspotGeometry(bidir, 0), "unidirectional");
+}
+
+}  // namespace
+}  // namespace kncube::topo

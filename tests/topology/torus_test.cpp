@@ -1,0 +1,197 @@
+#include "topology/torus.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace kncube::topo {
+namespace {
+
+TEST(Torus, SizeAndDims) {
+  const KAryNCube net(4, 2);
+  EXPECT_EQ(net.size(), 16u);
+  EXPECT_EQ(net.radix(), 4);
+  EXPECT_EQ(net.dims(), 2);
+  EXPECT_EQ(net.channels_per_node(), 2);
+
+  const KAryNCube cube(3, 3);
+  EXPECT_EQ(cube.size(), 27u);
+}
+
+TEST(Torus, CoordinateRoundTrip) {
+  const KAryNCube net(5, 3);
+  for (NodeId id = 0; id < net.size(); ++id) {
+    EXPECT_EQ(net.node_at(net.coords(id)), id);
+  }
+}
+
+TEST(Torus, CoordsVaryFastestInDimensionZero) {
+  const KAryNCube net(4, 2);
+  EXPECT_EQ(net.coord(1, 0), 1);
+  EXPECT_EQ(net.coord(1, 1), 0);
+  EXPECT_EQ(net.coord(4, 0), 0);
+  EXPECT_EQ(net.coord(4, 1), 1);
+}
+
+TEST(Torus, NeighborWrapsAround) {
+  const KAryNCube net(4, 2);
+  Coords c{};
+  c[0] = 3;
+  c[1] = 2;
+  const NodeId n = net.node_at(c);
+  EXPECT_EQ(net.coord(net.neighbor(n, 0, Direction::kPlus), 0), 0);
+  EXPECT_EQ(net.coord(net.neighbor(n, 1, Direction::kPlus), 1), 3);
+  Coords z{};
+  const NodeId zero = net.node_at(z);
+  EXPECT_EQ(net.coord(net.neighbor(zero, 0, Direction::kMinus), 0), 3);
+}
+
+TEST(Torus, NeighborInverse) {
+  const KAryNCube net(6, 2);
+  for (NodeId id = 0; id < net.size(); ++id) {
+    for (int d = 0; d < net.dims(); ++d) {
+      const NodeId fwd = net.neighbor(id, d, Direction::kPlus);
+      EXPECT_EQ(net.neighbor(fwd, d, Direction::kMinus), id);
+    }
+  }
+}
+
+TEST(Torus, RingDistanceUnidirectional) {
+  const KAryNCube net(8, 2);
+  EXPECT_EQ(net.ring_distance(0, 3, Direction::kPlus), 3);
+  EXPECT_EQ(net.ring_distance(3, 0, Direction::kPlus), 5);  // wraps
+  EXPECT_EQ(net.ring_distance(5, 5, Direction::kPlus), 0);
+  EXPECT_EQ(net.ring_hops(3, 0), 5);  // unidirectional: no shortcut
+  EXPECT_EQ(net.ring_direction(3, 0), Direction::kPlus);
+}
+
+TEST(Torus, RingDistanceBidirectionalTakesShortest) {
+  const KAryNCube net(8, 2, /*bidirectional=*/true);
+  EXPECT_EQ(net.ring_hops(0, 3), 3);
+  EXPECT_EQ(net.ring_hops(0, 5), 3);  // minus direction
+  EXPECT_EQ(net.ring_direction(0, 5), Direction::kMinus);
+  EXPECT_EQ(net.ring_direction(0, 3), Direction::kPlus);
+  // Exact tie (distance k/2): plus wins by convention.
+  EXPECT_EQ(net.ring_hops(0, 4), 4);
+  EXPECT_EQ(net.ring_direction(0, 4), Direction::kPlus);
+}
+
+TEST(Torus, HopsIsSumOverDimensions) {
+  const KAryNCube net(5, 2);
+  Coords a{}, b{};
+  a[0] = 1;
+  a[1] = 4;
+  b[0] = 3;
+  b[1] = 0;
+  // x: 1->3 = 2 hops; y: 4->0 = 1 hop (wrap).
+  EXPECT_EQ(net.hops(net.node_at(a), net.node_at(b)), 3);
+}
+
+TEST(Torus, RouteFollowsDimensionOrder) {
+  const KAryNCube net(4, 2);
+  Coords a{}, b{};
+  a[0] = 0;
+  a[1] = 0;
+  b[0] = 2;
+  b[1] = 3;
+  const auto path = net.route(net.node_at(a), net.node_at(b));
+  ASSERT_EQ(path.size(), 2u + 3u);  // 2 x-hops then 3 y-hops (unidirectional)
+  EXPECT_EQ(path[0].dim, 0);
+  EXPECT_EQ(path[1].dim, 0);
+  EXPECT_EQ(path[2].dim, 1);
+  EXPECT_EQ(path[3].dim, 1);
+  EXPECT_EQ(path[4].dim, 1);
+  // Dimension order: once a y hop appears, no x hops follow.
+  bool seen_y = false;
+  for (const auto& hop : path) {
+    if (hop.dim == 1) seen_y = true;
+    if (seen_y) {
+      EXPECT_EQ(hop.dim, 1);
+    }
+  }
+}
+
+TEST(Torus, RouteIsConnectedAndTerminates) {
+  const KAryNCube net(4, 3);
+  for (NodeId s = 0; s < net.size(); s += 7) {
+    for (NodeId d = 0; d < net.size(); d += 5) {
+      const auto path = net.route(s, d);
+      EXPECT_EQ(path.size(), static_cast<std::size_t>(net.hops(s, d)));
+      NodeId cur = s;
+      for (const auto& hop : path) {
+        EXPECT_EQ(hop.from, cur);
+        EXPECT_EQ(net.neighbor(cur, hop.dim, hop.dir), hop.to);
+        cur = hop.to;
+      }
+      EXPECT_EQ(cur, d);
+    }
+  }
+}
+
+TEST(Torus, RouteToSelfIsEmpty) {
+  const KAryNCube net(4, 2);
+  EXPECT_TRUE(net.route(5, 5).empty());
+  EXPECT_EQ(net.next_route_dim(5, 5), -1);
+}
+
+TEST(Torus, WrapLinkDetection) {
+  const KAryNCube net(4, 2);
+  Coords c{};
+  c[0] = 3;
+  const NodeId edge = net.node_at(c);
+  EXPECT_TRUE(net.is_wrap_link(edge, 0, Direction::kPlus));
+  EXPECT_FALSE(net.is_wrap_link(edge, 1, Direction::kPlus));
+  Coords z{};
+  const NodeId zero = net.node_at(z);
+  EXPECT_FALSE(net.is_wrap_link(zero, 0, Direction::kPlus));
+  EXPECT_TRUE(net.is_wrap_link(zero, 0, Direction::kMinus));
+}
+
+TEST(Torus, RouteMarksWrapHops) {
+  const KAryNCube net(4, 2);
+  Coords a{}, b{};
+  a[0] = 3;
+  b[0] = 1;
+  // 3 -> 0 (wrap) -> 1 in dimension x.
+  const auto path = net.route(net.node_at(a), net.node_at(b));
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_TRUE(path[0].wraps);
+  EXPECT_FALSE(path[1].wraps);
+}
+
+TEST(Torus, MeanRingHopsUniform) {
+  EXPECT_DOUBLE_EQ(KAryNCube(16, 2).mean_ring_hops_uniform(), 7.5);  // (k-1)/2
+  EXPECT_DOUBLE_EQ(KAryNCube(4, 2).mean_ring_hops_uniform(), 1.5);
+  // Bidirectional 8-ring: distances 0,1,2,3,4,3,2,1 -> mean 2.
+  EXPECT_DOUBLE_EQ(KAryNCube(8, 2, true).mean_ring_hops_uniform(), 2.0);
+}
+
+TEST(Torus, MeanHopsMatchesBruteForceEnumeration) {
+  const KAryNCube net(6, 2);
+  double acc = 0.0;
+  std::uint64_t pairs = 0;
+  for (NodeId s = 0; s < net.size(); ++s) {
+    for (NodeId d = 0; d < net.size(); ++d) {
+      if (s == d) continue;
+      acc += net.hops(s, d);
+      ++pairs;
+    }
+  }
+  // Mean over ordered pairs: 2 * (k-1)/2 * N/(N-1) (self pairs excluded).
+  const double expected = 2.0 * 2.5 * 36.0 / 35.0;
+  EXPECT_NEAR(acc / static_cast<double>(pairs), expected, 1e-12);
+}
+
+TEST(Torus, BidirectionalHasTwiceTheChannels) {
+  EXPECT_EQ(KAryNCube(4, 2, true).channels_per_node(), 4);
+  EXPECT_EQ(KAryNCube(4, 3, true).channels_per_node(), 6);
+}
+
+TEST(TorusDeathTest, RejectsDegenerateParameters) {
+  EXPECT_DEATH(KAryNCube(1, 2), "radix");
+  EXPECT_DEATH(KAryNCube(4, 0), "dimension");
+  EXPECT_DEATH(KAryNCube(4, kMaxDims + 1), "dimension");
+}
+
+}  // namespace
+}  // namespace kncube::topo

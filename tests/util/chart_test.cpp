@@ -1,0 +1,107 @@
+#include "util/chart.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+namespace kncube::util {
+namespace {
+
+ChartOptions small_options() {
+  ChartOptions o;
+  o.width = 24;
+  o.height = 8;
+  return o;
+}
+
+TEST(Chart, RendersMarkersAndLegend) {
+  Series s;
+  s.name = "model";
+  s.marker = 'm';
+  s.x = {0.0, 1.0, 2.0};
+  s.y = {1.0, 2.0, 3.0};
+  const std::string out = render_chart({s}, small_options());
+  EXPECT_NE(out.find('m'), std::string::npos);
+  EXPECT_NE(out.find("m = model"), std::string::npos);
+}
+
+TEST(Chart, EmptySeriesProducesPlaceholder) {
+  Series s;
+  s.name = "empty";
+  const std::string out = render_chart({s}, small_options());
+  EXPECT_NE(out.find("no finite points"), std::string::npos);
+}
+
+TEST(Chart, SkipsNonFiniteValues) {
+  Series s;
+  s.name = "with-inf";
+  s.marker = 'x';
+  s.x = {0.0, 1.0, 2.0};
+  s.y = {1.0, std::numeric_limits<double>::infinity(), 2.0};
+  const std::string out = render_chart({s}, small_options());
+  // Two finite markers only.
+  std::size_t count = 0;
+  for (char ch : out) count += ch == 'x' ? 1u : 0u;
+  EXPECT_EQ(count, 2u + 1u);  // plot markers + legend line
+}
+
+TEST(Chart, ExtremesLandOnOppositeRows) {
+  Series s;
+  s.name = "line";
+  s.marker = '*';
+  s.x = {0.0, 1.0};
+  s.y = {0.0, 10.0};
+  ChartOptions o = small_options();
+  const std::string out = render_chart({s}, o);
+  // The max lands on the first plotted row, the min on the last.
+  const auto first_star = out.find('*');
+  const auto last_star = out.rfind('*', out.find("* = ") - 1);
+  EXPECT_LT(first_star, out.find('+'));
+  EXPECT_GT(last_star, first_star);
+}
+
+TEST(Chart, TitleAndLabelsAppear) {
+  Series s;
+  s.name = "s";
+  s.x = {0.0, 1.0};
+  s.y = {0.0, 1.0};
+  ChartOptions o = small_options();
+  o.title = "My Chart";
+  o.x_label = "rate";
+  o.y_label = "latency";
+  const std::string out = render_chart({s}, o);
+  EXPECT_NE(out.find("My Chart"), std::string::npos);
+  EXPECT_NE(out.find("rate"), std::string::npos);
+  EXPECT_NE(out.find("latency"), std::string::npos);
+}
+
+TEST(Chart, ClippingLimitsYRange) {
+  Series s;
+  s.name = "spike";
+  s.x = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  s.y = {1, 1, 1, 1, 1, 1, 1, 1, 1, 1000};
+  ChartOptions o = small_options();
+  o.y_clip_quantile = 0.8;
+  const std::string out = render_chart({s}, o);
+  // Without clipping the axis top tick would be 1000.
+  EXPECT_EQ(out.find("1000"), std::string::npos);
+}
+
+TEST(Chart, MultipleSeriesShareAxes) {
+  Series a;
+  a.name = "a";
+  a.marker = 'a';
+  a.x = {0.0, 1.0};
+  a.y = {0.0, 1.0};
+  Series b;
+  b.name = "b";
+  b.marker = 'b';
+  b.x = {0.0, 1.0};
+  b.y = {2.0, 3.0};
+  const std::string out = render_chart({a, b}, small_options());
+  EXPECT_NE(out.find('a'), std::string::npos);
+  EXPECT_NE(out.find('b'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace kncube::util

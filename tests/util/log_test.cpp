@@ -1,0 +1,58 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace kncube::util {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelOrderingGatesOutput) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kWarn);
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_FALSE(log_enabled(LogLevel::kDebug));
+}
+
+TEST(Log, SetLevelIsObserved) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_TRUE(log_enabled(LogLevel::kDebug));
+  set_log_level(LogLevel::kError);
+  EXPECT_FALSE(log_enabled(LogLevel::kWarn));
+}
+
+TEST(Log, MacroShortCircuitsWhenDisabled) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&] {
+    ++evaluations;
+    return 42;
+  };
+  KNC_LOG_DEBUG << "value " << expensive();
+  EXPECT_EQ(evaluations, 0);  // the stream expression must not run
+  KNC_LOG_ERROR << "value " << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Log, WritingDoesNotCrashAtAnyLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  KNC_LOG_ERROR << "error " << 1;
+  KNC_LOG_WARN << "warn " << 2.5;
+  KNC_LOG_INFO << "info " << "text";
+  KNC_LOG_DEBUG << "debug " << 'c';
+}
+
+}  // namespace
+}  // namespace kncube::util

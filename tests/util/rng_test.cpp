@@ -1,0 +1,155 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace kncube::util {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Xoshiro256, DeterministicForSeed) {
+  Xoshiro256 a(123);
+  Xoshiro256 b(123);
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a(), b());
+}
+
+TEST(Xoshiro256, ZeroSeedIsValid) {
+  Xoshiro256 rng(0);
+  // A broken all-zero state would return 0 forever.
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 16; ++i) seen.insert(rng());
+  EXPECT_GT(seen.size(), 10u);
+}
+
+TEST(Xoshiro256, UniformIsInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256, UniformMeanIsHalf) {
+  Xoshiro256 rng(11);
+  double acc = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) acc += rng.uniform();
+  EXPECT_NEAR(acc / n, 0.5, 0.005);
+}
+
+TEST(Xoshiro256, UniformBelowStaysInRange) {
+  Xoshiro256 rng(13);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 255ull, 1000000ull}) {
+    for (int i = 0; i < 1000; ++i) ASSERT_LT(rng.uniform_below(bound), bound);
+  }
+}
+
+TEST(Xoshiro256, UniformBelowCoversAllValues) {
+  Xoshiro256 rng(17);
+  std::vector<int> counts(7, 0);
+  const int n = 70000;
+  for (int i = 0; i < n; ++i) ++counts[rng.uniform_below(7)];
+  // Each bucket should be within 10% of the expected n/7.
+  for (int c : counts) EXPECT_NEAR(c, n / 7, n / 70);
+}
+
+TEST(Xoshiro256, UniformIntIsInclusive) {
+  Xoshiro256 rng(19);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Xoshiro256, BernoulliMatchesProbability) {
+  Xoshiro256 rng(23);
+  const double p = 0.137;
+  int hits = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(p) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.004);
+}
+
+TEST(Xoshiro256, BernoulliEdgeCases) {
+  Xoshiro256 rng(29);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Xoshiro256, ExponentialHasRequestedMean) {
+  Xoshiro256 rng(31);
+  const double rate = 0.25;
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += rng.exponential(rate);
+  EXPECT_NEAR(acc / n, 1.0 / rate, 0.1);
+}
+
+TEST(Xoshiro256, GeometricHasRequestedMean) {
+  Xoshiro256 rng(37);
+  const double p = 0.02;
+  double acc = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) acc += static_cast<double>(rng.geometric(p));
+  // Mean failures before first success: (1-p)/p = 49.
+  EXPECT_NEAR(acc / n, (1.0 - p) / p, 1.5);
+}
+
+TEST(Xoshiro256, GeometricWithCertaintyIsZero) {
+  Xoshiro256 rng(41);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.geometric(1.0), 0u);
+}
+
+TEST(Xoshiro256, SplitStreamsAreIndependent) {
+  Xoshiro256 root(99);
+  Xoshiro256 a = root.split(0);
+  Xoshiro256 b = root.split(1);
+  // Identical streams would produce identical sums.
+  double sa = 0.0;
+  double sb = 0.0;
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto x = a();
+    const auto y = b();
+    sa += static_cast<double>(x >> 40);
+    sb += static_cast<double>(y >> 40);
+    equal += x == y ? 1 : 0;
+  }
+  EXPECT_EQ(equal, 0);
+  EXPECT_NE(sa, sb);
+}
+
+TEST(Xoshiro256, SplitIsStableAcrossCalls) {
+  Xoshiro256 root1(7);
+  Xoshiro256 root2(7);
+  Xoshiro256 a = root1.split(5);
+  Xoshiro256 b = root2.split(5);
+  for (int i = 0; i < 100; ++i) ASSERT_EQ(a(), b());
+}
+
+}  // namespace
+}  // namespace kncube::util

@@ -1,0 +1,194 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace kncube::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZeroed) {
+  RunningStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.sem(), 0.0);
+}
+
+TEST(RunningStats, MatchesNaiveComputation) {
+  const std::vector<double> xs = {3.0, 1.5, -2.0, 7.25, 0.0, 4.5, -1.25};
+  RunningStats s;
+  for (double x : xs) s.add(x);
+
+  double mean = 0.0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+
+  EXPECT_EQ(s.count(), xs.size());
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-12);
+  EXPECT_EQ(s.min(), -2.0);
+  EXPECT_EQ(s.max(), 7.25);
+}
+
+TEST(RunningStats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(5.0);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean = a.mean();
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), mean);
+
+  RunningStats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.mean(), mean);
+}
+
+TEST(RunningStats, Ci95ShrinksWithSamples) {
+  RunningStats small, large;
+  for (int i = 0; i < 10; ++i) small.add(i % 5);
+  for (int i = 0; i < 1000; ++i) large.add(i % 5);
+  EXPECT_GT(small.ci95_half_width(), large.ci95_half_width());
+}
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.bins(), 5u);
+  EXPECT_EQ(h.bin_lo(0), 0.0);
+  EXPECT_EQ(h.bin_hi(0), 2.0);
+  EXPECT_EQ(h.bin_lo(4), 8.0);
+  EXPECT_EQ(h.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, CountsSamplesInRightBins) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(1.99);  // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderAndOverflow) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);
+  h.add(10.0);  // hi edge is exclusive
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, QuantileOfUniformSamples) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.95), 95.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.05), 5.0, 1.5);
+}
+
+TEST(Histogram, QuantileDegenerateCases) {
+  Histogram h(0.0, 10.0, 5);
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // empty -> lo
+  h.add(5.0);
+  EXPECT_GE(h.quantile(0.0), 0.0);
+  EXPECT_LE(h.quantile(1.0), 10.0);
+}
+
+TEST(BatchMeans, ConvergesOnStationaryStream) {
+  BatchMeans bm(100, 0.05, 3);
+  bool converged = false;
+  for (int i = 0; i < 100000 && !converged; ++i) {
+    converged = bm.add(10.0 + (i % 7) * 0.1);
+  }
+  EXPECT_TRUE(converged);
+  EXPECT_NEAR(bm.overall_mean(), 10.3, 0.05);
+}
+
+TEST(BatchMeans, DoesNotConvergeOnTrendingStream) {
+  BatchMeans bm(100, 0.01, 3);
+  bool converged = false;
+  // Strongly growing stream: the cumulative mean keeps moving.
+  for (int i = 0; i < 5000; ++i) converged |= bm.add(static_cast<double>(i));
+  EXPECT_FALSE(converged);
+}
+
+TEST(BatchMeans, NeedsTwoWindowsBeforeConverging) {
+  BatchMeans bm(10, 0.5, 3);
+  // 5 batches < 2*window: cannot converge yet even on constant data.
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(bm.add(1.0));
+  EXPECT_EQ(bm.completed_batches(), 5u);
+}
+
+TEST(BatchMeans, TracksBatchMeans) {
+  BatchMeans bm(2, 0.01, 2);
+  bm.add(1.0);
+  bm.add(3.0);
+  bm.add(5.0);
+  bm.add(7.0);
+  ASSERT_EQ(bm.completed_batches(), 2u);
+  EXPECT_EQ(bm.batch_means()[0], 2.0);
+  EXPECT_EQ(bm.batch_means()[1], 6.0);
+}
+
+TEST(Correlation, PerfectlyCorrelated) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const std::vector<double> b = {10, 20, 30, 40, 50};
+  EXPECT_NEAR(pearson_correlation(a, b), 1.0, 1e-12);
+}
+
+TEST(Correlation, PerfectlyAnticorrelated) {
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {3, 2, 1};
+  EXPECT_NEAR(pearson_correlation(a, b), -1.0, 1e-12);
+}
+
+TEST(Correlation, DegenerateSeriesGiveZero) {
+  EXPECT_EQ(pearson_correlation({1.0}, {2.0}), 0.0);
+  EXPECT_EQ(pearson_correlation({1, 1, 1}, {1, 2, 3}), 0.0);
+}
+
+TEST(MeanRelativeError, BasicAndSkipsNonpositive) {
+  EXPECT_NEAR(mean_relative_error({11, 22}, {10, 20}), 0.1, 1e-12);
+  // Entries with b <= 0 are skipped.
+  EXPECT_NEAR(mean_relative_error({11, 5}, {10, 0}), 0.1, 1e-12);
+  EXPECT_EQ(mean_relative_error({1}, {0}), 0.0);
+}
+
+}  // namespace
+}  // namespace kncube::util

@@ -1,0 +1,103 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+namespace kncube::util {
+namespace {
+
+TEST(Table, RendersHeadersAndValues) {
+  Table t({"name", "value"});
+  t.add_row({std::string("alpha"), 1.5});
+  t.add_row({std::string("beta"), static_cast<long long>(42)});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("1.5"), std::string::npos);
+  EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(Table, TitleAppearsInBothRenderings) {
+  Table t({"a"});
+  t.set_title("My Title");
+  t.add_row({1.0});
+  EXPECT_NE(t.to_string().find("My Title"), std::string::npos);
+  EXPECT_NE(t.to_csv().find("# My Title"), std::string::npos);
+}
+
+TEST(Table, PrecisionControlsDoubles) {
+  Table t({"x"});
+  t.set_precision(2);
+  t.add_row({3.14159});
+  EXPECT_NE(t.to_string().find("3.1"), std::string::npos);
+  EXPECT_EQ(t.to_string().find("3.14159"), std::string::npos);
+}
+
+TEST(Table, SpecialDoublesRenderReadably) {
+  Table t({"x"});
+  t.add_row({std::numeric_limits<double>::infinity()});
+  t.add_row({std::numeric_limits<double>::quiet_NaN()});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("inf (saturated)"), std::string::npos);
+  EXPECT_NE(out.find("nan"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"field"});
+  t.add_row({std::string("a,b")});
+  t.add_row({std::string("say \"hi\"")});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, CsvHasHeaderAndRows) {
+  Table t({"a", "b"});
+  t.add_row({1.0, 2.0});
+  std::istringstream in(t.to_csv());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+}
+
+TEST(Table, WriteCsvRoundTrips) {
+  Table t({"k", "v"});
+  t.add_row({std::string("x"), 7.5});
+  const std::string path = testing::TempDir() + "/kncube_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), t.to_csv());
+  std::remove(path.c_str());
+}
+
+TEST(Table, WriteCsvFailsOnBadPath) {
+  Table t({"a"});
+  EXPECT_FALSE(t.write_csv("/nonexistent-dir-kncube/table.csv"));
+}
+
+TEST(Table, ColumnsAlignAcrossRows) {
+  Table t({"col"});
+  t.add_row({std::string("short")});
+  t.add_row({std::string("much-longer-content")});
+  std::istringstream in(t.to_string());
+  std::string first;
+  std::getline(in, first);
+  std::string line;
+  while (std::getline(in, line)) EXPECT_EQ(line.size(), first.size());
+}
+
+TEST(TableDeathTest, RowWidthMismatchAsserts) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({1.0}), "row width");
+}
+
+}  // namespace
+}  // namespace kncube::util

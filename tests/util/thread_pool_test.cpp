@@ -1,0 +1,106 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace kncube::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ZeroCountIsNoop) {
+  ThreadPool pool(2);
+  bool ran = false;
+  pool.parallel_for(0, [&](std::size_t) { ran = true; });
+  EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPool, SingleIterationRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.parallel_for(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    count.fetch_add(1);
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, ComputesParallelSum) {
+  ThreadPool pool(8);
+  const std::size_t n = 10000;
+  std::vector<double> out(n);
+  pool.parallel_for(n, [&](std::size_t i) { out[i] = static_cast<double>(i); });
+  const double sum = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, static_cast<double>(n) * (n - 1) / 2.0);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 37) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, CompletesAllWorkDespiteException) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  try {
+    pool.parallel_for(200, [&](std::size_t i) {
+      if (i == 0) throw std::runtime_error("early");
+      done.fetch_add(1);
+    });
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(done.load(), 199);
+}
+
+TEST(ThreadPool, ReusableAcrossCalls) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(50, [&](std::size_t) { count.fetch_add(1); });
+    EXPECT_EQ(count.load(), 50);
+  }
+}
+
+TEST(ThreadPool, SizeReflectsConstruction) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ThreadPool, DefaultSizeIsPositive) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(GlobalPool, ParallelForWorks) {
+  std::atomic<int> count{0};
+  parallel_for(64, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 64);
+}
+
+TEST(ThreadPool, NestedUseDoesNotDeadlock) {
+  // The caller participates in draining, so a worker submitting to the same
+  // pool must not deadlock even when all workers are busy.
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(4, [&](std::size_t) {
+    pool.parallel_for(4, [&](std::size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 16);
+}
+
+}  // namespace
+}  // namespace kncube::util
