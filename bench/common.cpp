@@ -6,6 +6,7 @@
 #include <iostream>
 #include <limits>
 
+#include "core/sweep_engine.hpp"
 #include "util/chart.hpp"
 
 namespace kncube::bench {
@@ -41,8 +42,11 @@ std::vector<core::PointResult> run_panel(
     const std::string& title, const core::Scenario& scenario, int points,
     const std::string& csv_basename,
     std::vector<std::pair<std::string, core::PanelSummary>>* summaries) {
-  const auto lambdas = core::lambda_sweep(scenario, points, 0.1, 0.95);
-  const auto pts = core::run_series(scenario, lambdas, /*run_sim=*/true);
+  // One engine per panel: the saturation-anchored sweep and any repeated
+  // operating points share the engine's memoized model solves.
+  core::SweepEngine engine(scenario);
+  const auto lambdas = engine.lambda_sweep(points, 0.1, 0.95);
+  const auto pts = engine.run(lambdas, /*run_sim=*/true);
   util::Table table = core::figure_table(title, pts);
   table.print(std::cout);
 

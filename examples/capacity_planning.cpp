@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "core/kncube.hpp"
+#include "core/sweep_engine.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -39,7 +40,9 @@ int main(int argc, char** argv) {
       s.vcs = vcs;
       s.message_length = lm;
       s.hot_fraction = h;
-      const double sat = core::model_saturation_rate(s).rate;
+      // Engine for the memoized saturation search; one model object for both
+      // the operating point and its zero-load reference.
+      const double sat = core::SweepEngine(s).saturation_rate().rate;
       const model::HotspotModel model(core::to_model_config(s, lambda));
       const model::ModelResult r = model.solve();
 

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "core/kncube.hpp"
+#include "core/sweep_engine.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -19,8 +20,9 @@ int main(int argc, char** argv) {
   scenario.hot_fraction = args.get_double("h", 0.2);
   scenario.vcs = static_cast<int>(args.get_int("vcs", 2));
 
-  // Where does this network saturate?
-  const core::SaturationResult sat = core::model_saturation_rate(scenario);
+  // Where does this network saturate? (The engine memoizes every probe.)
+  core::SweepEngine engine(scenario);
+  const core::SaturationResult sat = engine.saturation_rate();
   std::cout << "network: " << scenario.k << "x" << scenario.k << " torus, Lm="
             << scenario.message_length << " flits, h=" << scenario.hot_fraction * 100
             << "%, V=" << scenario.vcs << "\n";
@@ -28,17 +30,16 @@ int main(int argc, char** argv) {
             << sat.probes << " probes)\n\n";
 
   // Pick one operating point (default: 60% of saturation) and compare the
-  // model prediction against a full simulation.
+  // model prediction against a full simulation, via the sweep engine.
   const double lambda = args.get_double("lambda", 0.6 * sat.rate);
-  const model::ModelResult m =
-      model::HotspotModel(core::to_model_config(scenario, lambda)).solve();
+  const model::ModelResult m = engine.model_point(lambda);
   std::cout << "lambda = " << lambda << "\n";
   std::cout << "  model:  latency=" << m.latency << " cycles"
             << "  (regular=" << m.regular_latency << ", hot=" << m.hot_latency
             << ", Ws=" << m.source_wait_regular << ", max util="
             << m.max_channel_utilization << ")\n";
 
-  const sim::SimResult s = sim::simulate(core::to_sim_config(scenario, lambda));
+  const sim::SimResult s = engine.sim_point(lambda, scenario.seed);
   std::cout << "  sim:    latency=" << s.mean_latency << " +- " << s.latency_ci95
             << " cycles over " << s.measured_messages << " messages ("
             << s.cycles << " cycles simulated"

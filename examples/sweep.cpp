@@ -12,6 +12,7 @@
 #include <iostream>
 
 #include "core/kncube.hpp"
+#include "core/sweep_engine.hpp"
 #include "util/chart.hpp"
 #include "util/cli.hpp"
 
@@ -37,13 +38,14 @@ int main(int argc, char** argv) {
   const double hi = args.get_double("hi", 0.95);
   const bool with_sim = args.get_bool("sim", true);
 
-  const core::SaturationResult sat = core::model_saturation_rate(s);
+  core::SweepEngine engine(s);
+  const core::SaturationResult sat = engine.saturation_rate();
   std::cout << s.k << "x" << s.k << " torus, Lm=" << s.message_length
             << ", h=" << s.hot_fraction * 100 << "%, V=" << s.vcs
             << "; model saturation " << sat.rate << " msg/node/cycle\n\n";
 
-  const auto lambdas = core::lambda_sweep(s, points, lo, hi);
-  const auto pts = core::run_series(s, lambdas, with_sim);
+  const auto lambdas = engine.lambda_sweep(points, lo, hi);
+  const auto pts = engine.run(lambdas, with_sim);
   util::Table table = core::figure_table("sweep", pts);
   table.print(std::cout);
 

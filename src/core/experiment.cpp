@@ -4,8 +4,8 @@
 #include <limits>
 
 #include "core/saturation.hpp"
+#include "core/sweep_engine.hpp"
 #include "util/assert.hpp"
-#include "util/thread_pool.hpp"
 
 namespace kncube::core {
 
@@ -17,6 +17,8 @@ model::ModelConfig to_model_config(const Scenario& s, double lambda) {
   cfg.injection_rate = lambda;
   cfg.hot_fraction = s.hot_fraction;
   cfg.blocking = s.blocking;
+  cfg.busy_basis = s.busy_basis;
+  cfg.vcmux_basis = s.vcmux_basis;
   return cfg;
 }
 
@@ -39,7 +41,12 @@ sim::SimConfig to_sim_config(const Scenario& s, double lambda) {
 }
 
 double PointResult::relative_error() const {
-  if (!has_sim || model.saturated || sim.mean_latency <= 0.0) {
+  // NaN — never inf or a garbage ratio — whenever either side has no usable
+  // finite latency: missing sim, saturated model, a non-finite model latency
+  // that slipped past the saturation flag, or an empty/saturated sim whose
+  // mean is zero or non-finite.
+  if (!has_sim || model.saturated || !std::isfinite(model.latency) ||
+      !std::isfinite(sim.mean_latency) || sim.mean_latency <= 0.0) {
     return std::numeric_limits<double>::quiet_NaN();
   }
   return std::abs(model.latency - sim.mean_latency) / sim.mean_latency;
@@ -48,35 +55,14 @@ double PointResult::relative_error() const {
 std::vector<PointResult> run_series(const Scenario& scenario,
                                     const std::vector<double>& lambdas,
                                     bool run_sim) {
-  std::vector<PointResult> results(lambdas.size());
-  util::parallel_for(lambdas.size(), [&](std::size_t i) {
-    PointResult& pt = results[i];
-    pt.lambda = lambdas[i];
-    pt.model = model::HotspotModel(to_model_config(scenario, pt.lambda)).solve();
-    if (run_sim) {
-      sim::SimConfig sc = to_sim_config(scenario, pt.lambda);
-      // Decorrelate seeds across points while keeping the series reproducible.
-      sc.seed = scenario.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1));
-      pt.sim = sim::simulate(sc);
-      pt.has_sim = true;
-    }
-  });
-  return results;
+  SweepEngine engine(scenario);
+  return engine.run(lambdas, run_sim);
 }
 
 std::vector<double> lambda_sweep(const Scenario& scenario, int points, double lo_frac,
                                  double hi_frac) {
-  KNC_ASSERT(points >= 2 && lo_frac > 0.0 && hi_frac > lo_frac);
-  const double sat = model_saturation_rate(scenario).rate;
-  std::vector<double> out;
-  out.reserve(static_cast<std::size_t>(points));
-  for (int i = 0; i < points; ++i) {
-    const double f =
-        lo_frac + (hi_frac - lo_frac) * static_cast<double>(i) /
-                      static_cast<double>(points - 1);
-    out.push_back(f * sat);
-  }
-  return out;
+  SweepEngine engine(scenario);
+  return engine.lambda_sweep(points, lo_frac, hi_frac);
 }
 
 }  // namespace kncube::core

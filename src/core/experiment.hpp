@@ -27,7 +27,11 @@ struct Scenario {
   std::uint64_t target_messages = 2500;
   std::uint64_t max_cycles = 3'000'000;
   std::uint64_t warmup_cycles = 20000;
+  // Model-approximation knobs, forwarded verbatim to model::ModelConfig so
+  // ablation scenarios can flip them without dropping down a layer.
   model::BlockingVariant blocking = model::BlockingVariant::kPaper;
+  model::ServiceBasis busy_basis = model::ServiceBasis::kTransmission;
+  model::ServiceBasis vcmux_basis = model::ServiceBasis::kTransmission;
 };
 
 model::ModelConfig to_model_config(const Scenario& s, double lambda);
@@ -42,14 +46,16 @@ struct PointResult {
   bool has_sim = false;
 
   /// Relative model error |model - sim| / sim; NaN when either side is
-  /// unavailable (saturated model or missing sim).
+  /// unavailable (saturated or non-finite model, missing or degenerate sim).
   double relative_error() const;
 };
 
 /// Runs `lambdas` through the model and (when `run_sim`) the simulator.
-/// Points execute in parallel on the global thread pool; results come back
-/// in input order. The simulator seed is derived per-point so series are
-/// reproducible regardless of scheduling.
+/// Convenience wrapper over a one-shot core::SweepEngine (see
+/// core/sweep_engine.hpp): points execute in parallel on the global thread
+/// pool and come back in input order, with per-point derived seeds so series
+/// are reproducible regardless of scheduling. Callers issuing repeated or
+/// overlapping sweeps should hold a SweepEngine to reuse its memoization.
 std::vector<PointResult> run_series(const Scenario& scenario,
                                     const std::vector<double>& lambdas,
                                     bool run_sim = true);

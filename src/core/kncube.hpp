@@ -22,6 +22,7 @@
 #include "core/experiment.hpp"   // IWYU pragma: export
 #include "core/report.hpp"       // IWYU pragma: export
 #include "core/saturation.hpp"   // IWYU pragma: export
+#include "core/sweep_engine.hpp" // IWYU pragma: export
 #include "model/hotspot_model.hpp"  // IWYU pragma: export
 #include "model/hypercube_model.hpp"  // IWYU pragma: export
 #include "model/uniform_model.hpp"  // IWYU pragma: export

@@ -1,14 +1,13 @@
 #include "core/saturation.hpp"
 
+#include "core/sweep_engine.hpp"
+
 #include "util/assert.hpp"
 
 namespace kncube::core {
 
-namespace {
-
-/// Generic bracketing + bisection on a stable(rate) predicate.
-template <typename Stable>
-SaturationResult bisect_boundary(double initial_guess, double rel_tol, Stable&& stable) {
+SaturationResult bisect_saturation(double initial_guess, double rel_tol,
+                                   const std::function<bool(double)>& stable) {
   SaturationResult res;
   double lo = 0.0;
   double hi = initial_guess;
@@ -47,16 +46,10 @@ SaturationResult bisect_boundary(double initial_guess, double rel_tol, Stable&& 
   return res;
 }
 
-}  // namespace
-
 SaturationResult model_saturation_rate(const Scenario& scenario, double rel_tol) {
-  const double guess =
-      model::HotspotModel(to_model_config(scenario, 1e-9)).estimated_saturation_rate();
-  return bisect_boundary(guess, rel_tol, [&](double rate) {
-    const model::ModelResult r =
-        model::HotspotModel(to_model_config(scenario, rate)).solve();
-    return !r.saturated;
-  });
+  // One-shot engine: the guess + bisection live in SweepEngine so the search
+  // logic (and its memoization) has a single definition.
+  return SweepEngine(scenario).saturation_rate(rel_tol);
 }
 
 SaturationResult sim_saturation_rate(const Scenario& scenario, double rel_tol) {
@@ -67,7 +60,7 @@ SaturationResult sim_saturation_rate(const Scenario& scenario, double rel_tol) {
 
   const double guess =
       model::HotspotModel(to_model_config(scenario, 1e-9)).estimated_saturation_rate();
-  return bisect_boundary(guess, rel_tol, [&](double rate) {
+  return bisect_saturation(guess, rel_tol, [&](double rate) {
     const sim::SimResult r = sim::simulate(to_sim_config(probe_scenario, rate));
     return !r.saturated;
   });

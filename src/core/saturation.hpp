@@ -7,6 +7,8 @@
 // effort per probe.
 #pragma once
 
+#include <functional>
+
 #include "core/experiment.hpp"
 
 namespace kncube::core {
@@ -15,6 +17,13 @@ struct SaturationResult {
   double rate = 0.0;    ///< highest stable injection rate found
   int probes = 0;       ///< model solves / simulations performed
 };
+
+/// Generic bracketing + bisection on a stable(rate) predicate: grows/shrinks
+/// from `initial_guess` until the boundary is bracketed, then bisects to
+/// relative width `rel_tol`. Exposed so callers with memoized probes (e.g.
+/// core::SweepEngine) can reuse the search.
+SaturationResult bisect_saturation(double initial_guess, double rel_tol,
+                                   const std::function<bool(double)>& stable);
 
 /// Bisects the model's saturation boundary to relative width `rel_tol`.
 SaturationResult model_saturation_rate(const Scenario& scenario,

@@ -1,0 +1,140 @@
+#include "core/sweep_engine.hpp"
+
+#include <bit>
+
+#include "core/saturation.hpp"
+#include "util/assert.hpp"
+#include "util/thread_pool.hpp"
+
+namespace kncube::core {
+
+namespace {
+
+std::uint64_t lambda_key(double lambda) {
+  return std::bit_cast<std::uint64_t>(lambda);
+}
+
+}  // namespace
+
+SweepEngine::SweepEngine(Scenario scenario) : scenario_(scenario) {}
+
+std::uint64_t SweepEngine::point_seed(std::size_t index) const noexcept {
+  // Golden-ratio stride decorrelates points while keeping series
+  // reproducible across runs and scheduling orders.
+  return scenario_.seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+}
+
+// Memoization is check-then-act: the lock is dropped during the solve, so
+// two threads missing on the same key concurrently both compute it and the
+// second emplace is ignored. That duplicate work is deliberate — it only
+// arises when one batch repeats a lambda (model side; sims use per-index
+// seeds), and an in-flight-future scheme isn't worth the machinery for it.
+model::ModelResult SweepEngine::model_point(double lambda) {
+  const std::uint64_t key = lambda_key(lambda);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = model_cache_.find(key); it != model_cache_.end()) {
+      ++model_hits_;
+      return it->second;
+    }
+  }
+  const model::ModelResult r =
+      model::HotspotModel(to_model_config(scenario_, lambda)).solve();
+  std::lock_guard<std::mutex> lock(mutex_);
+  model_cache_.emplace(key, r);
+  return r;
+}
+
+sim::SimResult SweepEngine::sim_point(double lambda, std::uint64_t seed) {
+  const auto key = std::make_pair(lambda_key(lambda), seed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = sim_cache_.find(key); it != sim_cache_.end()) {
+      ++sim_hits_;
+      return it->second;
+    }
+  }
+  sim::SimConfig cfg = to_sim_config(scenario_, lambda);
+  cfg.seed = seed;
+  const sim::SimResult r = sim::simulate(cfg);
+  std::lock_guard<std::mutex> lock(mutex_);
+  sim_cache_.emplace(key, r);
+  return r;
+}
+
+std::vector<PointResult> SweepEngine::run(const std::vector<double>& lambdas,
+                                          bool run_sim) {
+  std::vector<PointResult> results(lambdas.size());
+  util::parallel_for(lambdas.size(), [&](std::size_t i) {
+    PointResult& pt = results[i];
+    pt.lambda = lambdas[i];
+    pt.model = model_point(pt.lambda);
+    if (run_sim) {
+      pt.sim = sim_point(pt.lambda, point_seed(i));
+      pt.has_sim = true;
+    }
+  });
+  return results;
+}
+
+SaturationResult SweepEngine::saturation_rate(double rel_tol) {
+  const std::uint64_t key = lambda_key(rel_tol);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (auto it = saturation_cache_.find(key); it != saturation_cache_.end()) {
+      return it->second;
+    }
+  }
+  const double guess =
+      model::HotspotModel(to_model_config(scenario_, 1e-9)).estimated_saturation_rate();
+  const SaturationResult res = bisect_saturation(
+      guess, rel_tol, [this](double rate) { return !model_point(rate).saturated; });
+  std::lock_guard<std::mutex> lock(mutex_);
+  saturation_cache_.emplace(key, res);
+  return res;
+}
+
+std::vector<double> SweepEngine::lambda_sweep(int points, double lo_frac,
+                                              double hi_frac) {
+  KNC_ASSERT(points >= 2 && lo_frac > 0.0 && hi_frac > lo_frac);
+  const double sat = saturation_rate().rate;
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    const double f = lo_frac + (hi_frac - lo_frac) * static_cast<double>(i) /
+                                   static_cast<double>(points - 1);
+    out.push_back(f * sat);
+  }
+  return out;
+}
+
+std::size_t SweepEngine::model_cache_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return model_cache_.size();
+}
+
+std::size_t SweepEngine::sim_cache_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sim_cache_.size();
+}
+
+std::uint64_t SweepEngine::model_cache_hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return model_hits_;
+}
+
+std::uint64_t SweepEngine::sim_cache_hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return sim_hits_;
+}
+
+void SweepEngine::clear_cache() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  model_cache_.clear();
+  sim_cache_.clear();
+  saturation_cache_.clear();
+  model_hits_ = 0;
+  sim_hits_ = 0;
+}
+
+}  // namespace kncube::core

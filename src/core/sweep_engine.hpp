@@ -1,0 +1,83 @@
+// SweepEngine: batched evaluation of operating points for one scenario.
+//
+// Every consumer of the library — benches, examples, the saturation search,
+// parameter studies — ultimately evaluates (scenario, lambda) points. The
+// engine centralises that loop: points are batched across the global thread
+// pool (util/thread_pool, KNCUBE_THREADS), simulator seeds are derived
+// per-point so series are reproducible regardless of scheduling, and
+// repeated points are memoized:
+//
+//  * model solves are deterministic in (scenario, lambda), so the model
+//    cache is keyed by lambda alone — overlapping sweeps (e.g. a saturation
+//    bisection followed by a figure sweep, or two panels sharing a grid)
+//    pay for each fixed point once;
+//  * simulator runs are only deterministic given a seed, so the sim cache is
+//    keyed by (lambda, seed). Identical lambdas at *different* point indices
+//    derive different seeds on purpose: they are independent replicates, not
+//    cache hits.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/saturation.hpp"
+
+namespace kncube::core {
+
+class SweepEngine {
+ public:
+  explicit SweepEngine(Scenario scenario);
+
+  const Scenario& scenario() const noexcept { return scenario_; }
+
+  /// Runs `lambdas` through the model and (when `run_sim`) the simulator.
+  /// Points execute in parallel on the global thread pool; results come back
+  /// in input order.
+  std::vector<PointResult> run(const std::vector<double>& lambdas,
+                               bool run_sim = true);
+
+  /// One model evaluation, memoized on lambda.
+  model::ModelResult model_point(double lambda);
+
+  /// One simulation, memoized on (lambda, seed).
+  sim::SimResult sim_point(double lambda, std::uint64_t seed);
+
+  /// The model's saturation boundary, bisected through the memoized
+  /// model_point probes; the result itself is cached, so repeated sweeps
+  /// locate the boundary once.
+  SaturationResult saturation_rate(double rel_tol = 1e-3);
+
+  /// A sweep of `points` rates from `lo_frac` to `hi_frac` of the model's
+  /// saturation rate (found by bisection), mirroring how the paper's figures
+  /// sample each curve from light load up to the latency asymptote.
+  std::vector<double> lambda_sweep(int points, double lo_frac = 0.1,
+                                   double hi_frac = 0.95);
+
+  /// Simulator seed for point `index`: decorrelated across indices, stable
+  /// across runs and scheduling.
+  std::uint64_t point_seed(std::size_t index) const noexcept;
+
+  // --- memoization introspection (tests, diagnostics) ---
+  std::size_t model_cache_size() const;
+  std::size_t sim_cache_size() const;
+  std::uint64_t model_cache_hits() const;
+  std::uint64_t sim_cache_hits() const;
+  void clear_cache();
+
+ private:
+  Scenario scenario_;
+
+  mutable std::mutex mutex_;
+  std::map<std::uint64_t, model::ModelResult> model_cache_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, sim::SimResult> sim_cache_;
+  std::map<std::uint64_t, SaturationResult> saturation_cache_;  ///< by rel_tol bits
+  std::uint64_t model_hits_ = 0;
+  std::uint64_t sim_hits_ = 0;
+};
+
+}  // namespace kncube::core

@@ -1,0 +1,202 @@
+#include "model/engine/channel_class.hpp"
+
+#include <algorithm>
+
+#include "model/engine/mg1.hpp"
+#include "util/assert.hpp"
+
+namespace kncube::model::engine {
+
+double StateExpr::eval(const std::vector<double>& s) const {
+  double acc = 0.0;
+  for (const auto& [slot, weight] : terms) {
+    acc += weight * s[static_cast<std::size_t>(slot)];
+  }
+  return constant + acc / divisor;
+}
+
+StateExpr StateExpr::constant_of(double c) {
+  StateExpr e;
+  e.constant = c;
+  return e;
+}
+
+StateExpr StateExpr::slot(int index, double weight) {
+  StateExpr e;
+  e.terms.emplace_back(index, weight);
+  return e;
+}
+
+StateExpr StateExpr::average(int first, int count) {
+  KNC_ASSERT(count > 0);
+  StateExpr e;
+  e.terms.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) e.terms.emplace_back(first + i, 1.0);
+  e.divisor = static_cast<double>(count);
+  return e;
+}
+
+ChannelClassSystem::ChannelClassSystem(int slots, EngineOptions options)
+    : options_(options), classes_(static_cast<std::size_t>(slots)) {
+  KNC_ASSERT(slots > 0);
+  eval_order_.resize(static_cast<std::size_t>(slots));
+  for (int i = 0; i < slots; ++i) eval_order_[static_cast<std::size_t>(i)] = i;
+}
+
+void ChannelClassSystem::set_class(int slot, ChannelClass cls) {
+  classes_[static_cast<std::size_t>(slot)] = std::move(cls);
+}
+
+int ChannelClassSystem::intern(const StateExpr& expr) {
+  for (std::size_t i = 0; i < expr_pool_.size(); ++i) {
+    if (expr_pool_[i] == expr) return static_cast<int>(i);
+  }
+  expr_pool_.push_back(expr);
+  return static_cast<int>(expr_pool_.size()) - 1;
+}
+
+ChannelClassSystem::CompiledStream ChannelClassSystem::compile(
+    const StreamSpec& spec) {
+  CompiledStream out;
+  out.rate = spec.rate;
+  out.tx = spec.tx;
+  out.inclusive = spec.inclusive.empty() ? -1 : intern(spec.inclusive);
+  return out;
+}
+
+int ChannelClassSystem::add_blocking(BlockingSpec spec) {
+  CompiledBlocking compiled;
+  compiled.divisor = spec.divisor;
+  compiled.terms.reserve(spec.terms.size());
+  for (const BlockingSpec::Term& term : spec.terms) {
+    compiled.terms.push_back(
+        {term.weight, compile(term.regular), compile(term.hot)});
+  }
+  blockings_.push_back(std::move(compiled));
+  return static_cast<int>(blockings_.size()) - 1;
+}
+
+void ChannelClassSystem::set_eval_order(std::vector<int> order) {
+  KNC_ASSERT_MSG(order.size() == classes_.size(),
+                 "eval order must cover every slot");
+  // A non-permutation would leave some slot unwritten each sweep and blend
+  // stale scratch into the state — a silently wrong fixed point.
+  std::vector<bool> seen(classes_.size(), false);
+  for (const int slot : order) {
+    KNC_ASSERT_MSG(slot >= 0 && static_cast<std::size_t>(slot) < classes_.size(),
+                   "eval order slot out of range");
+    KNC_ASSERT_MSG(!seen[static_cast<std::size_t>(slot)],
+                   "eval order must be a permutation (duplicate slot)");
+    seen[static_cast<std::size_t>(slot)] = true;
+  }
+  eval_order_ = std::move(order);
+}
+
+bool ChannelClassSystem::blocking_value(const CompiledBlocking& spec,
+                                        const std::vector<double>& expr_values,
+                                        double& out) const {
+  const bool busy_incl = options_.busy_basis == ServiceBasis::kInclusive;
+  const auto bind = [&](const CompiledStream& s) {
+    return Stream{s.rate,
+                  s.inclusive < 0 ? 0.0
+                                  : expr_values[static_cast<std::size_t>(s.inclusive)],
+                  s.tx};
+  };
+  double acc = 0.0;
+  for (const CompiledTerm& term : spec.terms) {
+    const Stream reg = bind(term.regular);
+    const Stream hot = bind(term.hot);
+    double value = 0.0;
+    if (options_.blocking == BlockingVariant::kPaper) {
+      const QueueDelay b = blocking_delay(reg, hot, options_.service_floor, busy_incl);
+      if (b.saturated) return false;
+      value = b.value;
+    } else {
+      // Ablation variant: the merged-stream M/G/1 wait alone (no Pb factor).
+      const double rate = reg.rate + hot.rate;
+      if (rate > 0.0) {
+        const double mean_tx = (reg.rate * reg.tx + hot.rate * hot.tx) / rate;
+        const QueueDelay w = mg1_wait(rate, mean_tx, options_.service_floor);
+        if (w.saturated) return false;
+        value = w.value;
+      }
+    }
+    acc += term.weight * value;
+  }
+  out = acc / spec.divisor;
+  return true;
+}
+
+std::vector<double> ChannelClassSystem::initial_state() const {
+  std::vector<double> s(classes_.size());
+  for (std::size_t i = 0; i < classes_.size(); ++i) s[i] = classes_[i].initial;
+  return s;
+}
+
+bool ChannelClassSystem::step(const std::vector<double>& in,
+                              std::vector<double>& out, Workspace& ws) const {
+  // All blocking groups close over the *input* iterate (Jacobi across
+  // groups); the per-slot recursions then chain within the sweep through
+  // output_continuation (Gauss-Seidel along each path). Shared inclusive
+  // expressions are evaluated once per sweep via the interned pool.
+  ws.expr_values.resize(expr_pool_.size());
+  for (std::size_t i = 0; i < expr_pool_.size(); ++i) {
+    ws.expr_values[i] = expr_pool_[i].eval(in);
+  }
+  ws.blocking_values.resize(blockings_.size());
+  for (std::size_t g = 0; g < blockings_.size(); ++g) {
+    if (!blocking_value(blockings_[g], ws.expr_values, ws.blocking_values[g])) {
+      return false;
+    }
+  }
+  for (const int slot : eval_order_) {
+    const ChannelClass& cls = classes_[static_cast<std::size_t>(slot)];
+    const double blocking =
+        cls.blocking >= 0 ? ws.blocking_values[static_cast<std::size_t>(cls.blocking)]
+                          : 0.0;
+    out[static_cast<std::size_t>(slot)] = blocking + 1.0 +
+                                          cls.input_continuation.eval(in) +
+                                          cls.output_continuation.eval(out);
+  }
+  return true;
+}
+
+FixedPointResult ChannelClassSystem::solve(std::vector<double>& state,
+                                           const SolvePolicy& policy) const {
+  // Every output_continuation reference must already be evaluated within the
+  // sweep — a forward reference would read the previous iteration's raw
+  // scratch and converge to a silently wrong fixed point. Once per solve,
+  // negligible next to the iteration itself, so always on.
+  {
+    std::vector<bool> visited(classes_.size(), false);
+    for (const int slot : eval_order_) {
+      for (const auto& [ref, weight] : classes_[static_cast<std::size_t>(slot)]
+                                           .output_continuation.terms) {
+        (void)weight;
+        KNC_ASSERT_MSG(ref >= 0 && static_cast<std::size_t>(ref) < classes_.size() &&
+                           visited[static_cast<std::size_t>(ref)],
+                       "output_continuation references a slot evaluated later");
+      }
+      visited[static_cast<std::size_t>(slot)] = true;
+    }
+  }
+  Workspace ws;  // one allocation per solve, reused across sweeps
+  auto step_fn = [this, &ws](const std::vector<double>& in,
+                             std::vector<double>& out) {
+    return step(in, out, ws);
+  };
+  state = initial_state();
+  FixedPointResult fp = solve_fixed_point(state, step_fn, policy.options);
+  if (!fp.converged && !fp.diverged && policy.retry_with_stronger_damping) {
+    // Stubborn point near the knee: one retry with stronger damping.
+    FixedPointOptions slower = policy.options;
+    slower.damping = std::min(policy.retry_damping, policy.options.damping);
+    slower.max_iterations =
+        policy.options.max_iterations * policy.retry_iteration_multiplier;
+    state = initial_state();
+    fp = solve_fixed_point(state, step_fn, slower);
+  }
+  return fp;
+}
+
+}  // namespace kncube::model::engine

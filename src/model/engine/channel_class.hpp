@@ -1,0 +1,184 @@
+// Shared channel-class engine for the analytical models.
+//
+// Every model in this repository (uniform torus, hot-spot torus, hot-spot
+// hypercube — and any future traffic pattern) has the same mathematical
+// shape, inherited from the paper's eqs (16)-(30): a vector of per-channel-
+// class mean service times S_c coupled through
+//
+//   S_c = B_c + 1 + continuation_c                                    (16-25)
+//
+// where B_c is a (possibly averaged) blocking delay computed from the
+// traffic streams crossing the class's channels (eqs 26-30) and the
+// continuation is the downstream service time — the previous hop of the same
+// class, the entrance of another class, or the Lm-1 drain at the destination.
+// The coupled system is closed by damped fixed-point iteration
+// (src/model/solver).
+//
+// This header turns that shape into data: a model is *declared* as a set of
+// channel classes (state slots), stream specifications whose inclusive
+// service times are linear expressions over the state, and weighted blocking
+// groups — then solved by one generic driver. The three concrete models are
+// thin builders over this engine (see DESIGN.md §4); the h = 0 agreement
+// between the uniform and hot-spot torus models is structural, because both
+// instantiate the same machinery with the same stream parameters.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/solver.hpp"
+
+namespace kncube::model {
+
+/// Blocking-delay variant, for the approximation ablation (bench A3):
+/// the paper multiplies the busy probability into the M/G/1 wait (eq 26);
+/// kPureWait uses the merged-stream wait alone.
+enum class BlockingVariant : int { kPaper = 0, kPureWait = 1 };
+
+/// Which service-time scale feeds a rho-like quantity (busy probability,
+/// VC-occupancy chain). kInclusive uses the iterated blocking-inclusive
+/// downstream latencies (the paper's letter); kTransmission uses the
+/// contention-free holding times (bounded, bandwidth-oriented). See
+/// DESIGN.md R8 and the ablation bench for the empirical comparison.
+enum class ServiceBasis : int { kInclusive = 0, kTransmission = 1 };
+
+namespace engine {
+
+/// Linear expression over the iterated state vector:
+///   value = constant + (sum_i weight_i * s[slot_i]) / divisor.
+/// The divisor (rather than pre-scaled weights) keeps entrance averages
+/// bit-identical to an accumulate-then-divide loop.
+struct StateExpr {
+  double constant = 0.0;
+  std::vector<std::pair<int, double>> terms;  ///< (slot, weight)
+  double divisor = 1.0;
+
+  double eval(const std::vector<double>& s) const;
+  bool empty() const noexcept { return terms.empty() && constant == 0.0; }
+  bool operator==(const StateExpr&) const = default;
+
+  static StateExpr constant_of(double c);
+  static StateExpr slot(int index, double weight = 1.0);
+  /// Mean of `count` consecutive slots starting at `first`.
+  static StateExpr average(int first, int count);
+};
+
+/// One traffic stream crossing a channel, with its blocking-inclusive
+/// service time read from the state (eqs 26-30 inputs).
+struct StreamSpec {
+  double rate = 0.0;   ///< messages/cycle crossing the channel
+  StateExpr inclusive; ///< blocking-inclusive downstream service time S
+  double tx = 0.0;     ///< contention-free holding time (>= Lm)
+};
+
+/// Weighted mixture of per-channel blocking delays, shared by one or more
+/// channel classes:
+///   B = (sum_t weight_t * blocking(regular_t, hot_t)) / divisor.
+/// An average over k channels uses unit weights and divisor k (eq 17-20); a
+/// funnel/plain mixture uses weights f and 1-f with divisor 1.
+struct BlockingSpec {
+  struct Term {
+    double weight = 1.0;
+    StreamSpec regular;
+    StreamSpec hot;
+  };
+  std::vector<Term> terms;
+  double divisor = 1.0;
+};
+
+/// One channel class = one state slot, updated each sweep as
+///   out[slot] = B + 1 + input_continuation(in) + output_continuation(out).
+/// `output_continuation` implements the Gauss-Seidel recursions within a
+/// sweep (eqs 16-25 chain along the path); every slot it references must
+/// appear earlier in the system's evaluation order.
+struct ChannelClass {
+  std::string name;            ///< diagnostics only
+  int blocking = -1;           ///< BlockingSpec index; -1 = contention-free
+  StateExpr input_continuation;
+  StateExpr output_continuation;
+  double initial = 0.0;        ///< zero-load starting value for the iteration
+};
+
+/// Queueing-policy knobs shared by every blocking evaluation in a system.
+struct EngineOptions {
+  double service_floor = 1.0;  ///< Lm, the contention-free variance floor
+  BlockingVariant blocking = BlockingVariant::kPaper;
+  /// Service scale entering the busy probability Pb (eq 27).
+  ServiceBasis busy_basis = ServiceBasis::kTransmission;
+};
+
+/// Fixed-point policy: base options plus the stubborn-point retry the models
+/// use near the saturation knee (stronger damping, longer budget).
+struct SolvePolicy {
+  FixedPointOptions options{};
+  bool retry_with_stronger_damping = true;
+  double retry_damping = 0.2;
+  int retry_iteration_multiplier = 2;
+};
+
+/// A declarative channel-class system: slots + blocking groups + evaluation
+/// order. Slots are fixed at construction so builders can lay out and
+/// cross-reference indices before filling in the classes.
+class ChannelClassSystem {
+ public:
+  explicit ChannelClassSystem(int slots, EngineOptions options);
+
+  int slots() const noexcept { return static_cast<int>(classes_.size()); }
+  const EngineOptions& options() const noexcept { return options_; }
+
+  void set_class(int slot, ChannelClass cls);
+  /// Registers a blocking group; returns its index for ChannelClass::blocking.
+  int add_blocking(BlockingSpec spec);
+
+  /// Overrides the within-sweep evaluation order (default: slot order). Must
+  /// be a permutation of [0, slots); output_continuation references must
+  /// point to earlier entries.
+  void set_eval_order(std::vector<int> order);
+
+  std::vector<double> initial_state() const;
+
+  /// Damped fixed-point solve with the policy's stubborn-point retry.
+  /// `state` holds the converged iterate on success.
+  FixedPointResult solve(std::vector<double>& state, const SolvePolicy& policy) const;
+
+ private:
+  // Blocking specs are compiled at registration: every distinct inclusive
+  // StateExpr is interned into a pool so a sweep evaluates it once, not once
+  // per term — the entrance averages are shared by O(k^2) terms in the
+  // hot-spot system, and blocking runs in the innermost fixed-point loop.
+  struct CompiledStream {
+    double rate = 0.0;
+    double tx = 0.0;
+    int inclusive = -1;  ///< pool index; -1 = identically zero
+  };
+  struct CompiledTerm {
+    double weight = 1.0;
+    CompiledStream regular;
+    CompiledStream hot;
+  };
+  struct CompiledBlocking {
+    std::vector<CompiledTerm> terms;
+    double divisor = 1.0;
+  };
+  /// Per-solve scratch, allocated once per solve() rather than per sweep.
+  struct Workspace {
+    std::vector<double> expr_values;      ///< pool evaluations on the input
+    std::vector<double> blocking_values;  ///< one per blocking group
+  };
+
+  int intern(const StateExpr& expr);
+  CompiledStream compile(const StreamSpec& spec);
+  bool step(const std::vector<double>& in, std::vector<double>& out,
+            Workspace& ws) const;
+  bool blocking_value(const CompiledBlocking& spec,
+                      const std::vector<double>& expr_values, double& out) const;
+
+  EngineOptions options_;
+  std::vector<ChannelClass> classes_;
+  std::vector<CompiledBlocking> blockings_;
+  std::vector<StateExpr> expr_pool_;
+  std::vector<int> eval_order_;
+};
+
+}  // namespace engine
+}  // namespace kncube::model

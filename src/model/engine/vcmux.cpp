@@ -1,4 +1,4 @@
-#include "model/vcmux.hpp"
+#include "model/engine/vcmux.hpp"
 
 #include <algorithm>
 #include <vector>

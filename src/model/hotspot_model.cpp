@@ -5,15 +5,22 @@
 #include <stdexcept>
 #include <vector>
 
-#include "model/mg1.hpp"
+#include "model/engine/channel_class.hpp"
+#include "model/engine/mg1.hpp"
+#include "model/engine/vcmux.hpp"
 #include "model/path_probabilities.hpp"
-#include "model/vcmux.hpp"
 #include "util/assert.hpp"
 #include "util/log.hpp"
 
 namespace kncube::model {
 
 namespace {
+
+using engine::BlockingSpec;
+using engine::ChannelClass;
+using engine::ChannelClassSystem;
+using engine::StateExpr;
+using engine::StreamSpec;
 
 /// State-vector layout. Positions j run 1..k-1 (a message has at most k-1
 /// hops left inside a ring); array slot j-1 holds position j. The five
@@ -23,30 +30,29 @@ namespace {
 struct Layout {
   int k;
   int ns;  ///< k-1
-  std::size_t ybar, yhot, x, xhy, xyb, shy, shx, total;
+  int ybar, yhot, x, xhy, xyb, shy, shx, total;
 
   explicit Layout(int radix) : k(radix), ns(radix - 1) {
-    const auto n = static_cast<std::size_t>(ns);
     ybar = 0;
-    yhot = n;
-    x = 2 * n;
-    xhy = 3 * n;
-    xyb = 4 * n;
-    shy = 5 * n;
-    shx = 6 * n;
-    total = 6 * n + n * static_cast<std::size_t>(k);
+    yhot = ns;
+    x = 2 * ns;
+    xhy = 3 * ns;
+    xyb = 4 * ns;
+    shy = 5 * ns;
+    shx = 6 * ns;
+    total = 6 * ns + ns * k;
   }
-  std::size_t at(std::size_t base, int j) const {  // j in [1, k-1]
-    return base + static_cast<std::size_t>(j - 1);
+  int at(int base, int j) const {  // j in [1, k-1]
+    return base + j - 1;
   }
-  std::size_t at_shx(int j, int t) const {  // j in [1, k-1], t in [1, k]
-    return shx + static_cast<std::size_t>((t - 1) * ns + (j - 1));
+  int at_shx(int j, int t) const {  // j in [1, k-1], t in [1, k]
+    return shx + (t - 1) * ns + (j - 1);
   }
 };
 
-double average(const std::vector<double>& v, std::size_t off, int count) {
+double average(const std::vector<double>& v, int off, int count) {
   double acc = 0.0;
-  for (int i = 0; i < count; ++i) acc += v[off + static_cast<std::size_t>(i)];
+  for (int i = 0; i < count; ++i) acc += v[static_cast<std::size_t>(off + i)];
   return acc / static_cast<double>(count);
 }
 
@@ -57,9 +63,13 @@ struct Entrances {
   double ybar, yhot, x, xhy, xyb;
 };
 
-class Engine {
+/// Declarative description of the hot-spot torus over the shared engine:
+/// holds the geometry (layout, holding times), builds the channel-class
+/// system whose fixed point is eqs (16)-(30), and assembles the final
+/// latencies (eqs 10-15, 21-24, 31-37) from the converged state.
+class Builder {
  public:
-  Engine(const ModelConfig& cfg, const TrafficRates& rates)
+  Builder(const ModelConfig& cfg, const TrafficRates& rates)
       : cfg_(cfg),
         rates_(rates),
         probs_(path_probabilities(cfg.k)),
@@ -84,147 +94,136 @@ class Engine {
     return tx_reg_y() + static_cast<double>(lay_.k - 1) / 2.0;
   }
 
-  std::vector<double> initial_state() const {
-    // Zero-load (B = 0) closed forms; see DESIGN.md §3.3.
-    const int k = cfg_.k;
-    std::vector<double> s(lay_.total);
-    const double y_ent0 = static_cast<double>(k) / 2.0 + lm_ - 1.0;
-    for (int j = 1; j < k; ++j) {
-      const double base = static_cast<double>(j) + lm_ - 1.0;
-      s[lay_.at(lay_.ybar, j)] = base;
-      s[lay_.at(lay_.yhot, j)] = base;
-      s[lay_.at(lay_.x, j)] = base;
-      s[lay_.at(lay_.xhy, j)] = static_cast<double>(j) + y_ent0;
-      s[lay_.at(lay_.xyb, j)] = static_cast<double>(j) + y_ent0;
-      s[lay_.at(lay_.shy, j)] = base;
-      for (int t = 1; t <= k; ++t) {
-        const double cont = t == k ? lm_ - 1.0 : static_cast<double>(t) + lm_ - 1.0;
-        s[lay_.at_shx(j, t)] = static_cast<double>(j) + cont;
-      }
+  // --- competing streams, inclusive service read at the class entrance ---
+  StreamSpec reg_ybar() const {
+    return {rates_.regular_rate, StateExpr::average(lay_.ybar, lay_.ns), tx_reg_y()};
+  }
+  StreamSpec reg_y() const {
+    return {rates_.regular_rate, StateExpr::average(lay_.yhot, lay_.ns), tx_reg_y()};
+  }
+  StreamSpec reg_x() const {
+    return {rates_.regular_rate, StateExpr::average(lay_.x, lay_.ns), tx_reg_x()};
+  }
+  // Hot streams at position l; the channel leaving the hot node / hot column
+  // (l == k) carries no hot-spot traffic (rate 0).
+  StreamSpec hot_y_stream(int l) const {
+    StreamSpec s;
+    s.rate = rates_.hot_y[static_cast<std::size_t>(l)];
+    if (l < lay_.k) {
+      s.inclusive = StateExpr::slot(lay_.at(lay_.shy, l));
+      s.tx = tx_hot_y(l);
     }
     return s;
+  }
+  StreamSpec hot_x_stream(int l, int t) const {
+    StreamSpec s;
+    s.rate = rates_.hot_x[static_cast<std::size_t>(l)];
+    if (l < lay_.k) {
+      s.inclusive = StateExpr::slot(lay_.at_shx(l, t));
+      s.tx = tx_hot_x(l, t);
+    }
+    return s;
+  }
+
+  /// The channel-class system of eqs (16)-(20), (23), (25).
+  ChannelClassSystem build() const {
+    const int k = cfg_.k;
+
+    engine::EngineOptions opts;
+    opts.service_floor = lm_;
+    opts.blocking = cfg_.blocking;
+    opts.busy_basis = cfg_.busy_basis;
+    ChannelClassSystem sys(lay_.total, opts);
+
+    // --- averaged blocking groups ---
+    const int b_ybar = sys.add_blocking({{{1.0, reg_ybar(), {}}}, 1.0});
+
+    BlockingSpec yhot_spec;  // eq (17): average over the k hot-y-ring channels
+    for (int l = 1; l <= k; ++l) {
+      yhot_spec.terms.push_back({1.0, reg_y(), hot_y_stream(l)});
+    }
+    yhot_spec.divisor = static_cast<double>(k);
+    const int b_yhot = sys.add_blocking(std::move(yhot_spec));
+
+    BlockingSpec x_spec;  // eqs (18-20): average over the k^2 x-channel slots
+    for (int t = 1; t <= k; ++t) {
+      for (int l = 1; l <= k; ++l) {
+        x_spec.terms.push_back({1.0, reg_x(), hot_x_stream(l, t)});
+      }
+    }
+    x_spec.divisor = static_cast<double>(k) * static_cast<double>(k);
+    const int b_x = sys.add_blocking(std::move(x_spec));
+
+    // --- regular-class recursions (Gauss-Seidel within each array) ---
+    const double last = lm_ - 1.0;
+    const double y_ent0 = static_cast<double>(k) / 2.0 + lm_ - 1.0;
+    for (int j = 1; j < k; ++j) {
+      const double base0 = static_cast<double>(j) + lm_ - 1.0;
+
+      auto chain = [&](const char* name, int base, int blocking, double initial,
+                       StateExpr first_hop) {
+        ChannelClass c;
+        c.name = name;
+        c.blocking = blocking;
+        c.initial = initial;
+        if (j == 1) {
+          c.input_continuation = std::move(first_hop);
+        } else {
+          c.output_continuation = StateExpr::slot(lay_.at(base, j - 1));
+        }
+        sys.set_class(lay_.at(base, j), std::move(c));
+      };
+      chain("ybar", lay_.ybar, b_ybar, base0, StateExpr::constant_of(last));
+      chain("yhot", lay_.yhot, b_yhot, base0, StateExpr::constant_of(last));
+      chain("x", lay_.x, b_x, base0, StateExpr::constant_of(last));
+      // x-then-y classes enter the y dimension at its entrance average.
+      chain("xhy", lay_.xhy, b_x, static_cast<double>(j) + y_ent0,
+            StateExpr::average(lay_.yhot, lay_.ns));
+      chain("xyb", lay_.xyb, b_x, static_cast<double>(j) + y_ent0,
+            StateExpr::average(lay_.ybar, lay_.ns));
+    }
+
+    // --- hot-spot messages in the hot y-ring (eq 23) ---
+    for (int j = 1; j < k; ++j) {
+      ChannelClass c;
+      c.name = "shy";
+      c.blocking = sys.add_blocking({{{1.0, reg_y(), hot_y_stream(j)}}, 1.0});
+      c.initial = static_cast<double>(j) + lm_ - 1.0;
+      if (j == 1) {
+        c.input_continuation = StateExpr::constant_of(lm_ - 1.0);
+      } else {
+        c.output_continuation = StateExpr::slot(lay_.at(lay_.shy, j - 1));
+      }
+      sys.set_class(lay_.at(lay_.shy, j), std::move(c));
+    }
+
+    // --- hot-spot messages on x rings (eq 25) ---
+    for (int t = 1; t <= k; ++t) {
+      const double cont0 = t == k ? lm_ - 1.0 : static_cast<double>(t) + lm_ - 1.0;
+      for (int j = 1; j < k; ++j) {
+        ChannelClass c;
+        c.name = "shx";
+        c.blocking = sys.add_blocking({{{1.0, reg_x(), hot_x_stream(j, t)}}, 1.0});
+        c.initial = static_cast<double>(j) + cont0;
+        if (j > 1) {
+          c.output_continuation = StateExpr::slot(lay_.at_shx(j - 1, t));
+        } else if (t == k) {
+          // The hot node's own row: x ends at the hot node.
+          c.input_continuation = StateExpr::constant_of(lm_ - 1.0);
+        } else {
+          // Enter the hot y-ring, t hops out (shy slots precede shx slots).
+          c.output_continuation = StateExpr::slot(lay_.at(lay_.shy, t));
+        }
+        sys.set_class(lay_.at_shx(j, t), std::move(c));
+      }
+    }
+    return sys;
   }
 
   Entrances entrances(const std::vector<double>& s) const {
     return Entrances{average(s, lay_.ybar, lay_.ns), average(s, lay_.yhot, lay_.ns),
                      average(s, lay_.x, lay_.ns), average(s, lay_.xhy, lay_.ns),
                      average(s, lay_.xyb, lay_.ns)};
-  }
-
-  /// Blocking delay honouring the configured variant; false on saturation.
-  bool block(const Stream& reg, const Stream& hot, double& out) const {
-    const bool busy_incl = cfg_.busy_basis == ServiceBasis::kInclusive;
-    if (cfg_.blocking == BlockingVariant::kPaper) {
-      const QueueDelay b = blocking_delay(reg, hot, lm_, busy_incl);
-      if (b.saturated) {
-        KNC_LOG_DEBUG << "blocking saturated: rr=" << reg.rate << " Sr=" << reg.inclusive
-                      << " rh=" << hot.rate << " Sh=" << hot.inclusive
-                      << " tx=" << (reg.rate * reg.tx + hot.rate * hot.tx);
-        return false;
-      }
-      out = b.value;
-      return true;
-    }
-    // Ablation variant: the merged-stream M/G/1 wait alone (no Pb factor).
-    const double rate = reg.rate + hot.rate;
-    if (rate <= 0.0) {
-      out = 0.0;
-      return true;
-    }
-    const double mean_tx = (reg.rate * reg.tx + hot.rate * hot.tx) / rate;
-    const QueueDelay w = mg1_wait(rate, mean_tx, lm_);
-    if (w.saturated) return false;
-    out = w.value;
-    return true;
-  }
-
-  /// One Jacobi sweep over all service-time equations (eqs 16-20, 23, 25).
-  bool step(const std::vector<double>& in, std::vector<double>& out) const {
-    const int k = cfg_.k;
-    const double lr = rates_.regular_rate;
-    const Entrances e = entrances(in);
-    const Stream reg_y{lr, e.yhot, tx_reg_y()};
-    const Stream reg_ybar{lr, e.ybar, tx_reg_y()};
-    const Stream reg_x{lr, e.x, tx_reg_x()};
-
-    // --- averaged blocking terms ---
-    double b_ybar = 0.0;
-    if (!block(reg_ybar, Stream{}, b_ybar)) return false;
-
-    double b_yhot = 0.0;  // eq (17): average over the k hot-y-ring channels
-    for (int l = 1; l <= k; ++l) {
-      Stream hot;
-      hot.rate = rates_.hot_y[static_cast<std::size_t>(l)];
-      if (l < k) {
-        hot.inclusive = in[lay_.at(lay_.shy, l)];
-        hot.tx = tx_hot_y(l);
-      }
-      double b = 0.0;
-      if (!block(reg_y, hot, b)) return false;
-      b_yhot += b;
-    }
-    b_yhot /= static_cast<double>(k);
-
-    double b_x = 0.0;  // eqs (18-20): average over the k^2 x-channel slots
-    for (int t = 1; t <= k; ++t) {
-      for (int l = 1; l <= k; ++l) {
-        Stream hot;
-        hot.rate = rates_.hot_x[static_cast<std::size_t>(l)];
-        if (l < k) {
-          hot.inclusive = in[lay_.at_shx(l, t)];
-          hot.tx = tx_hot_x(l, t);
-        }
-        double b = 0.0;
-        if (!block(reg_x, hot, b)) return false;
-        b_x += b;
-      }
-    }
-    b_x /= static_cast<double>(k) * static_cast<double>(k);
-
-    // --- regular-class recursions (Gauss-Seidel within each array) ---
-    for (int j = 1; j < k; ++j) {
-      const double last = lm_ - 1.0;
-      out[lay_.at(lay_.ybar, j)] =
-          b_ybar + 1.0 + (j == 1 ? last : out[lay_.at(lay_.ybar, j - 1)]);
-      out[lay_.at(lay_.yhot, j)] =
-          b_yhot + 1.0 + (j == 1 ? last : out[lay_.at(lay_.yhot, j - 1)]);
-      out[lay_.at(lay_.x, j)] =
-          b_x + 1.0 + (j == 1 ? last : out[lay_.at(lay_.x, j - 1)]);
-      out[lay_.at(lay_.xhy, j)] =
-          b_x + 1.0 + (j == 1 ? e.yhot : out[lay_.at(lay_.xhy, j - 1)]);
-      out[lay_.at(lay_.xyb, j)] =
-          b_x + 1.0 + (j == 1 ? e.ybar : out[lay_.at(lay_.xyb, j - 1)]);
-    }
-
-    // --- hot-spot messages in the hot y-ring (eq 23) ---
-    for (int j = 1; j < k; ++j) {
-      const Stream hot{rates_.hot_y[static_cast<std::size_t>(j)],
-                       in[lay_.at(lay_.shy, j)], tx_hot_y(j)};
-      double b = 0.0;
-      if (!block(reg_y, hot, b)) return false;
-      out[lay_.at(lay_.shy, j)] =
-          b + 1.0 + (j == 1 ? lm_ - 1.0 : out[lay_.at(lay_.shy, j - 1)]);
-    }
-
-    // --- hot-spot messages on x rings (eq 25) ---
-    for (int t = 1; t <= k; ++t) {
-      for (int j = 1; j < k; ++j) {
-        const Stream hot{rates_.hot_x[static_cast<std::size_t>(j)],
-                         in[lay_.at_shx(j, t)], tx_hot_x(j, t)};
-        double b = 0.0;
-        if (!block(reg_x, hot, b)) return false;
-        double cont;
-        if (j > 1) {
-          cont = out[lay_.at_shx(j - 1, t)];
-        } else if (t == k) {
-          cont = lm_ - 1.0;  // the hot node's own row: x ends at the hot node
-        } else {
-          cont = out[lay_.at(lay_.shy, t)];  // enter the hot y-ring, t hops out
-        }
-        out[lay_.at_shx(j, t)] = b + 1.0 + cont;
-      }
-    }
-    return true;
   }
 
   /// Final assembly (eqs 10-15, 21-24, 31-37) from the converged state.
@@ -258,7 +257,8 @@ class Engine {
 
     std::vector<double> ws_shy(static_cast<std::size_t>(k), 0.0);  // j = 1..k-1
     for (int j = 1; j < k; ++j) {
-      const double mixed = (1.0 - h) * sr_net + h * s[lay_.at(lay_.shy, j)];
+      const double mixed =
+          (1.0 - h) * sr_net + h * s[static_cast<std::size_t>(lay_.at(lay_.shy, j))];
       if (!source_wait(mixed, ws_shy[static_cast<std::size_t>(j)])) return false;
       ws_sum += ws_shy[static_cast<std::size_t>(j)];
     }
@@ -266,7 +266,8 @@ class Engine {
                                0.0);  // (j, t), j = 1..k-1
     for (int t = 1; t <= k; ++t) {
       for (int j = 1; j < k; ++j) {
-        const double mixed = (1.0 - h) * sr_net + h * s[lay_.at_shx(j, t)];
+        const double mixed =
+            (1.0 - h) * sr_net + h * s[static_cast<std::size_t>(lay_.at_shx(j, t))];
         double w = 0.0;
         if (!source_wait(mixed, w)) return false;
         ws_shx[static_cast<std::size_t>((t - 1) * k + j)] = w;
@@ -290,7 +291,8 @@ class Engine {
     double v_hy_avg = 0.0;
     for (int j = 1; j <= k; ++j) {
       const double rate_h = rates_.hot_y[static_cast<std::size_t>(j)];
-      const double s_h_incl = j < k ? s[lay_.at(lay_.shy, j)] : 0.0;
+      const double s_h_incl =
+          j < k ? s[static_cast<std::size_t>(lay_.at(lay_.shy, j))] : 0.0;
       const double s_h = mux_incl ? s_h_incl : (j < k ? tx_hot_y(j) : 0.0);
       const double s_r = mux_incl ? e.yhot : tx_reg_y();
       const double rate = lr + rate_h;
@@ -307,7 +309,8 @@ class Engine {
     for (int t = 1; t <= k; ++t) {
       for (int j = 1; j <= k; ++j) {
         const double rate_h = rates_.hot_x[static_cast<std::size_t>(j)];
-        const double s_h_incl = j < k ? s[lay_.at_shx(j, t)] : 0.0;
+        const double s_h_incl =
+            j < k ? s[static_cast<std::size_t>(lay_.at_shx(j, t))] : 0.0;
         const double s_h = mux_incl ? s_h_incl : (j < k ? tx_hot_x(j, t) : 0.0);
         const double s_r = mux_incl ? e.x : tx_reg_x();
         const double rate = lr + rate_h;
@@ -332,12 +335,14 @@ class Engine {
     // --- hot-spot latency, eqs (21)-(24) ---
     double sh = 0.0;
     for (int j = 1; j < k; ++j) {  // hot-column sources (eq 22)
-      sh += (s[lay_.at(lay_.shy, j)] + ws_shy[static_cast<std::size_t>(j)]) *
+      sh += (s[static_cast<std::size_t>(lay_.at(lay_.shy, j))] +
+             ws_shy[static_cast<std::size_t>(j)]) *
             v_hy[static_cast<std::size_t>(j)];
     }
     for (int t = 1; t <= k; ++t) {  // all other sources (eq 24)
       for (int j = 1; j < k; ++j) {
-        sh += (s[lay_.at_shx(j, t)] + ws_shx[static_cast<std::size_t>((t - 1) * k + j)]) *
+        sh += (s[static_cast<std::size_t>(lay_.at_shx(j, t))] +
+               ws_shx[static_cast<std::size_t>((t - 1) * k + j)]) *
               v_x[static_cast<std::size_t>(t * (k + 1) + j)];
       }
     }
@@ -348,20 +353,23 @@ class Engine {
 
     // --- diagnostic: peak busy probability over channel classes ---
     const bool busy_incl = cfg_.busy_basis == ServiceBasis::kInclusive;
-    double max_util =
-        std::min(1.0, lr * (busy_incl ? e.ybar : tx_reg_y()));
+    double max_util = std::min(1.0, lr * (busy_incl ? e.ybar : tx_reg_y()));
     for (int j = 1; j < k; ++j) {
       max_util = std::max(
-          max_util, busy_probability(Stream{lr, e.yhot, tx_reg_y()},
-                                     Stream{rates_.hot_y[static_cast<std::size_t>(j)],
-                                            s[lay_.at(lay_.shy, j)], tx_hot_y(j)},
-                                     busy_incl));
+          max_util,
+          busy_probability(
+              Stream{lr, e.yhot, tx_reg_y()},
+              Stream{rates_.hot_y[static_cast<std::size_t>(j)],
+                     s[static_cast<std::size_t>(lay_.at(lay_.shy, j))], tx_hot_y(j)},
+              busy_incl));
       for (int t = 1; t <= k; ++t) {
         max_util = std::max(
-            max_util, busy_probability(Stream{lr, e.x, tx_reg_x()},
-                                       Stream{rates_.hot_x[static_cast<std::size_t>(j)],
-                                              s[lay_.at_shx(j, t)], tx_hot_x(j, t)},
-                                       busy_incl));
+            max_util,
+            busy_probability(
+                Stream{lr, e.x, tx_reg_x()},
+                Stream{rates_.hot_x[static_cast<std::size_t>(j)],
+                       s[static_cast<std::size_t>(lay_.at_shx(j, t))], tx_hot_x(j, t)},
+                busy_incl));
       }
     }
     res.max_channel_utilization = max_util;
@@ -399,22 +407,14 @@ HotspotModel::HotspotModel(const ModelConfig& cfg) : cfg_(cfg) {
 }
 
 ModelResult HotspotModel::solve() const {
-  Engine engine(cfg_, rates_);
+  const Builder builder(cfg_, rates_);
   ModelResult res;
 
-  std::vector<double> state = engine.initial_state();
-  auto step = [&engine](const std::vector<double>& in, std::vector<double>& out) {
-    return engine.step(in, out);
-  };
-  FixedPointResult fp = solve_fixed_point(state, step, cfg_.solver);
-  if (!fp.converged && !fp.diverged) {
-    // Stubborn point near the knee: one retry with stronger damping.
-    FixedPointOptions slower = cfg_.solver;
-    slower.damping = std::min(0.2, cfg_.solver.damping);
-    slower.max_iterations = cfg_.solver.max_iterations * 2;
-    state = engine.initial_state();
-    fp = solve_fixed_point(state, step, slower);
-  }
+  const ChannelClassSystem sys = builder.build();
+  engine::SolvePolicy policy;
+  policy.options = cfg_.solver;
+  std::vector<double> state;
+  const FixedPointResult fp = sys.solve(state, policy);
   res.iterations = fp.iterations;
   res.converged = fp.converged;
   if (!fp.converged) {
@@ -422,7 +422,7 @@ ModelResult HotspotModel::solve() const {
     res.saturated = true;
     return res;
   }
-  if (!engine.assemble(state, res)) {
+  if (!builder.assemble(state, res)) {
     res.saturated = true;
     res.latency = std::numeric_limits<double>::infinity();
     return res;

@@ -12,22 +12,11 @@
 
 #include <limits>
 
+#include "model/engine/channel_class.hpp"  // BlockingVariant, ServiceBasis
 #include "model/solver.hpp"
 #include "model/traffic_rates.hpp"
 
 namespace kncube::model {
-
-/// Blocking-delay variant, for the approximation ablation (bench A3):
-/// the paper multiplies the busy probability into the M/G/1 wait (eq 26);
-/// kPureWait uses the wait alone.
-enum class BlockingVariant : int { kPaper = 0, kPureWait = 1 };
-
-/// Which service-time scale feeds a rho-like quantity (busy probability,
-/// VC-occupancy chain). kInclusive uses the iterated blocking-inclusive
-/// downstream latencies (the paper's letter); kTransmission uses the
-/// contention-free holding times (bounded, bandwidth-oriented). See
-/// DESIGN.md R8 and the ablation bench for the empirical comparison.
-enum class ServiceBasis : int { kInclusive = 0, kTransmission = 1 };
 
 struct ModelConfig {
   int k = 16;                    ///< radix (N = k^2)

@@ -5,27 +5,37 @@
 #include <stdexcept>
 #include <vector>
 
-#include "model/mg1.hpp"
-#include "model/vcmux.hpp"
+#include "model/engine/channel_class.hpp"
+#include "model/engine/mg1.hpp"
+#include "model/engine/vcmux.hpp"
 #include "util/assert.hpp"
 
 namespace kncube::model {
 
 namespace {
 
+using engine::BlockingSpec;
+using engine::ChannelClass;
+using engine::ChannelClassSystem;
+using engine::StateExpr;
+using engine::StreamSpec;
+
 double pow2(int e) { return std::ldexp(1.0, e); }
 
 /// State layout: S^r_d at [d], S^h_d at [n + d], d = 0..n-1.
 struct Lay {
   int n;
-  std::size_t total() const { return 2 * static_cast<std::size_t>(n); }
-  std::size_t r(int d) const { return static_cast<std::size_t>(d); }
-  std::size_t h(int d) const { return static_cast<std::size_t>(n + d); }
+  int total() const { return 2 * n; }
+  int r(int d) const { return d; }
+  int h(int d) const { return n + d; }
 };
 
-class Engine {
+/// Declarative description of the hot-spot hypercube over the shared
+/// engine: per-dimension regular/hot channel classes whose continuations are
+/// the e-cube next-dimension mixture, with funnel/plain blocking mixtures.
+class Builder {
  public:
-  explicit Engine(const HypercubeModelConfig& cfg)
+  explicit Builder(const HypercubeModelConfig& cfg)
       : cfg_(cfg), lay_{cfg.dims}, lm_(static_cast<double>(cfg.message_length)) {
     const int n = cfg_.dims;
     lambda_r_ = cfg.injection_rate * (1.0 - cfg.hot_fraction) * pow2(n - 1) /
@@ -59,55 +69,73 @@ class Engine {
   }
   double delivery_probability(int d) const { return pow2(-(cfg_.dims - 1 - d)); }
 
-  std::vector<double> initial_state() const {
-    // Zero-load: S_d = 1 + sum P S_d' + P0 (Lm-1), solved backwards.
-    std::vector<double> s(lay_.total());
-    for (int d = cfg_.dims - 1; d >= 0; --d) {
-      double acc = 1.0 + delivery_probability(d) * (lm_ - 1.0);
-      for (int dp = d + 1; dp < cfg_.dims; ++dp) {
-        acc += next_dim_probability(d, dp) * s[lay_.r(dp)];
-      }
-      s[lay_.r(d)] = acc;
-      s[lay_.h(d)] = acc;  // same geometry at zero load
-    }
-    return s;
+  StreamSpec reg_stream(int d) const {
+    return {lambda_r_, StateExpr::slot(lay_.r(d)), tx(d)};
+  }
+  StreamSpec hot_stream(int d) const {
+    return {hot_rate(d), StateExpr::slot(lay_.h(d)), tx(d)};
   }
 
-  bool block(const Stream& reg, const Stream& hot, double& out) const {
-    const QueueDelay b = blocking_delay(
-        reg, hot, lm_, cfg_.busy_basis == ServiceBasis::kInclusive);
-    if (b.saturated) return false;
-    out = b.value;
-    return true;
-  }
-
-  bool step(const std::vector<double>& in, std::vector<double>& out) const {
+  ChannelClassSystem build() const {
     const int n = cfg_.dims;
-    for (int d = n - 1; d >= 0; --d) {
-      const Stream reg{lambda_r_, in[lay_.r(d)], tx(d)};
-      const Stream hot{hot_rate(d), in[lay_.h(d)], tx(d)};
 
+    engine::EngineOptions opts;
+    opts.service_floor = lm_;
+    opts.blocking = BlockingVariant::kPaper;
+    opts.busy_basis = cfg_.busy_basis;
+    ChannelClassSystem sys(lay_.total(), opts);
+
+    // Zero-load service times S_d = 1 + sum P S_d' + P0 (Lm-1), solved
+    // backwards; hot and regular share the geometry at zero load.
+    std::vector<double> s0(static_cast<std::size_t>(n));
+    for (int d = n - 1; d >= 0; --d) {
+      double acc = 1.0 + delivery_probability(d) * (lm_ - 1.0);
+      for (int dp = d + 1; dp < n; ++dp) {
+        acc += next_dim_probability(d, dp) * s0[static_cast<std::size_t>(dp)];
+      }
+      s0[static_cast<std::size_t>(d)] = acc;
+    }
+
+    // Dimensions close from the top down (the e-cube continuation reads
+    // higher dimensions), so the sweep evaluates d = n-1 .. 0.
+    std::vector<int> order;
+    order.reserve(static_cast<std::size_t>(lay_.total()));
+
+    for (int d = n - 1; d >= 0; --d) {
+      const double f = funnel_fraction_[static_cast<std::size_t>(d)];
       // Blocking seen by a regular message at a random dim-d channel: the
       // funnel fraction of them also carries the hot stream.
-      double b_funnel = 0.0;
-      double b_plain = 0.0;
-      if (!block(reg, hot, b_funnel)) return false;
-      if (!block(reg, Stream{}, b_plain)) return false;
-      const double f = funnel_fraction_[static_cast<std::size_t>(d)];
-      const double b_reg = f * b_funnel + (1.0 - f) * b_plain;
+      const int b_reg = sys.add_blocking(
+          {{{f, reg_stream(d), hot_stream(d)}, {1.0 - f, reg_stream(d), {}}}, 1.0});
+      // Hot messages always ride funnel channels.
+      const int b_hot = sys.add_blocking({{{1.0, reg_stream(d), hot_stream(d)}}, 1.0});
 
-      double cont_r = delivery_probability(d) * (lm_ - 1.0);
-      double cont_h = cont_r;
+      StateExpr cont_r = StateExpr::constant_of(delivery_probability(d) * (lm_ - 1.0));
+      StateExpr cont_h = cont_r;
       for (int dp = d + 1; dp < n; ++dp) {
         const double p = next_dim_probability(d, dp);
-        cont_r += p * out[lay_.r(dp)];
-        cont_h += p * out[lay_.h(dp)];
+        cont_r.terms.emplace_back(lay_.r(dp), p);
+        cont_h.terms.emplace_back(lay_.h(dp), p);
       }
-      out[lay_.r(d)] = b_reg + 1.0 + cont_r;
-      // Hot messages always ride funnel channels.
-      out[lay_.h(d)] = b_funnel + 1.0 + cont_h;
+
+      ChannelClass reg;
+      reg.name = "r";
+      reg.blocking = b_reg;
+      reg.initial = s0[static_cast<std::size_t>(d)];
+      reg.output_continuation = std::move(cont_r);
+      sys.set_class(lay_.r(d), std::move(reg));
+      order.push_back(lay_.r(d));
+
+      ChannelClass hot;
+      hot.name = "h";
+      hot.blocking = b_hot;
+      hot.initial = s0[static_cast<std::size_t>(d)];
+      hot.output_continuation = std::move(cont_h);
+      sys.set_class(lay_.h(d), std::move(hot));
+      order.push_back(lay_.h(d));
     }
-    return true;
+    sys.set_eval_order(std::move(order));
+    return sys;
   }
 
   bool assemble(const std::vector<double>& s, HypercubeModelResult& res) const {
@@ -125,8 +153,10 @@ class Engine {
     double sr_net = 0.0;
     double sh_net = 0.0;
     for (int d = 0; d < n; ++d) {
-      sr_net += p_first[static_cast<std::size_t>(d)] * s[lay_.r(d)];
-      sh_net += p_first[static_cast<std::size_t>(d)] * s[lay_.h(d)];
+      sr_net +=
+          p_first[static_cast<std::size_t>(d)] * s[static_cast<std::size_t>(lay_.r(d))];
+      sh_net +=
+          p_first[static_cast<std::size_t>(d)] * s[static_cast<std::size_t>(lay_.h(d))];
     }
 
     // Source queue: per-VC M/G/1 with the node-averaged network latency.
@@ -143,10 +173,10 @@ class Engine {
     const bool busy_incl = cfg_.busy_basis == ServiceBasis::kInclusive;
     for (int d = 0; d < n; ++d) {
       const double rate_h = hot_rate(d);
-      const Stream reg{lambda_r_, s[lay_.r(d)], tx(d)};
-      const Stream hot{rate_h, s[lay_.h(d)], tx(d)};
-      const double s_r = mux_incl ? s[lay_.r(d)] : tx(d);
-      const double s_h = mux_incl ? s[lay_.h(d)] : tx(d);
+      const Stream reg{lambda_r_, s[static_cast<std::size_t>(lay_.r(d))], tx(d)};
+      const Stream hot{rate_h, s[static_cast<std::size_t>(lay_.h(d))], tx(d)};
+      const double s_r = mux_incl ? s[static_cast<std::size_t>(lay_.r(d))] : tx(d);
+      const double s_h = mux_incl ? s[static_cast<std::size_t>(lay_.h(d))] : tx(d);
 
       const double rate_f = lambda_r_ + rate_h;
       const double sbar_f = (lambda_r_ * s_r + rate_h * s_h) / rate_f;
@@ -156,9 +186,9 @@ class Engine {
       const double v_reg = f * v_funnel + (1.0 - f) * v_plain;
 
       sr_total += p_first[static_cast<std::size_t>(d)] *
-                  (s[lay_.r(d)] + ws.value) * v_reg;
+                  (s[static_cast<std::size_t>(lay_.r(d))] + ws.value) * v_reg;
       sh_total += p_first[static_cast<std::size_t>(d)] *
-                  (s[lay_.h(d)] + ws.value) * v_funnel;
+                  (s[static_cast<std::size_t>(lay_.h(d))] + ws.value) * v_funnel;
       max_util = std::max(max_util, busy_probability(reg, hot, busy_incl));
       if (d == n - 1) res.vc_mux_bottleneck = v_funnel;
     }
@@ -216,28 +246,21 @@ double HypercubeHotspotModel::first_dim_probability(int d) const {
 }
 
 HypercubeModelResult HypercubeHotspotModel::solve() const {
-  Engine engine(cfg_);
+  const Builder builder(cfg_);
   HypercubeModelResult res;
 
-  std::vector<double> state = engine.initial_state();
-  auto step = [&engine](const std::vector<double>& in, std::vector<double>& out) {
-    return engine.step(in, out);
-  };
-  FixedPointResult fp = solve_fixed_point(state, step, cfg_.solver);
-  if (!fp.converged && !fp.diverged) {
-    FixedPointOptions slower = cfg_.solver;
-    slower.damping = std::min(0.2, cfg_.solver.damping);
-    slower.max_iterations = cfg_.solver.max_iterations * 2;
-    state = engine.initial_state();
-    fp = solve_fixed_point(state, step, slower);
-  }
+  const ChannelClassSystem sys = builder.build();
+  engine::SolvePolicy policy;
+  policy.options = cfg_.solver;
+  std::vector<double> state;
+  const FixedPointResult fp = sys.solve(state, policy);
   res.iterations = fp.iterations;
   res.converged = fp.converged;
   if (!fp.converged) {
     res.saturated = true;
     return res;
   }
-  if (!engine.assemble(state, res)) {
+  if (!builder.assemble(state, res)) {
     res.saturated = true;
     res.latency = std::numeric_limits<double>::infinity();
   }

@@ -27,7 +27,7 @@
 
 #include <limits>
 
-#include "model/hotspot_model.hpp"  // ServiceBasis, BlockingVariant
+#include "model/engine/channel_class.hpp"  // ServiceBasis, BlockingVariant
 #include "model/solver.hpp"
 
 namespace kncube::model {

@@ -4,34 +4,102 @@
 #include <stdexcept>
 #include <vector>
 
-#include "model/mg1.hpp"
-#include "model/vcmux.hpp"
+#include "model/engine/channel_class.hpp"
+#include "model/engine/mg1.hpp"
+#include "model/engine/vcmux.hpp"
 #include "util/assert.hpp"
 
 namespace kncube::model {
 
 namespace {
 
+using engine::ChannelClass;
+using engine::ChannelClassSystem;
+using engine::StateExpr;
+
 // State: Sy[j], Sx[j], Sxy[j] for j = 1..k-1, packed in that order.
 struct Lay {
   int ns;
-  std::size_t y, x, xy, total;
-  explicit Lay(int k) : ns(k - 1) {
-    const auto n = static_cast<std::size_t>(ns);
-    y = 0;
-    x = n;
-    xy = 2 * n;
-    total = 3 * n;
-  }
-  std::size_t at(std::size_t base, int j) const {
-    return base + static_cast<std::size_t>(j - 1);
-  }
+  int y, x, xy, total;
+  explicit Lay(int k) : ns(k - 1), y(0), x(ns), xy(2 * ns), total(3 * ns) {}
+  int at(int base, int j) const { return base + j - 1; }
 };
 
-double avg(const std::vector<double>& v, std::size_t off, int n) {
+double avg(const std::vector<double>& v, int off, int n) {
   double a = 0.0;
-  for (int i = 0; i < n; ++i) a += v[off + static_cast<std::size_t>(i)];
+  for (int i = 0; i < n; ++i) a += v[static_cast<std::size_t>(off + i)];
   return a / static_cast<double>(n);
+}
+
+// Contention-free holding times (R8): same formulas as the hot-spot model's
+// regular streams, so the h = 0 cross-check is structural. One definition
+// feeds both the blocking model and the VC-mux occupancy.
+struct HoldingTimes {
+  double y, x;
+};
+HoldingTimes holding_times(int k, double lm) {
+  const double tx_y = lm + static_cast<double>(k) / 2.0 - 1.0;
+  return {tx_y, tx_y + static_cast<double>(k - 1) / 2.0};
+}
+
+/// Declares the three uniform path classes (y-only, x-only, x-then-y) over
+/// the shared engine: one blocking group per dimension, chained per-hop
+/// recursions, x-then-y entering the y dimension at its entrance average.
+ChannelClassSystem build_system(const UniformModelConfig& cfg, double lc) {
+  const int k = cfg.k;
+  const double lm = static_cast<double>(cfg.message_length);
+  const Lay lay(k);
+
+  const auto [tx_y, tx_x] = holding_times(k, lm);
+
+  engine::EngineOptions opts;
+  opts.service_floor = lm;
+  opts.blocking = BlockingVariant::kPaper;
+  opts.busy_basis = ServiceBasis::kTransmission;
+  ChannelClassSystem sys(lay.total, opts);
+
+  const int b_y = sys.add_blocking(
+      {{{1.0, {lc, StateExpr::average(lay.y, lay.ns), tx_y}, {}}}, 1.0});
+  const int b_x = sys.add_blocking(
+      {{{1.0, {lc, StateExpr::average(lay.x, lay.ns), tx_x}, {}}}, 1.0});
+
+  const double y_ent0 = static_cast<double>(k) / 2.0 + lm - 1.0;
+  for (int j = 1; j < k; ++j) {
+    const double base0 = static_cast<double>(j) + lm - 1.0;
+    ChannelClass y;
+    y.name = "y";
+    y.blocking = b_y;
+    y.initial = base0;
+    if (j == 1) {
+      y.input_continuation = StateExpr::constant_of(lm - 1.0);
+    } else {
+      y.output_continuation = StateExpr::slot(lay.at(lay.y, j - 1));
+    }
+    sys.set_class(lay.at(lay.y, j), std::move(y));
+
+    ChannelClass x;
+    x.name = "x";
+    x.blocking = b_x;
+    x.initial = base0;
+    if (j == 1) {
+      x.input_continuation = StateExpr::constant_of(lm - 1.0);
+    } else {
+      x.output_continuation = StateExpr::slot(lay.at(lay.x, j - 1));
+    }
+    sys.set_class(lay.at(lay.x, j), std::move(x));
+
+    ChannelClass xy;
+    xy.name = "xy";
+    xy.blocking = b_x;
+    xy.initial = static_cast<double>(j) + y_ent0;
+    if (j == 1) {
+      xy.input_continuation = StateExpr::average(lay.y, lay.ns);  // y entrance
+    } else {
+      xy.output_continuation = StateExpr::slot(lay.at(lay.xy, j - 1));
+    }
+    sys.set_class(lay.at(lay.xy, j), std::move(xy));
+  }
+  return sys;
 }
 
 }  // namespace
@@ -62,39 +130,12 @@ UniformModelResult UniformTorusModel::solve() const {
 
   UniformModelResult res;
 
-  std::vector<double> state(lay.total);
-  const double y_ent0 = static_cast<double>(k) / 2.0 + lm - 1.0;
-  for (int j = 1; j < k; ++j) {
-    state[lay.at(lay.y, j)] = static_cast<double>(j) + lm - 1.0;
-    state[lay.at(lay.x, j)] = static_cast<double>(j) + lm - 1.0;
-    state[lay.at(lay.xy, j)] = static_cast<double>(j) + y_ent0;
-  }
-
-  // Contention-free holding times (R8): same formulas as the hot-spot
-  // engine's regular streams, so the h = 0 cross-check is exact.
-  const double tx_y = lm + static_cast<double>(k) / 2.0 - 1.0;
-  const double tx_x = tx_y + static_cast<double>(k - 1) / 2.0;
-
-  auto step = [&](const std::vector<double>& in, std::vector<double>& out) {
-    const double ey = avg(in, lay.y, lay.ns);
-    const double ex = avg(in, lay.x, lay.ns);
-    const QueueDelay by =
-        blocking_delay(Stream{lc, ey, tx_y}, Stream{}, lm, /*busy_on_inclusive=*/false);
-    const QueueDelay bx =
-        blocking_delay(Stream{lc, ex, tx_x}, Stream{}, lm, /*busy_on_inclusive=*/false);
-    if (by.saturated || bx.saturated) return false;
-    for (int j = 1; j < k; ++j) {
-      out[lay.at(lay.y, j)] =
-          by.value + 1.0 + (j == 1 ? lm - 1.0 : out[lay.at(lay.y, j - 1)]);
-      out[lay.at(lay.x, j)] =
-          bx.value + 1.0 + (j == 1 ? lm - 1.0 : out[lay.at(lay.x, j - 1)]);
-      out[lay.at(lay.xy, j)] =
-          bx.value + 1.0 + (j == 1 ? ey : out[lay.at(lay.xy, j - 1)]);
-    }
-    return true;
-  };
-
-  FixedPointResult fp = solve_fixed_point(state, step, cfg_.solver);
+  const ChannelClassSystem sys = build_system(cfg_, lc);
+  engine::SolvePolicy policy;
+  policy.options = cfg_.solver;
+  policy.retry_with_stronger_damping = false;
+  std::vector<double> state;
+  const FixedPointResult fp = sys.solve(state, policy);
   res.iterations = fp.iterations;
   res.converged = fp.converged;
   if (!fp.converged) return res;  // saturated (diverged or no steady state)
@@ -118,7 +159,8 @@ UniformModelResult UniformTorusModel::solve() const {
   if (ws.saturated) return res;
   res.source_wait = ws.value;
 
-  // Transmission-basis occupancy, matching the hot-spot engine's default.
+  // Transmission-basis occupancy, matching the hot-spot model's default.
+  const auto [tx_y, tx_x] = holding_times(k, lm);
   res.vc_mux_x = vc_multiplexing_degree(lc, tx_x, cfg_.vcs);
   res.vc_mux_y = vc_multiplexing_degree(lc, tx_y, cfg_.vcs);
 

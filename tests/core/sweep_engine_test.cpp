@@ -1,0 +1,152 @@
+#include "core/sweep_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace kncube::core {
+namespace {
+
+Scenario small_scenario() {
+  Scenario s;
+  s.k = 8;
+  s.vcs = 2;
+  s.message_length = 8;
+  s.hot_fraction = 0.3;
+  s.target_messages = 500;
+  s.warmup_cycles = 2000;
+  s.max_cycles = 300000;
+  return s;
+}
+
+TEST(SweepEngine, MemoizesRepeatedModelPoints) {
+  SweepEngine engine(small_scenario());
+  const auto a = engine.model_point(2e-4);
+  EXPECT_EQ(engine.model_cache_size(), 1u);
+  EXPECT_EQ(engine.model_cache_hits(), 0u);
+  const auto b = engine.model_point(2e-4);
+  EXPECT_EQ(engine.model_cache_size(), 1u);
+  EXPECT_EQ(engine.model_cache_hits(), 1u);
+  EXPECT_EQ(a.latency, b.latency);
+  EXPECT_EQ(a.iterations, b.iterations);
+}
+
+TEST(SweepEngine, OverlappingSweepsShareModelSolves) {
+  SweepEngine engine(small_scenario());
+  const std::vector<double> lams = {1e-4, 2e-4, 3e-4};
+  const auto first = engine.run(lams, /*run_sim=*/false);
+  const auto hits_before = engine.model_cache_hits();
+  const auto second = engine.run(lams, /*run_sim=*/false);
+  EXPECT_EQ(engine.model_cache_size(), 3u);
+  EXPECT_EQ(engine.model_cache_hits(), hits_before + 3);
+  for (std::size_t i = 0; i < lams.size(); ++i) {
+    EXPECT_EQ(first[i].model.latency, second[i].model.latency);
+  }
+}
+
+TEST(SweepEngine, DuplicateLambdasInOneBatchStayIndependentReplicates) {
+  // Identical lambdas at different indices get different derived seeds, so
+  // their simulations are independent samples — never cache hits.
+  SweepEngine engine(small_scenario());
+  const auto pts = engine.run({8e-4, 8e-4}, /*run_sim=*/true);
+  ASSERT_EQ(pts.size(), 2u);
+  EXPECT_NE(engine.point_seed(0), engine.point_seed(1));
+  EXPECT_NE(pts[0].sim.mean_latency, pts[1].sim.mean_latency);
+  // The deterministic model side is shared.
+  EXPECT_EQ(pts[0].model.latency, pts[1].model.latency);
+  EXPECT_EQ(engine.sim_cache_size(), 2u);
+}
+
+TEST(SweepEngine, RepeatedBatchesReuseSimResults) {
+  SweepEngine engine(small_scenario());
+  const auto a = engine.run({5e-4}, /*run_sim=*/true);
+  EXPECT_EQ(engine.sim_cache_hits(), 0u);
+  const auto b = engine.run({5e-4}, /*run_sim=*/true);
+  EXPECT_EQ(engine.sim_cache_hits(), 1u);
+  EXPECT_EQ(a[0].sim.mean_latency, b[0].sim.mean_latency);
+}
+
+TEST(SweepEngine, ClearCacheResetsEverything) {
+  SweepEngine engine(small_scenario());
+  engine.run({1e-4, 2e-4}, /*run_sim=*/false);
+  engine.model_point(1e-4);
+  EXPECT_GT(engine.model_cache_size(), 0u);
+  EXPECT_GT(engine.model_cache_hits(), 0u);
+  engine.clear_cache();
+  EXPECT_EQ(engine.model_cache_size(), 0u);
+  EXPECT_EQ(engine.sim_cache_size(), 0u);
+  EXPECT_EQ(engine.model_cache_hits(), 0u);
+  EXPECT_EQ(engine.sim_cache_hits(), 0u);
+}
+
+TEST(SweepEngine, SaturationBisectionSharesTheModelCache) {
+  SweepEngine engine(small_scenario());
+  const SaturationResult sat = engine.saturation_rate();
+  EXPECT_GT(sat.rate, 0.0);
+  EXPECT_GT(sat.probes, 0);
+  // Every bisection probe landed in the model cache...
+  EXPECT_EQ(engine.model_cache_size(), static_cast<std::size_t>(sat.probes));
+  // ...and the boundary itself is cached: repeating costs no new solves.
+  const std::size_t solves_before = engine.model_cache_size();
+  const SaturationResult again = engine.saturation_rate();
+  EXPECT_EQ(again.rate, sat.rate);
+  EXPECT_EQ(engine.model_cache_size(), solves_before);
+}
+
+TEST(SweepEngine, LambdaSweepSpansRequestedRange) {
+  SweepEngine engine(small_scenario());
+  const auto lams = engine.lambda_sweep(5, 0.2, 0.9);
+  ASSERT_EQ(lams.size(), 5u);
+  for (std::size_t i = 1; i < lams.size(); ++i) EXPECT_GT(lams[i], lams[i - 1]);
+  EXPECT_NEAR(lams.back() / lams.front(), 0.9 / 0.2, 1e-9);
+}
+
+TEST(SweepEngine, ScenarioBasisKnobsReachTheModel) {
+  // Scenario forwards all three model-approximation knobs (not just the
+  // blocking variant) to ModelConfig...
+  Scenario s = small_scenario();
+  s.blocking = model::BlockingVariant::kPureWait;
+  s.busy_basis = model::ServiceBasis::kInclusive;
+  s.vcmux_basis = model::ServiceBasis::kInclusive;
+  const model::ModelConfig mc = to_model_config(s, 1e-4);
+  EXPECT_EQ(mc.blocking, model::BlockingVariant::kPureWait);
+  EXPECT_EQ(mc.busy_basis, model::ServiceBasis::kInclusive);
+  EXPECT_EQ(mc.vcmux_basis, model::ServiceBasis::kInclusive);
+
+  // ...and each basis knob changes the solved latency.
+  const double lambda = 8e-4;
+  Scenario base = small_scenario();
+  Scenario busy = small_scenario();
+  busy.busy_basis = model::ServiceBasis::kInclusive;
+  Scenario mux = small_scenario();
+  mux.vcmux_basis = model::ServiceBasis::kInclusive;
+  const auto rb = SweepEngine(base).model_point(lambda);
+  const auto ri = SweepEngine(busy).model_point(lambda);
+  const auto rm = SweepEngine(mux).model_point(lambda);
+  ASSERT_FALSE(rb.saturated);
+  ASSERT_FALSE(ri.saturated);
+  ASSERT_FALSE(rm.saturated);
+  EXPECT_NE(ri.latency, rb.latency);
+  EXPECT_NE(rm.latency, rb.latency);
+}
+
+TEST(SweepEngine, RelativeErrorIsNanOnDegenerateSim) {
+  PointResult p;
+  p.has_sim = true;
+  p.model.saturated = false;
+  p.model.latency = 60.0;
+  p.sim.mean_latency = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isnan(p.relative_error()));
+  p.sim.mean_latency = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(std::isnan(p.relative_error()));
+  p.sim.mean_latency = -5.0;
+  EXPECT_TRUE(std::isnan(p.relative_error()));
+  // A non-finite model latency that slipped past the saturation flag must
+  // not produce inf.
+  p.sim.mean_latency = 50.0;
+  p.model.latency = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(std::isnan(p.relative_error()));
+}
+
+}  // namespace
+}  // namespace kncube::core

@@ -1,4 +1,4 @@
-#include "model/mg1.hpp"
+#include "model/engine/mg1.hpp"
 
 #include <gtest/gtest.h>
 
