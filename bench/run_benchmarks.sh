@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Benchmark baseline pipeline: runs the google-benchmark binaries and writes
+# the repo-root BENCH_sim.json / BENCH_model.json baselines that performance
+# PRs diff against (see README "Performance baselines").
+#
+# Usage:
+#   bench/run_benchmarks.sh [build-dir] [extra google-benchmark args...]
+#
+# Examples:
+#   bench/run_benchmarks.sh                       # full run, build/ tree
+#   bench/run_benchmarks.sh build --benchmark_filter='BM_SimulatorCycles'
+#
+# The build must contain the perf binaries (configure with google-benchmark
+# installed; a bare `cmake -B build` defaults to a Release build, which is
+# the only configuration whose numbers are meaningful to commit).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+shift || true
+
+for bin in perf_sim perf_model; do
+  if [[ ! -x "$build_dir/bench/$bin" ]]; then
+    echo "error: $build_dir/bench/$bin not found or not executable." >&2
+    echo "Configure with google-benchmark available and build first:" >&2
+    echo "  cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+  fi
+done
+
+if grep -q "CMAKE_BUILD_TYPE:STRING=Debug" "$build_dir/CMakeCache.txt" 2>/dev/null; then
+  echo "warning: $build_dir is a Debug build; do not commit these numbers." >&2
+fi
+
+echo "== perf_sim -> BENCH_sim.json"
+"$build_dir/bench/perf_sim" \
+  --benchmark_format=json \
+  --benchmark_out="$repo_root/BENCH_sim.json" \
+  --benchmark_out_format=json "$@"
+
+echo "== perf_model -> BENCH_model.json"
+"$build_dir/bench/perf_model" \
+  --benchmark_format=json \
+  --benchmark_out="$repo_root/BENCH_model.json" \
+  --benchmark_out_format=json "$@"
+
+echo "Wrote $repo_root/BENCH_sim.json and $repo_root/BENCH_model.json"

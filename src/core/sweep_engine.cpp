@@ -31,18 +31,34 @@ std::uint64_t SweepEngine::point_seed(std::size_t index) const noexcept {
 // seeds), and an in-flight-future scheme isn't worth the machinery for it.
 model::ModelResult SweepEngine::model_point(double lambda) {
   const std::uint64_t key = lambda_key(lambda);
+  // Warm-start source: the nearest cached stable solve at or below lambda.
+  // The IEEE-754 bit pattern of a non-negative double is monotone in its
+  // value, so the cache's key order is ascending lambda and the predecessor
+  // lookup is one upper_bound. Whatever state the lookup races to see, the
+  // result is the same bits (warm starts are bit-exact accelerators).
+  std::vector<double> warm;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (auto it = model_cache_.find(key); it != model_cache_.end()) {
       ++model_hits_;
-      return it->second;
+      return it->second.result;
+    }
+    if (warm_start_) {
+      auto it = model_cache_.upper_bound(key);
+      while (it != model_cache_.begin()) {
+        --it;
+        if (!it->second.state.empty()) {
+          warm = it->second.state;
+          break;
+        }
+      }
     }
   }
-  const model::ModelResult r =
-      model::HotspotModel(to_model_config(scenario_, lambda)).solve();
+  ModelEntry entry;
+  entry.result = model::HotspotModel(to_model_config(scenario_, lambda))
+                     .solve(warm.empty() ? nullptr : &warm, &entry.state);
   std::lock_guard<std::mutex> lock(mutex_);
-  model_cache_.emplace(key, r);
-  return r;
+  return model_cache_.emplace(key, std::move(entry)).first->second.result;
 }
 
 sim::SimResult SweepEngine::sim_point(double lambda, std::uint64_t seed) {

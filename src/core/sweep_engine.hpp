@@ -15,6 +15,21 @@
 //    keyed by (lambda, seed). Identical lambdas at *different* point indices
 //    derive different seeds on purpose: they are independent replicates, not
 //    cache hits.
+//
+// Model solves are additionally *warm-started* (continuation): each solve
+// seeds its fixed-point iteration with the converged channel-class state of
+// the nearest cached stable point at or below its lambda, so ascending
+// sweeps chain solutions and each saturation-bisection probe starts from the
+// stable bracket end. The solver falls back to the zero-load start whenever
+// a warm start fails, and converged iterates are polished to the map's exact
+// stationary point (model/solver.hpp), so any solve that converges returns
+// the same bits no matter where it started or which cached state seeded it.
+// One caveat keeps this empirical rather than by-construction: a point whose
+// cold iteration would exhaust its budget without diverging could in
+// principle still converge from a warm seed (warm starting can only *add*
+// converged points, never lose or alter one); no such budget-marginal point
+// has been observed in this model family, and tests/model/warm_start_test
+// pins warm-on/warm-off equivalence across sweeps including the knee.
 #pragma once
 
 #include <cstddef>
@@ -69,11 +84,25 @@ class SweepEngine {
   std::uint64_t sim_cache_hits() const;
   void clear_cache();
 
+  /// Disables/enables warm-started model solves (default on). Results are
+  /// bit-identical either way (see the header comment); the toggle exists
+  /// for benchmarking and for the tests that verify that very claim.
+  void set_warm_start(bool enabled) noexcept { warm_start_ = enabled; }
+  bool warm_start() const noexcept { return warm_start_; }
+
  private:
+  /// Cached model solve: the result plus the converged channel-class state
+  /// (empty when saturated) used to warm-start nearby solves.
+  struct ModelEntry {
+    model::ModelResult result;
+    std::vector<double> state;
+  };
+
   Scenario scenario_;
+  bool warm_start_ = true;
 
   mutable std::mutex mutex_;
-  std::map<std::uint64_t, model::ModelResult> model_cache_;
+  std::map<std::uint64_t, ModelEntry> model_cache_;
   std::map<std::pair<std::uint64_t, std::uint64_t>, sim::SimResult> sim_cache_;
   std::map<std::uint64_t, SaturationResult> saturation_cache_;  ///< by rel_tol bits
   std::uint64_t model_hits_ = 0;

@@ -1,18 +1,60 @@
 #include "model/engine/channel_class.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "model/engine/mg1.hpp"
 #include "util/assert.hpp"
 
 namespace kncube::model::engine {
 
+std::size_t ChannelClassSystem::ExprHash::operator()(
+    const StateExpr& e) const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 0x100000001b3ULL;
+  };
+  mix(std::bit_cast<std::uint64_t>(e.constant));
+  mix(std::bit_cast<std::uint64_t>(e.divisor));
+  e.for_each_term([&](int slot, double weight) {
+    mix(static_cast<std::uint64_t>(slot));
+    mix(std::bit_cast<std::uint64_t>(weight));
+  });
+  return static_cast<std::size_t>(h);
+}
+
 double StateExpr::eval(const std::vector<double>& s) const {
+  if (!spill_) {
+    if (inline_slot_ < 0) return constant;  // divisor is 1 for these forms
+    return constant +
+           inline_weight_ * s[static_cast<std::size_t>(inline_slot_)] / divisor;
+  }
   double acc = 0.0;
-  for (const auto& [slot, weight] : terms) {
+  for (const auto& [slot, weight] : *spill_) {
     acc += weight * s[static_cast<std::size_t>(slot)];
   }
   return constant + acc / divisor;
+}
+
+bool StateExpr::operator==(const StateExpr& o) const {
+  if (constant != o.constant || divisor != o.divisor ||
+      term_count() != o.term_count()) {
+    return false;
+  }
+  if (!spill_ && !o.spill_) {
+    return inline_slot_ == o.inline_slot_ &&
+           (inline_slot_ < 0 || inline_weight_ == o.inline_weight_);
+  }
+  if (spill_ && o.spill_) return spill_ == o.spill_ || *spill_ == *o.spill_;
+  // One inline, one single-term spill: compare the lone terms.
+  bool equal = false;
+  for_each_term([&](int slot, double weight) {
+    o.for_each_term([&](int oslot, double oweight) {
+      equal = slot == oslot && weight == oweight;
+    });
+  });
+  return equal;
 }
 
 StateExpr StateExpr::constant_of(double c) {
@@ -22,22 +64,47 @@ StateExpr StateExpr::constant_of(double c) {
 }
 
 StateExpr StateExpr::slot(int index, double weight) {
+  KNC_ASSERT(index >= 0);
   StateExpr e;
-  e.terms.emplace_back(index, weight);
+  e.inline_slot_ = index;
+  e.inline_weight_ = weight;
   return e;
 }
 
 StateExpr StateExpr::average(int first, int count) {
   KNC_ASSERT(count > 0);
+  if (count == 1) {
+    StateExpr e = slot(first);
+    return e;
+  }
+  Terms terms;
+  terms.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) terms.emplace_back(first + i, 1.0);
+  return weighted(0.0, static_cast<double>(count), std::move(terms));
+}
+
+StateExpr StateExpr::weighted(double constant, double divisor,
+                              std::vector<std::pair<int, double>> terms) {
   StateExpr e;
-  e.terms.reserve(static_cast<std::size_t>(count));
-  for (int i = 0; i < count; ++i) e.terms.emplace_back(first + i, 1.0);
-  e.divisor = static_cast<double>(count);
+  e.constant = constant;
+  e.divisor = divisor;
+  if (terms.size() == 1) {
+    e.inline_slot_ = terms.front().first;
+    e.inline_weight_ = terms.front().second;
+  } else if (!terms.empty()) {
+    e.spill_ = std::make_shared<const Terms>(std::move(terms));
+  }
   return e;
 }
 
 ChannelClassSystem::ChannelClassSystem(int slots, EngineOptions options)
-    : options_(options), classes_(static_cast<std::size_t>(slots)) {
+    : options_(options),
+      // Blocking reads the iterated state only through Pb on the inclusive
+      // basis (eq 27); on the transmission basis (and for the pure-wait
+      // ablation) every blocking input is a constant of the system.
+      blocking_state_dependent_(options.blocking == BlockingVariant::kPaper &&
+                                options.busy_basis == ServiceBasis::kInclusive),
+      classes_(static_cast<std::size_t>(slots)) {
   KNC_ASSERT(slots > 0);
   eval_order_.resize(static_cast<std::size_t>(slots));
   for (int i = 0; i < slots; ++i) eval_order_[static_cast<std::size_t>(i)] = i;
@@ -48,11 +115,10 @@ void ChannelClassSystem::set_class(int slot, ChannelClass cls) {
 }
 
 int ChannelClassSystem::intern(const StateExpr& expr) {
-  for (std::size_t i = 0; i < expr_pool_.size(); ++i) {
-    if (expr_pool_[i] == expr) return static_cast<int>(i);
-  }
-  expr_pool_.push_back(expr);
-  return static_cast<int>(expr_pool_.size()) - 1;
+  const auto [it, inserted] =
+      expr_index_.try_emplace(expr, static_cast<int>(expr_pool_.size()));
+  if (inserted) expr_pool_.push_back(expr);
+  return it->second;
 }
 
 ChannelClassSystem::CompiledStream ChannelClassSystem::compile(
@@ -138,16 +204,22 @@ bool ChannelClassSystem::step(const std::vector<double>& in,
   // All blocking groups close over the *input* iterate (Jacobi across
   // groups); the per-slot recursions then chain within the sweep through
   // output_continuation (Gauss-Seidel along each path). Shared inclusive
-  // expressions are evaluated once per sweep via the interned pool.
-  ws.expr_values.resize(expr_pool_.size());
-  for (std::size_t i = 0; i < expr_pool_.size(); ++i) {
-    ws.expr_values[i] = expr_pool_[i].eval(in);
-  }
-  ws.blocking_values.resize(blockings_.size());
-  for (std::size_t g = 0; g < blockings_.size(); ++g) {
-    if (!blocking_value(blockings_[g], ws.expr_values, ws.blocking_values[g])) {
-      return false;
+  // expressions are evaluated once per sweep via the interned pool — and
+  // the pool plus the blocking groups are skipped entirely after the first
+  // sweep when the blocking is state-independent (Workspace::blocking_cached
+  // — the expr pool feeds nothing but the blocking evaluation).
+  if (!ws.blocking_cached) {
+    ws.expr_values.resize(expr_pool_.size());
+    for (std::size_t i = 0; i < expr_pool_.size(); ++i) {
+      ws.expr_values[i] = expr_pool_[i].eval(in);
     }
+    ws.blocking_values.resize(blockings_.size());
+    for (std::size_t g = 0; g < blockings_.size(); ++g) {
+      if (!blocking_value(blockings_[g], ws.expr_values, ws.blocking_values[g])) {
+        return false;
+      }
+    }
+    ws.blocking_cached = !blocking_state_dependent_;
   }
   for (const int slot : eval_order_) {
     const ChannelClass& cls = classes_[static_cast<std::size_t>(slot)];
@@ -162,7 +234,8 @@ bool ChannelClassSystem::step(const std::vector<double>& in,
 }
 
 FixedPointResult ChannelClassSystem::solve(std::vector<double>& state,
-                                           const SolvePolicy& policy) const {
+                                           const SolvePolicy& policy,
+                                           const std::vector<double>* warm_start) const {
   // Every output_continuation reference must already be evaluated within the
   // sweep — a forward reference would read the previous iteration's raw
   // scratch and converge to a silently wrong fixed point. Once per solve,
@@ -170,13 +243,13 @@ FixedPointResult ChannelClassSystem::solve(std::vector<double>& state,
   {
     std::vector<bool> visited(classes_.size(), false);
     for (const int slot : eval_order_) {
-      for (const auto& [ref, weight] : classes_[static_cast<std::size_t>(slot)]
-                                           .output_continuation.terms) {
-        (void)weight;
-        KNC_ASSERT_MSG(ref >= 0 && static_cast<std::size_t>(ref) < classes_.size() &&
-                           visited[static_cast<std::size_t>(ref)],
-                       "output_continuation references a slot evaluated later");
-      }
+      classes_[static_cast<std::size_t>(slot)].output_continuation.for_each_term(
+          [&](int ref, double) {
+            KNC_ASSERT_MSG(
+                ref >= 0 && static_cast<std::size_t>(ref) < classes_.size() &&
+                    visited[static_cast<std::size_t>(ref)],
+                "output_continuation references a slot evaluated later");
+          });
       visited[static_cast<std::size_t>(slot)] = true;
     }
   }
@@ -185,6 +258,15 @@ FixedPointResult ChannelClassSystem::solve(std::vector<double>& state,
                              std::vector<double>& out) {
     return step(in, out, ws);
   };
+  // Continuation: try the caller's converged iterate first. Any failure
+  // (divergence, non-convergence, a seed from a saturated or mismatched
+  // system) falls through to the cold path below, keeping classification
+  // identical to a cold solve.
+  if (warm_start != nullptr && warm_start->size() == classes_.size()) {
+    state = *warm_start;
+    const FixedPointResult warm = solve_fixed_point(state, step_fn, policy.options);
+    if (warm.converged) return warm;
+  }
   state = initial_state();
   FixedPointResult fp = solve_fixed_point(state, step_fn, policy.options);
   if (!fp.converged && !fp.diverged && policy.retry_with_stronger_damping) {

@@ -23,7 +23,11 @@
 // instantiate the same machinery with the same stream parameters.
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "model/solver.hpp"
@@ -48,19 +52,48 @@ namespace engine {
 ///   value = constant + (sum_i weight_i * s[slot_i]) / divisor.
 /// The divisor (rather than pre-scaled weights) keeps entrance averages
 /// bit-identical to an accumulate-then-divide loop.
+///
+/// Storage is allocation-frugal: a single term (the overwhelmingly common
+/// case — per-hop continuations and hot-stream service reads) lives inline,
+/// and multi-term expressions share one immutable spill vector, so copying
+/// an expression into the O(k^2) stream specifications of a large system is
+/// a refcount bump instead of a heap allocation. Expressions are immutable
+/// after construction; build multi-term ones with `weighted`.
 struct StateExpr {
   double constant = 0.0;
-  std::vector<std::pair<int, double>> terms;  ///< (slot, weight)
   double divisor = 1.0;
 
   double eval(const std::vector<double>& s) const;
-  bool empty() const noexcept { return terms.empty() && constant == 0.0; }
-  bool operator==(const StateExpr&) const = default;
+  bool empty() const noexcept {
+    return inline_slot_ < 0 && !spill_ && constant == 0.0;
+  }
+  std::size_t term_count() const noexcept {
+    return spill_ ? spill_->size() : (inline_slot_ >= 0 ? 1 : 0);
+  }
+  /// Invokes fn(slot, weight) for each term in insertion order.
+  template <typename Fn>
+  void for_each_term(Fn&& fn) const {
+    if (spill_) {
+      for (const auto& [slot, weight] : *spill_) fn(slot, weight);
+    } else if (inline_slot_ >= 0) {
+      fn(inline_slot_, inline_weight_);
+    }
+  }
+  bool operator==(const StateExpr& o) const;
 
   static StateExpr constant_of(double c);
   static StateExpr slot(int index, double weight = 1.0);
   /// Mean of `count` consecutive slots starting at `first`.
   static StateExpr average(int first, int count);
+  /// General form: constant + sum(terms)/divisor.
+  static StateExpr weighted(double constant, double divisor,
+                            std::vector<std::pair<int, double>> terms);
+
+ private:
+  using Terms = std::vector<std::pair<int, double>>;
+  int inline_slot_ = -1;
+  double inline_weight_ = 0.0;
+  std::shared_ptr<const Terms> spill_;  ///< set when term_count() > 1
 };
 
 /// One traffic stream crossing a channel, with its blocking-inclusive
@@ -139,7 +172,21 @@ class ChannelClassSystem {
 
   /// Damped fixed-point solve with the policy's stubborn-point retry.
   /// `state` holds the converged iterate on success.
-  FixedPointResult solve(std::vector<double>& state, const SolvePolicy& policy) const;
+  ///
+  /// `warm_start` (optional) seeds the iteration with a previously converged
+  /// state for this system's layout — typically the fixed point of a nearby
+  /// operating point, cutting the iteration count for continuation sweeps
+  /// and saturation bisections. If the warm-started iteration fails for any
+  /// reason the solver silently falls back to the zero-load start (plus the
+  /// usual stubborn-point retry), so a warm start can never lose a point the
+  /// cold path would solve; and because converged iterates are polished to
+  /// the map's exact stationary point (see model/solver.hpp), a warm solve
+  /// that converges returns results bit-identical to the converged cold
+  /// solve. (The converse — a warm seed rescuing a point whose cold budget
+  /// would expire without diverging — is possible in principle and would
+  /// only add a converged point; see DESIGN.md §6.2.)
+  FixedPointResult solve(std::vector<double>& state, const SolvePolicy& policy,
+                         const std::vector<double>* warm_start = nullptr) const;
 
  private:
   // Blocking specs are compiled at registration: every distinct inclusive
@@ -164,6 +211,16 @@ class ChannelClassSystem {
   struct Workspace {
     std::vector<double> expr_values;      ///< pool evaluations on the input
     std::vector<double> blocking_values;  ///< one per blocking group
+    /// With transmission-basis blocking (the default) the blocking values
+    /// read nothing from the state — Pb and the merged-stream wait depend
+    /// only on rates and contention-free holding times — so they are
+    /// computed on the first sweep and reused bit-for-bit afterwards. The
+    /// inclusive basis (and with it the expr pool) stays per-sweep.
+    bool blocking_cached = false;
+  };
+
+  struct ExprHash {
+    std::size_t operator()(const StateExpr& e) const noexcept;
   };
 
   int intern(const StateExpr& expr);
@@ -174,9 +231,14 @@ class ChannelClassSystem {
                       const std::vector<double>& expr_values, double& out) const;
 
   EngineOptions options_;
+  bool blocking_state_dependent_;
   std::vector<ChannelClass> classes_;
   std::vector<CompiledBlocking> blockings_;
   std::vector<StateExpr> expr_pool_;
+  /// Hash index over expr_pool_ so interning the O(k^2) stream expressions
+  /// of a large system is linear, not quadratic (the pool reaches several
+  /// hundred entries for k = 32 and interning dominated system builds).
+  std::unordered_map<StateExpr, int, ExprHash> expr_index_;
   std::vector<int> eval_order_;
 };
 

@@ -74,7 +74,12 @@ class Builder {
         rates_(rates),
         probs_(path_probabilities(cfg.k)),
         lay_(cfg.k),
-        lm_(static_cast<double>(cfg.message_length)) {}
+        lm_(static_cast<double>(cfg.message_length)),
+        // Entrance averages are shared by O(k^2) stream specifications;
+        // constructed once here, copied by refcount thereafter.
+        ent_ybar_(StateExpr::average(lay_.ybar, lay_.ns)),
+        ent_yhot_(StateExpr::average(lay_.yhot, lay_.ns)),
+        ent_x_(StateExpr::average(lay_.x, lay_.ns)) {}
 
   const Layout& layout() const { return lay_; }
 
@@ -96,13 +101,13 @@ class Builder {
 
   // --- competing streams, inclusive service read at the class entrance ---
   StreamSpec reg_ybar() const {
-    return {rates_.regular_rate, StateExpr::average(lay_.ybar, lay_.ns), tx_reg_y()};
+    return {rates_.regular_rate, ent_ybar_, tx_reg_y()};
   }
   StreamSpec reg_y() const {
-    return {rates_.regular_rate, StateExpr::average(lay_.yhot, lay_.ns), tx_reg_y()};
+    return {rates_.regular_rate, ent_yhot_, tx_reg_y()};
   }
   StreamSpec reg_x() const {
-    return {rates_.regular_rate, StateExpr::average(lay_.x, lay_.ns), tx_reg_x()};
+    return {rates_.regular_rate, ent_x_, tx_reg_x()};
   }
   // Hot streams at position l; the channel leaving the hot node / hot column
   // (l == k) carries no hot-spot traffic (rate 0).
@@ -177,10 +182,8 @@ class Builder {
       chain("yhot", lay_.yhot, b_yhot, base0, StateExpr::constant_of(last));
       chain("x", lay_.x, b_x, base0, StateExpr::constant_of(last));
       // x-then-y classes enter the y dimension at its entrance average.
-      chain("xhy", lay_.xhy, b_x, static_cast<double>(j) + y_ent0,
-            StateExpr::average(lay_.yhot, lay_.ns));
-      chain("xyb", lay_.xyb, b_x, static_cast<double>(j) + y_ent0,
-            StateExpr::average(lay_.ybar, lay_.ns));
+      chain("xhy", lay_.xhy, b_x, static_cast<double>(j) + y_ent0, ent_yhot_);
+      chain("xyb", lay_.xyb, b_x, static_cast<double>(j) + y_ent0, ent_ybar_);
     }
 
     // --- hot-spot messages in the hot y-ring (eq 23) ---
@@ -384,6 +387,7 @@ class Builder {
   PathProbabilities probs_;
   Layout lay_;
   double lm_;
+  StateExpr ent_ybar_, ent_yhot_, ent_x_;
 };
 
 }  // namespace
@@ -406,15 +410,17 @@ HotspotModel::HotspotModel(const ModelConfig& cfg) : cfg_(cfg) {
   rates_ = traffic_rates(cfg.k, cfg.injection_rate, cfg.hot_fraction);
 }
 
-ModelResult HotspotModel::solve() const {
+ModelResult HotspotModel::solve(const std::vector<double>* warm_start,
+                                std::vector<double>* converged_state) const {
   const Builder builder(cfg_, rates_);
   ModelResult res;
+  if (converged_state != nullptr) converged_state->clear();
 
   const ChannelClassSystem sys = builder.build();
   engine::SolvePolicy policy;
   policy.options = cfg_.solver;
   std::vector<double> state;
-  const FixedPointResult fp = sys.solve(state, policy);
+  const FixedPointResult fp = sys.solve(state, policy, warm_start);
   res.iterations = fp.iterations;
   res.converged = fp.converged;
   if (!fp.converged) {
@@ -427,6 +433,7 @@ ModelResult HotspotModel::solve() const {
     res.latency = std::numeric_limits<double>::infinity();
     return res;
   }
+  if (converged_state != nullptr) *converged_state = std::move(state);
   return res;
 }
 

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <limits>
+#include <vector>
 
 #include "model/engine/channel_class.hpp"  // BlockingVariant, ServiceBasis
 #include "model/solver.hpp"
@@ -61,7 +62,18 @@ class HotspotModel {
  public:
   explicit HotspotModel(const ModelConfig& cfg);
 
-  ModelResult solve() const;
+  ModelResult solve() const { return solve(nullptr, nullptr); }
+
+  /// Solve with continuation support. `warm_start` (optional) seeds the
+  /// fixed-point iteration with a converged channel-class state from a
+  /// nearby operating point; on any warm failure the solver falls back to
+  /// the zero-load start, so classification matches the cold path, and a
+  /// successful warm solve is bit-identical to the cold one (the solver
+  /// polishes converged iterates to the map's exact stationary point).
+  /// `converged_state` (optional) receives the converged iterate for
+  /// chaining; it is left empty when the point is saturated.
+  ModelResult solve(const std::vector<double>* warm_start,
+                    std::vector<double>* converged_state) const;
 
   const ModelConfig& config() const noexcept { return cfg_; }
   const TrafficRates& rates() const noexcept { return rates_; }

@@ -110,13 +110,18 @@ class Builder {
       // Hot messages always ride funnel channels.
       const int b_hot = sys.add_blocking({{{1.0, reg_stream(d), hot_stream(d)}}, 1.0});
 
-      StateExpr cont_r = StateExpr::constant_of(delivery_probability(d) * (lm_ - 1.0));
-      StateExpr cont_h = cont_r;
+      const double cont0 = delivery_probability(d) * (lm_ - 1.0);
+      std::vector<std::pair<int, double>> terms_r;
+      std::vector<std::pair<int, double>> terms_h;
+      terms_r.reserve(static_cast<std::size_t>(n - 1 - d));
+      terms_h.reserve(static_cast<std::size_t>(n - 1 - d));
       for (int dp = d + 1; dp < n; ++dp) {
         const double p = next_dim_probability(d, dp);
-        cont_r.terms.emplace_back(lay_.r(dp), p);
-        cont_h.terms.emplace_back(lay_.h(dp), p);
+        terms_r.emplace_back(lay_.r(dp), p);
+        terms_h.emplace_back(lay_.h(dp), p);
       }
+      StateExpr cont_r = StateExpr::weighted(cont0, 1.0, std::move(terms_r));
+      StateExpr cont_h = StateExpr::weighted(cont0, 1.0, std::move(terms_h));
 
       ChannelClass reg;
       reg.name = "r";
@@ -245,15 +250,18 @@ double HypercubeHotspotModel::first_dim_probability(int d) const {
   return pow2(cfg_.dims - 1 - d) / (pow2(cfg_.dims) - 1.0);
 }
 
-HypercubeModelResult HypercubeHotspotModel::solve() const {
+HypercubeModelResult HypercubeHotspotModel::solve(
+    const std::vector<double>* warm_start,
+    std::vector<double>* converged_state) const {
   const Builder builder(cfg_);
   HypercubeModelResult res;
+  if (converged_state != nullptr) converged_state->clear();
 
   const ChannelClassSystem sys = builder.build();
   engine::SolvePolicy policy;
   policy.options = cfg_.solver;
   std::vector<double> state;
-  const FixedPointResult fp = sys.solve(state, policy);
+  const FixedPointResult fp = sys.solve(state, policy, warm_start);
   res.iterations = fp.iterations;
   res.converged = fp.converged;
   if (!fp.converged) {
@@ -263,7 +271,9 @@ HypercubeModelResult HypercubeHotspotModel::solve() const {
   if (!builder.assemble(state, res)) {
     res.saturated = true;
     res.latency = std::numeric_limits<double>::infinity();
+    return res;
   }
+  if (converged_state != nullptr) *converged_state = std::move(state);
   return res;
 }
 

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <limits>
+#include <vector>
 
 #include "model/engine/channel_class.hpp"  // ServiceBasis, BlockingVariant
 #include "model/solver.hpp"
@@ -64,7 +65,13 @@ class HypercubeHotspotModel {
  public:
   explicit HypercubeHotspotModel(const HypercubeModelConfig& cfg);
 
-  HypercubeModelResult solve() const;
+  HypercubeModelResult solve() const { return solve(nullptr, nullptr); }
+  /// Continuation solve: `warm_start` seeds the iteration with a nearby
+  /// converged state (cold fallback on failure, bit-identical on success);
+  /// `converged_state` receives the converged iterate for chaining. Either
+  /// may be null. See HotspotModel::solve for the contract.
+  HypercubeModelResult solve(const std::vector<double>* warm_start,
+                             std::vector<double>* converged_state) const;
 
   const HypercubeModelConfig& config() const noexcept { return cfg_; }
 

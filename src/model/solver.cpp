@@ -2,10 +2,80 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/assert.hpp"
 
 namespace kncube::model {
+
+namespace {
+
+bool all_finite(const std::vector<double>& v) {
+  for (const double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+double max_rel_change(const std::vector<double>& a, const std::vector<double>& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double denom = std::max(std::abs(b[i]), 1.0);
+    m = std::max(m, std::abs(b[i] - a[i]) / denom);
+  }
+  return m;
+}
+
+/// Refines a tolerance-converged iterate to the map's exactly stationary
+/// point (see the header). Phase 1 iterates undamped — near the fixed point
+/// the raw map is usually a strong contraction and snaps to stationarity in
+/// a handful of sweeps; if a sweep fails, goes non-finite, or stops
+/// contracting (the oscillatory regime damping exists for), phase 2 falls
+/// back to the damped blend. Exact two-cycles — the terminal behaviour of a
+/// rounding-level oscillation — are canonicalised to the componentwise
+/// minimum so every trajectory that lands on the cycle reports the same
+/// state. Best-effort: on budget exhaustion the current iterate stands.
+void polish_to_stationary(
+    std::vector<double>& state, std::vector<double>& next,
+    const std::function<bool(const std::vector<double>&, std::vector<double>&)>& step,
+    const FixedPointOptions& options) {
+  const std::size_t size = state.size();
+  std::vector<double> prev;
+  double last_rel = std::numeric_limits<double>::infinity();
+  constexpr int kUndampedBudget = 48;
+  for (int it = 0; it < kUndampedBudget; ++it) {
+    if (!step(state, next) || !all_finite(next)) return;
+    if (next == state) return;  // exactly stationary
+    if (!prev.empty() && next == prev) {  // exact 2-cycle: canonicalise
+      for (std::size_t i = 0; i < size; ++i) state[i] = std::min(state[i], next[i]);
+      return;
+    }
+    const double rel = max_rel_change(state, next);
+    if (rel > last_rel || rel >= 1e-6) break;  // hand over to the damped phase
+    prev = state;
+    state.swap(next);
+    last_rel = rel;
+  }
+  const double alpha = options.damping;
+  prev.clear();
+  for (int it = 0; it < options.polish_iterations; ++it) {
+    if (!step(state, next) || !all_finite(next)) return;
+    bool stationary = true;
+    for (std::size_t i = 0; i < size; ++i) {
+      next[i] = (1.0 - alpha) * state[i] + alpha * next[i];
+      stationary = stationary && next[i] == state[i];
+    }
+    if (stationary) return;
+    if (!prev.empty() && next == prev) {
+      for (std::size_t i = 0; i < size; ++i) state[i] = std::min(state[i], next[i]);
+      return;
+    }
+    prev = state;
+    state.swap(next);
+  }
+}
+
+}  // namespace
 
 FixedPointResult solve_fixed_point(
     std::vector<double>& state,
@@ -41,6 +111,9 @@ FixedPointResult solve_fixed_point(
     }
     if (max_rel < options.tolerance) {
       result.converged = true;
+      if (options.polish_iterations > 0) {
+        polish_to_stationary(state, next, step, options);
+      }
       return result;
     }
   }

@@ -122,20 +122,23 @@ double UniformTorusModel::channel_rate() const noexcept {
   return cfg_.injection_rate * static_cast<double>(cfg_.k - 1) / 2.0;
 }
 
-UniformModelResult UniformTorusModel::solve() const {
+UniformModelResult UniformTorusModel::solve(
+    const std::vector<double>* warm_start,
+    std::vector<double>* converged_state) const {
   const int k = cfg_.k;
   const double lm = static_cast<double>(cfg_.message_length);
   const double lc = channel_rate();
   const Lay lay(k);
 
   UniformModelResult res;
+  if (converged_state != nullptr) converged_state->clear();
 
   const ChannelClassSystem sys = build_system(cfg_, lc);
   engine::SolvePolicy policy;
   policy.options = cfg_.solver;
   policy.retry_with_stronger_damping = false;
   std::vector<double> state;
-  const FixedPointResult fp = sys.solve(state, policy);
+  const FixedPointResult fp = sys.solve(state, policy, warm_start);
   res.iterations = fp.iterations;
   res.converged = fp.converged;
   if (!fp.converged) return res;  // saturated (diverged or no steady state)
@@ -169,6 +172,7 @@ UniformModelResult UniformTorusModel::solve() const {
                 p_yonly * (ey + ws.value) * res.vc_mux_y;
   res.channel_utilization = std::min(1.0, lc * ex);
   res.saturated = false;
+  if (converged_state != nullptr) *converged_state = std::move(state);
   return res;
 }
 

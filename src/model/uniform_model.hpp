@@ -9,6 +9,7 @@
 #pragma once
 
 #include <limits>
+#include <vector>
 
 #include "model/solver.hpp"
 
@@ -40,7 +41,13 @@ class UniformTorusModel {
  public:
   explicit UniformTorusModel(const UniformModelConfig& cfg);
 
-  UniformModelResult solve() const;
+  UniformModelResult solve() const { return solve(nullptr, nullptr); }
+  /// Continuation solve: `warm_start` seeds the iteration with a nearby
+  /// converged state (cold fallback on failure, bit-identical on success);
+  /// `converged_state` receives the converged iterate for chaining. Either
+  /// may be null. See HotspotModel::solve for the contract.
+  UniformModelResult solve(const std::vector<double>* warm_start,
+                           std::vector<double>* converged_state) const;
   double zero_load_latency() const;
   /// Per-channel message rate lambda * (k-1)/2.
   double channel_rate() const noexcept;

@@ -11,11 +11,13 @@ Network::Network(const SimConfig& cfg)
       message_length_(static_cast<std::uint32_t>(cfg.message_length)) {
   cfg.validate();
   routers_.reserve(topo_.size());
+  active_.reserve(topo_.size());
   for (topo::NodeId id = 0; id < topo_.size(); ++id) {
-    routers_.push_back(std::make_unique<Router>(topo_, id, cfg.vcs, cfg.buffer_depth));
+    routers_.push_back(std::make_unique<Router>(
+        topo_, id, cfg.vcs, cfg.buffer_depth, message_length_));
   }
   // Wire links: output port p of node r feeds input port p of the neighbour
-  // in that port's (dim, dir); the input port keeps a pointer back to the
+  // in that port's (dim, dir); the input port keeps a reference back to the
   // upstream output port for credit/release return.
   for (topo::NodeId id = 0; id < topo_.size(); ++id) {
     Router& r = *routers_[id];
@@ -25,18 +27,41 @@ Network::Network(const SimConfig& cfg)
       const topo::NodeId down_id = topo_.neighbor(id, dim, dir);
       Router& down = *routers_[down_id];
       r.connect(p, &down, p);
-      down.connect_upstream(p, &r.output_port_mutable(p));
+      down.connect_upstream(p, &r, p);
     }
   }
 }
 
 void Network::step(std::uint64_t cycle, Metrics& metrics) {
-  for (auto& r : routers_) r->refill_injection();
-  for (auto& r : routers_) r->phase_eject(cycle, metrics);
-  for (auto& r : routers_) r->phase_route();
-  for (auto& r : routers_) r->phase_vc_alloc();
-  for (auto& r : routers_) r->phase_switch(cycle, metrics);
-  for (auto& r : routers_) r->commit();
+  // Quiescent routers skip every phase; phases still run list-at-a-time (in
+  // router-id order) so all cross-router interactions keep the seed's
+  // globally synchronous semantics and metric-callback order.
+  active_.clear();
+  for (auto& r : routers_) {
+    if (r->quiescent()) {
+      r->note_idle_cycle();
+    } else {
+      active_.push_back(r.get());
+    }
+  }
+  for (Router* r : active_) r->refill_injection();
+  for (Router* r : active_) r->phase_eject(cycle, metrics);
+  for (Router* r : active_) r->phase_route();
+  for (Router* r : active_) r->phase_vc_alloc();
+  for (Router* r : active_) r->phase_switch(cycle, metrics);
+  // A router idle at the cycle start may have received a flit during
+  // phase_switch; its staged arrival must become visible at this boundary
+  // (full commit is unnecessary: it has no signals, and its idle cycle is
+  // already accounted).
+  std::size_t next_active = 0;
+  for (auto& r : routers_) {
+    if (next_active < active_.size() && active_[next_active] == r.get()) {
+      r->commit();
+      ++next_active;
+    } else if (r->has_staged_arrivals()) {
+      r->commit_arrivals();
+    }
+  }
 }
 
 void Network::enqueue_message(const QueuedMessage& msg) {

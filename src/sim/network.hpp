@@ -3,6 +3,15 @@
 // so every router observes the same globally-consistent start-of-cycle state;
 // transfers and credit returns staged during a cycle become visible at the
 // next one (Router::commit).
+//
+// Scheduling: step() rebuilds an active-router list each cycle from the
+// routers' O(1) quiescence predicate and runs the five phases only over that
+// list — a quiescent router (nothing buffered or staged, empty source
+// queues, no busy output VCs, no pending credit signals) provably performs
+// no work in any phase, so skipping it is bit-identical to running it. Its
+// only bookkeeping, the per-port stat_cycles advance, is folded in lazily
+// (Router::note_idle_cycle / flush). Routers that receive a flit mid-cycle
+// still commit their staged arrivals at the cycle boundary.
 #pragma once
 
 #include <memory>
@@ -51,6 +60,7 @@ class Network {
  private:
   topo::KAryNCube topo_;
   std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<Router*> active_;  ///< per-cycle scratch, rebuilt by step()
   std::uint32_t message_length_;
 };
 

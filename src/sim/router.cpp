@@ -1,24 +1,56 @@
 #include "sim/router.hpp"
 
+#include <algorithm>
+#include <bit>
+
 #include "util/assert.hpp"
 
 namespace kncube::sim {
 
-Router::Router(const topo::KAryNCube& net, topo::NodeId id, int vcs, int buffer_depth)
+namespace {
+
+std::uint32_t pow2_ceil(std::uint32_t v) {
+  return std::bit_ceil(std::max<std::uint32_t>(v, 1));
+}
+
+}  // namespace
+
+Router::Router(const topo::KAryNCube& net, topo::NodeId id, int vcs,
+               int buffer_depth, std::uint32_t message_length)
     : net_(net),
       id_(id),
       vcs_(vcs),
       buffer_depth_(buffer_depth),
-      net_ports_(net.channels_per_node()) {
-  KNC_ASSERT(vcs >= 1 && buffer_depth >= 1);
+      net_ports_(net.channels_per_node()),
+      message_length_(message_length) {
+  KNC_ASSERT(vcs >= 1 && buffer_depth >= 1 && message_length >= 1);
   in_vcs_.resize(static_cast<std::size_t>((net_ports_ + 1) * vcs_));
+
+  // Ring capacities: network VCs hold at most buffer_depth flits (credit
+  // flow control); injection VCs hold one fully-materialised message.
+  const std::uint32_t cap_net = pow2_ceil(static_cast<std::uint32_t>(buffer_depth));
+  const std::uint32_t cap_inj = pow2_ceil(message_length);
+  std::uint32_t base = 0;
+  for (int p = 0; p <= net_ports_; ++p) {
+    const std::uint32_t cap = p == net_ports_ ? cap_inj : cap_net;
+    for (int v = 0; v < vcs_; ++v) {
+      InputVc& in = ivc(p, v);
+      in.base = base;
+      in.mask = cap - 1;
+      base += cap;
+    }
+  }
+  slab_.resize(base);
+
   out_.resize(static_cast<std::size_t>(net_ports_));
   for (auto& op : out_) {
     op.vcs.assign(static_cast<std::size_t>(vcs_), OutputVc{false, buffer_depth_});
     op.staged_credits.assign(static_cast<std::size_t>(vcs_), 0);
     op.staged_release.assign(static_cast<std::size_t>(vcs_), 0);
+    op.requesters.reserve(static_cast<std::size_t>(vcs_) * 2);
   }
-  upstream_.assign(static_cast<std::size_t>(net_ports_), nullptr);
+  up_router_.assign(static_cast<std::size_t>(net_ports_), nullptr);
+  up_port_.assign(static_cast<std::size_t>(net_ports_), -1);
   staged_in_.resize(static_cast<std::size_t>(net_ports_));
   source_q_.resize(static_cast<std::size_t>(vcs_));
 }
@@ -42,8 +74,21 @@ void Router::connect(int out_port, Router* down, int down_port) {
   op.down_port = down_port;
 }
 
-void Router::connect_upstream(int in_port, OutputPort* upstream) {
-  upstream_[static_cast<std::size_t>(in_port)] = upstream;
+void Router::connect_upstream(int in_port, Router* up, int up_port) {
+  up_router_[static_cast<std::size_t>(in_port)] = up;
+  up_port_[static_cast<std::size_t>(in_port)] = up_port;
+}
+
+void Router::requesters_insert(OutputPort& op, std::int32_t index) {
+  auto it = std::lower_bound(op.requesters.begin(), op.requesters.end(), index);
+  KNC_DEBUG_ASSERT(it == op.requesters.end() || *it != index);
+  op.requesters.insert(it, index);
+}
+
+void Router::requesters_erase(OutputPort& op, std::int32_t index) {
+  auto it = std::lower_bound(op.requesters.begin(), op.requesters.end(), index);
+  KNC_DEBUG_ASSERT(it != op.requesters.end() && *it == index);
+  op.requesters.erase(it);
 }
 
 int Router::class_vc_begin(int cls) const noexcept {
@@ -68,16 +113,17 @@ int Router::vc_class_for(const Flit& head, int dim, topo::Direction dir) const n
 
 Flit Router::pop_and_credit(int port, int vc) {
   InputVc& in = ivc(port, vc);
-  KNC_DEBUG_ASSERT(!in.buffer.empty());
-  Flit f = in.buffer.front();
-  in.buffer.pop_front();
+  KNC_DEBUG_ASSERT(in.count != 0);
+  const Flit f = ring_pop(in);
   if (port < net_ports_) {
-    OutputPort* up = upstream_[static_cast<std::size_t>(port)];
+    Router* up = up_router_[static_cast<std::size_t>(port)];
     KNC_DEBUG_ASSERT(up != nullptr);
-    ++up->staged_credits[static_cast<std::size_t>(vc)];
+    OutputPort& up_op = up->out_[static_cast<std::size_t>(up_port_[static_cast<std::size_t>(port)])];
+    ++up_op.staged_credits[static_cast<std::size_t>(vc)];
+    ++up->pending_signals_;
     if (f.tail) {
-      KNC_DEBUG_ASSERT(in.buffer.empty());  // tail is the last flit
-      up->staged_release[static_cast<std::size_t>(vc)] = 1;
+      KNC_DEBUG_ASSERT(in.count == 0);  // tail is the last flit
+      up_op.staged_release[static_cast<std::size_t>(vc)] = 1;
       in.active = false;
     }
   }
@@ -89,9 +135,10 @@ void Router::refill_injection() {
   for (int v = 0; v < vcs_; ++v) {
     InputVc& in = ivc(inj, v);
     auto& q = source_q_[static_cast<std::size_t>(v)];
-    if (!in.buffer.empty() || in.route_out != -1 || q.empty()) continue;
+    if (in.count != 0 || in.route_out != -1 || q.empty()) continue;
     const QueuedMessage msg = q.front();
     q.pop_front();
+    --source_total_;
     for (std::uint32_t seq = 0; seq < message_length_; ++seq) {
       Flit f;
       f.msg = msg.id;
@@ -101,7 +148,7 @@ void Router::refill_injection() {
       f.gen_cycle = msg.gen_cycle;
       f.head = seq == 0;
       f.tail = seq + 1 == message_length_;
-      in.buffer.push_back(f);
+      ring_push(in, f);
     }
   }
 }
@@ -113,7 +160,7 @@ void Router::phase_eject(std::uint64_t cycle, Metrics& metrics) {
   for (int p = 0; p < net_ports_; ++p) {
     for (int v = 0; v < vcs_; ++v) {
       InputVc& in = ivc(p, v);
-      while (!in.buffer.empty() && in.buffer.front().dest == id_) {
+      while (in.count != 0 && ring_front(in).dest == id_) {
         const Flit f = pop_and_credit(p, v);
         metrics.on_flit_delivered();
         if (f.tail) metrics.on_delivered(f.msg, f.gen_cycle, cycle, f.dest);
@@ -127,8 +174,8 @@ void Router::phase_route() {
   for (int p = 0; p < total_ports; ++p) {
     for (int v = 0; v < vcs_; ++v) {
       InputVc& in = ivc(p, v);
-      if (in.route_out != -1 || in.buffer.empty()) continue;
-      const Flit& f = in.buffer.front();
+      if (in.route_out != -1 || in.count == 0) continue;
+      const Flit& f = ring_front(in);
       if (!f.head) continue;  // cannot happen for well-formed streams
       KNC_DEBUG_ASSERT(f.dest != id_);  // destined flits were ejected already
       const int dim = net_.next_route_dim(id_, f.dest);
@@ -136,34 +183,59 @@ void Router::phase_route() {
       const topo::Direction dir =
           net_.ring_direction(net_.coord(id_, dim), net_.coord(f.dest, dim));
       in.route_out = out_port_for(dim, dir);
+      requesters_insert(out_[static_cast<std::size_t>(in.route_out)],
+                        static_cast<std::int32_t>(p * vcs_ + v));
     }
   }
 }
 
 void Router::phase_vc_alloc() {
+  // Round-robin over the input VCs requesting each output port, with the
+  // seed semantics preserved exactly: the original loop visited
+  // i = (rr_vc + off) % total_vcs for off = 0..total_vcs-1, re-reading rr_vc
+  // each iteration while grants mutate it (a grant at (i, off) moves the
+  // next visit to i + off + 2). Non-requesters can never be granted, so the
+  // walk below jumps between requesters (sorted by index) while replaying
+  // the identical (i, off) sequence.
   const int total_vcs = (net_ports_ + 1) * vcs_;
   for (int op_idx = 0; op_idx < net_ports_; ++op_idx) {
     OutputPort& op = out_[static_cast<std::size_t>(op_idx)];
-    // Round-robin over input VCs requesting this output port.
-    for (int off = 0; off < total_vcs; ++off) {
-      const int i = (static_cast<int>(op.rr_vc) + off) % total_vcs;
+    const auto& req = op.requesters;
+    if (req.empty()) continue;
+    int i = static_cast<int>(op.rr_vc);
+    int off = 0;
+    while (off < total_vcs) {
+      // Next requester at or cyclically after i.
+      auto it = std::lower_bound(req.begin(), req.end(), i);
+      const int j = it == req.end() ? req.front() : *it;
+      off += (j - i + total_vcs) % total_vcs;
+      if (off >= total_vcs) break;
+      i = j;
       InputVc& in = in_vcs_[static_cast<std::size_t>(i)];
-      if (in.route_out != op_idx || in.out_vc != -1 || in.buffer.empty()) continue;
-      const Flit& head = in.buffer.front();
-      KNC_DEBUG_ASSERT(head.head);
-      const int cls =
-          vc_class_for(head, port_dim(op_idx), port_dir(op_idx));
+      KNC_DEBUG_ASSERT(in.route_out == op_idx);
       int granted = -1;
-      for (int v = class_vc_begin(cls); v < class_vc_end(cls); ++v) {
-        if (!op.vcs[static_cast<std::size_t>(v)].busy) {
-          granted = v;
-          break;
+      if (in.out_vc == -1 && in.count != 0) {
+        const Flit& head = ring_front(in);
+        KNC_DEBUG_ASSERT(head.head);
+        const int cls = vc_class_for(head, port_dim(op_idx), port_dir(op_idx));
+        for (int v = class_vc_begin(cls); v < class_vc_end(cls); ++v) {
+          if (!op.vcs[static_cast<std::size_t>(v)].busy) {
+            granted = v;
+            break;
+          }
         }
       }
-      if (granted < 0) continue;  // no free VC in this class right now
-      in.out_vc = granted;
-      op.vcs[static_cast<std::size_t>(granted)].busy = true;
-      op.rr_vc = static_cast<std::uint32_t>((i + 1) % total_vcs);
+      if (granted >= 0) {
+        in.out_vc = granted;
+        op.vcs[static_cast<std::size_t>(granted)].busy = true;
+        ++op.busy_now;
+        ++busy_out_;
+        op.rr_vc = static_cast<std::uint32_t>((i + 1) % total_vcs);
+        i = (i + off + 2) % total_vcs;
+      } else {
+        i = (i + 1) % total_vcs;
+      }
+      ++off;
     }
   }
 }
@@ -172,24 +244,38 @@ void Router::phase_switch(std::uint64_t cycle, Metrics& metrics) {
   const int total_vcs = (net_ports_ + 1) * vcs_;
   for (int op_idx = 0; op_idx < net_ports_; ++op_idx) {
     OutputPort& op = out_[static_cast<std::size_t>(op_idx)];
-    // One flit per output physical channel per cycle: round-robin among the
-    // input VCs that hold an allocation, have a flit and downstream credit.
-    for (int off = 0; off < total_vcs; ++off) {
-      const int i = (static_cast<int>(op.rr_sw) + off) % total_vcs;
+    const auto& req = op.requesters;
+    if (req.empty()) continue;
+    // One flit per output physical channel per cycle: the first requester in
+    // cyclic order from rr_sw that holds an allocation, has a flit and
+    // downstream credit (the seed scanned every input VC in the same order;
+    // only requesters can pass the eligibility test).
+    const auto start =
+        std::lower_bound(req.begin(), req.end(), static_cast<int>(op.rr_sw));
+    const std::size_t n = req.size();
+    const std::size_t first = static_cast<std::size_t>(start - req.begin());
+    for (std::size_t step = 0; step < n; ++step) {
+      std::size_t pos = first + step;
+      if (pos >= n) pos -= n;
+      const int i = req[pos];
       InputVc& in = in_vcs_[static_cast<std::size_t>(i)];
-      if (in.route_out != op_idx || in.out_vc == -1 || in.buffer.empty()) continue;
+      KNC_DEBUG_ASSERT(in.route_out == op_idx);
+      if (in.out_vc == -1 || in.count == 0) continue;
       if (op.vcs[static_cast<std::size_t>(in.out_vc)].credits <= 0) continue;
 
       const int port = i / vcs_;
       const int vc = i % vcs_;
       const int out_vc = in.out_vc;
-      Flit f = pop_and_credit(port, vc);
+      const Flit f = pop_and_credit(port, vc);
       --op.vcs[static_cast<std::size_t>(out_vc)].credits;
       ++op.flits_sent;
       KNC_DEBUG_ASSERT(op.down != nullptr);
-      KNC_DEBUG_ASSERT(!op.down->staged_in_[static_cast<std::size_t>(op.down_port)]);
-      op.down->staged_in_[static_cast<std::size_t>(op.down_port)] =
-          std::make_pair(out_vc, f);
+      Router& down = *op.down;
+      StagedArrival& slot = down.staged_in_[static_cast<std::size_t>(op.down_port)];
+      KNC_DEBUG_ASSERT(slot.vc < 0);
+      slot.flit = f;
+      slot.vc = out_vc;
+      ++down.staged_count_;
 
       if (port == injection_port() && f.head) {
         metrics.on_injected(f.msg, f.gen_cycle, cycle);
@@ -199,6 +285,7 @@ void Router::phase_switch(std::uint64_t cycle, Metrics& metrics) {
         // stays busy until the tail leaves the downstream buffer.
         in.route_out = -1;
         in.out_vc = -1;
+        requesters_erase(op, i);
       }
       op.rr_sw = static_cast<std::uint32_t>((i + 1) % total_vcs);
       break;  // physical channel bandwidth: one flit per cycle
@@ -206,43 +293,54 @@ void Router::phase_switch(std::uint64_t cycle, Metrics& metrics) {
   }
 }
 
-void Router::commit() {
-  // 1. Arrivals become visible.
+void Router::commit_arrivals() {
+  if (staged_count_ == 0) return;
   for (int p = 0; p < net_ports_; ++p) {
-    auto& slot = staged_in_[static_cast<std::size_t>(p)];
-    if (!slot) continue;
-    const auto& [vc, f] = *slot;
-    InputVc& in = ivc(p, vc);
+    StagedArrival& slot = staged_in_[static_cast<std::size_t>(p)];
+    if (slot.vc < 0) continue;
+    const Flit& f = slot.flit;
+    InputVc& in = ivc(p, slot.vc);
     if (f.head) {
-      KNC_ASSERT_MSG(in.buffer.empty() && !in.active && in.route_out == -1,
+      KNC_ASSERT_MSG(in.count == 0 && !in.active && in.route_out == -1,
                      "head flit arrived at an occupied VC");
       in.active = true;
     } else {
       KNC_DEBUG_ASSERT(in.active);
     }
-    in.buffer.push_back(f);
-    KNC_ASSERT_MSG(static_cast<int>(in.buffer.size()) <= buffer_depth_,
+    ring_push(in, f);
+    KNC_ASSERT_MSG(static_cast<int>(in.count) <= buffer_depth_,
                    "buffer overflow: credit accounting broken");
-    slot.reset();
+    slot.vc = -1;
   }
+  staged_count_ = 0;
+}
+
+void Router::commit() {
+  // 1. Arrivals become visible.
+  commit_arrivals();
   // 2. Credits and VC releases from downstream become visible.
+  const bool signals = pending_signals_ != 0;
   for (auto& op : out_) {
-    for (std::size_t v = 0; v < op.vcs.size(); ++v) {
-      OutputVc& ovc = op.vcs[v];
-      ovc.credits += op.staged_credits[v];
-      op.staged_credits[v] = 0;
-      KNC_ASSERT_MSG(ovc.credits <= buffer_depth_, "credit overflow");
-      if (op.staged_release[v]) {
-        KNC_ASSERT_MSG(ovc.busy, "release of a free VC");
-        KNC_ASSERT_MSG(ovc.credits == buffer_depth_,
-                       "VC released while flits remain downstream");
-        ovc.busy = false;
-        op.staged_release[v] = 0;
+    if (signals) {
+      for (std::size_t v = 0; v < op.vcs.size(); ++v) {
+        OutputVc& ovc = op.vcs[v];
+        ovc.credits += op.staged_credits[v];
+        op.staged_credits[v] = 0;
+        KNC_ASSERT_MSG(ovc.credits <= buffer_depth_, "credit overflow");
+        if (op.staged_release[v]) {
+          KNC_ASSERT_MSG(ovc.busy, "release of a free VC");
+          KNC_ASSERT_MSG(ovc.credits == buffer_depth_,
+                         "VC released while flits remain downstream");
+          ovc.busy = false;
+          --op.busy_now;
+          --busy_out_;
+          op.staged_release[v] = 0;
+        }
       }
     }
     // 3. Channel occupancy statistics.
-    std::uint64_t busy = 0;
-    for (const auto& ovc : op.vcs) busy += ovc.busy ? 1 : 0;
+    KNC_DEBUG_ASSERT(op.busy_now >= 0);
+    const auto busy = static_cast<std::uint64_t>(op.busy_now);
     ++op.stat_cycles;
     if (busy) {
       op.busy_vc_cycles += busy;
@@ -250,21 +348,16 @@ void Router::commit() {
       ++op.busy_cycles;
     }
   }
+  pending_signals_ = 0;
 }
 
 void Router::enqueue_message(const QueuedMessage& msg, std::uint32_t lm) {
   KNC_ASSERT_MSG(msg.dest != id_, "self-addressed message");
-  KNC_ASSERT_MSG(message_length_ == 0 || message_length_ == lm,
+  KNC_ASSERT_MSG(message_length_ == lm,
                  "mixed message lengths are not modelled");
-  message_length_ = lm;
   source_q_[next_inject_vc_].push_back(msg);
+  ++source_total_;
   next_inject_vc_ = (next_inject_vc_ + 1) % static_cast<std::uint32_t>(vcs_);
-}
-
-std::uint64_t Router::source_queue_length() const noexcept {
-  std::uint64_t total = 0;
-  for (const auto& q : source_q_) total += q.size();
-  return total;
 }
 
 const Router::InputVc& Router::input_vc(int port, int vc) const {
@@ -277,13 +370,6 @@ const Router::OutputPort& Router::output_port(int port) const {
 
 Router::OutputPort& Router::output_port_mutable(int port) {
   return out_[static_cast<std::size_t>(port)];
-}
-
-std::uint64_t Router::buffered_flits() const noexcept {
-  std::uint64_t total = 0;
-  for (const auto& in : in_vcs_) total += in.buffer.size();
-  for (const auto& slot : staged_in_) total += slot ? 1u : 0u;
-  return total;
 }
 
 }  // namespace kncube::sim

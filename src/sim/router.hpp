@@ -23,12 +23,19 @@
 // An output VC is held by a message from header allocation until the tail
 // flit leaves the *downstream* buffer (conservative release; the release and
 // the final credit travel back together with a one-cycle lag).
+//
+// Hot-loop layout (DESIGN.md §6): router state is structure-of-arrays. Every
+// VC FIFO is a fixed-capacity power-of-two ring indexed into one contiguous
+// per-router flit slab (no per-flit allocation, no deque chasing); staged
+// arrivals are plain POD slots; and each output port keeps a sorted list of
+// the input VCs currently routed to it, maintained incrementally by
+// phase_route/phase_switch, so the allocation phases touch only requesters
+// instead of scanning every VC. Aggregate occupancy counters make
+// `quiescent()` O(1), letting Network::step skip idle routers entirely.
 #pragma once
 
 #include <cstdint>
 #include <deque>
-#include <optional>
-#include <utility>
 #include <vector>
 
 #include "sim/flit.hpp"
@@ -41,12 +48,20 @@ class Router {
  public:
   /// Per-input-VC state. A VC is owned by at most one message at a time:
   /// `active` spans head arrival to tail departure, so buffers never
-  /// interleave flits of different messages.
+  /// interleave flits of different messages. The FIFO is a power-of-two ring
+  /// (`base`/`mask`) into the router's contiguous flit slab; `head` runs
+  /// free and is masked on access.
   struct InputVc {
-    std::deque<Flit> buffer;
+    std::uint32_t base = 0;   ///< first slab slot of this VC's ring
+    std::uint32_t mask = 0;   ///< ring capacity - 1 (capacity is a power of 2)
+    std::uint32_t head = 0;   ///< free-running index of the front flit
+    std::uint32_t count = 0;  ///< buffered flits
     int route_out = -1;  ///< chosen output port for the resident message
     int out_vc = -1;     ///< allocated VC at the downstream input port
     bool active = false;
+
+    bool empty() const noexcept { return count == 0; }
+    std::uint32_t size() const noexcept { return count; }
   };
 
   struct OutputVc {
@@ -60,6 +75,11 @@ class Router {
     int down_port = -1;
     std::uint32_t rr_vc = 0;  ///< round-robin cursor, VC allocation
     std::uint32_t rr_sw = 0;  ///< round-robin cursor, switch allocation
+    std::int32_t busy_now = 0;  ///< busy VCs, maintained incrementally
+    /// Input VCs currently routed to this port (sorted by input-VC index);
+    /// a VC enters when phase_route picks this port and leaves when its tail
+    /// departs, so the allocation phases iterate requesters only.
+    std::vector<std::int32_t> requesters;
     // Signals staged by the downstream router, applied at commit.
     std::vector<std::uint16_t> staged_credits;
     std::vector<std::uint8_t> staged_release;
@@ -86,7 +106,8 @@ class Router {
     }
   };
 
-  Router(const topo::KAryNCube& net, topo::NodeId id, int vcs, int buffer_depth);
+  Router(const topo::KAryNCube& net, topo::NodeId id, int vcs, int buffer_depth,
+         std::uint32_t message_length);
 
   topo::NodeId id() const noexcept { return id_; }
   int network_ports() const noexcept { return net_ports_; }
@@ -101,7 +122,7 @@ class Router {
 
   // --- wiring (performed once by Network) ---
   void connect(int out_port, Router* down, int down_port);
-  void connect_upstream(int in_port, OutputPort* upstream);
+  void connect_upstream(int in_port, Router* up, int up_port);
 
   // --- per-cycle phases (invoked by Network in order, across all routers) ---
   void refill_injection();
@@ -110,23 +131,72 @@ class Router {
   void phase_vc_alloc();
   void phase_switch(std::uint64_t cycle, Metrics& metrics);
   void commit();
+  /// Commit restricted to staged arrivals: run for routers that were
+  /// quiescent at the cycle start but received a flit during phase_switch
+  /// (their idle cycle is already accounted by note_idle_cycle, and a
+  /// quiescent router can have no staged credits or releases).
+  void commit_arrivals();
+
+  // --- idle scheduling (Network::step) ---
+  /// True when every phase of this router's cycle would be a no-op: nothing
+  /// buffered or staged, empty source queues, no busy output VCs and no
+  /// pending credit/release signals.
+  bool quiescent() const noexcept {
+    return buffered_ == 0 && staged_count_ == 0 && source_total_ == 0 &&
+           busy_out_ == 0 && pending_signals_ == 0;
+  }
+  bool has_staged_arrivals() const noexcept { return staged_count_ != 0; }
+  /// Accounts one skipped (idle) cycle: every output port's stat_cycles
+  /// still advances (a quiescent router has zero busy VCs, so the busy
+  /// statistics are untouched), keeping utilisation denominators exact
+  /// while commit is skipped. Eager — a couple of increments per idle
+  /// router — so the stats accessors stay pure reads.
+  void note_idle_cycle() noexcept {
+    for (auto& op : out_) ++op.stat_cycles;
+  }
 
   // --- source side ---
   /// Enqueues a generated message; messages are spread round-robin across the
   /// V injection VCs (the model's per-VC lambda/V source queues).
   void enqueue_message(const QueuedMessage& msg, std::uint32_t lm);
-  std::uint64_t source_queue_length() const noexcept;
+  std::uint64_t source_queue_length() const noexcept { return source_total_; }
 
   // --- introspection (tests, statistics) ---
   const InputVc& input_vc(int port, int vc) const;
   const OutputPort& output_port(int port) const;
   OutputPort& output_port_mutable(int port);
-  std::uint64_t buffered_flits() const noexcept;
+  std::uint64_t buffered_flits() const noexcept {
+    return buffered_ + staged_count_;
+  }
 
  private:
+  /// <=1 staged arrival per network input port per cycle; vc < 0 means empty.
+  struct StagedArrival {
+    Flit flit;
+    std::int32_t vc = -1;
+  };
+
   InputVc& ivc(int port, int vc) {
     return in_vcs_[static_cast<std::size_t>(port * vcs_ + vc)];
   }
+  Flit& ring_front(InputVc& vc) noexcept {
+    return slab_[vc.base + (vc.head & vc.mask)];
+  }
+  void ring_push(InputVc& vc, const Flit& f) noexcept {
+    slab_[vc.base + ((vc.head + vc.count) & vc.mask)] = f;
+    ++vc.count;
+    ++buffered_;
+  }
+  Flit ring_pop(InputVc& vc) noexcept {
+    const Flit f = slab_[vc.base + (vc.head & vc.mask)];
+    ++vc.head;
+    --vc.count;
+    --buffered_;
+    return f;
+  }
+  void requesters_insert(OutputPort& op, std::int32_t index);
+  void requesters_erase(OutputPort& op, std::int32_t index);
+
   /// Dateline class of the next hop for a head flit at this router.
   int vc_class_for(const Flit& head, int dim, topo::Direction dir) const noexcept;
   int class_vc_begin(int cls) const noexcept;
@@ -140,16 +210,24 @@ class Router {
   int vcs_;
   int buffer_depth_;
   int net_ports_;
+  std::uint32_t message_length_;  ///< Lm of the messages being enqueued
 
+  std::vector<Flit> slab_;            ///< one contiguous flit array, all rings
   std::vector<InputVc> in_vcs_;       ///< (net_ports_+1) * V, injection last
   std::vector<OutputPort> out_;       ///< network output ports
-  std::vector<OutputPort*> upstream_; ///< per network input port
-  /// <=1 staged arrival per network input port per cycle: (vc, flit)
-  std::vector<std::optional<std::pair<int, Flit>>> staged_in_;
+  std::vector<Router*> up_router_;    ///< per network input port
+  std::vector<int> up_port_;          ///< matching output-port index upstream
+  std::vector<StagedArrival> staged_in_;  ///< per network input port
 
   std::vector<std::deque<QueuedMessage>> source_q_;  ///< one per injection VC
   std::uint32_t next_inject_vc_ = 0;
-  std::uint32_t message_length_ = 0;  ///< Lm of the messages being enqueued
+
+  // Aggregate occupancy counters backing quiescent() / buffered_flits().
+  std::uint64_t buffered_ = 0;        ///< flits resident in any ring
+  std::uint32_t staged_count_ = 0;    ///< staged arrivals awaiting commit
+  std::uint64_t source_total_ = 0;    ///< messages waiting in source queues
+  std::uint32_t busy_out_ = 0;        ///< busy output VCs across all ports
+  std::uint32_t pending_signals_ = 0; ///< staged credits awaiting commit
 };
 
 }  // namespace kncube::sim

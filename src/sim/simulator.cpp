@@ -69,6 +69,10 @@ MessageId Simulator::inject_now(topo::NodeId src, topo::NodeId dest) {
 SimResult Simulator::run() {
   std::uint64_t backlog_at_measure_start = 0;
   // Stop polling is amortised: checking counters every cycle is wasteful.
+  // Polls are anchored to the measurement start, not the absolute cycle:
+  // anchoring to cycle 0 aliased the poll grid with warmup_cycles, deferring
+  // the break by up to kPollPeriod-1 cycles *past* the first poll opportunity
+  // after target_messages whenever warmup was not a multiple of the period.
   constexpr std::uint64_t kPollPeriod = 512;
 
   while (cycle_ < cfg_.max_cycles) {
@@ -78,7 +82,8 @@ SimResult Simulator::run() {
       backlog_at_measure_start = metrics_.source_backlog();
     }
     tick();
-    if (metrics_.measuring() && cycle_ % kPollPeriod == 0) {
+    if (metrics_.measuring() &&
+        (cycle_ - metrics_.measure_start()) % kPollPeriod == 0) {
       const std::uint64_t delivered = metrics_.delivered_measured();
       if (delivered >= cfg_.target_messages &&
           (metrics_.steady() || delivered >= 4 * cfg_.target_messages)) {

@@ -1,0 +1,215 @@
+// Golden determinism pins for the simulator hot loop.
+//
+// Each case runs a fixed-seed configuration and asserts *exact* equality —
+// bit-level for doubles, integer equality for counters, and an FNV-1a
+// checksum over every output channel's integer statistics — against values
+// recorded from the pre-SoA router (seed `main` plus the measurement-
+// anchored stop-poll fix, which landed in the same PR). The SoA flit-slab /
+// requester-list / active-router-set refactor must reproduce the seed
+// behaviour cycle for cycle; any drift in arbitration order, credit timing
+// or stats accounting trips these pins.
+//
+// To regenerate after an *intentional* behaviour change:
+//   KNCUBE_PRINT_GOLDEN=1 ./sim_tests --gtest_filter='DeterminismGolden.*'
+// and paste the printed block (values are printed as hexfloat so the
+// round-trip is exact).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+
+#include "sim/simulator.hpp"
+
+namespace kncube::sim {
+namespace {
+
+/// FNV-1a over the integer channel statistics of every (router, port).
+std::uint64_t channel_stats_checksum(const Network& net) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xff;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (topo::NodeId id = 0; id < net.size(); ++id) {
+    const Router& r = net.router(id);
+    for (int p = 0; p < r.network_ports(); ++p) {
+      const auto& op = r.output_port(p);
+      mix(op.flits_sent);
+      mix(op.busy_vc_cycles);
+      mix(op.busy_vc_sq_cycles);
+      mix(op.busy_cycles);
+      mix(op.stat_cycles);
+    }
+  }
+  return h;
+}
+
+struct Golden {
+  std::uint64_t generated = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t flits_delivered = 0;
+  std::uint64_t inflight = 0;
+  std::uint64_t backlog = 0;
+  std::uint64_t checksum = 0;
+  double mean_latency = 0.0;
+  double mean_network_latency = 0.0;
+};
+
+bool print_mode() { return std::getenv("KNCUBE_PRINT_GOLDEN") != nullptr; }
+
+/// Runs `cycles` cycles with measurement from cycle 0 and either prints or
+/// checks the recorded pin.
+void run_case(const char* name, const SimConfig& cfg, std::uint64_t cycles,
+              const Golden& want) {
+  Simulator sim(cfg);
+  sim.metrics().begin_measurement(0);
+  sim.step_cycles(cycles);
+
+  Golden got;
+  got.generated = sim.metrics().generated_total();
+  got.delivered = sim.metrics().delivered_total();
+  got.flits_delivered = sim.metrics().flits_delivered();
+  got.inflight = sim.network().inflight_flits();
+  got.backlog = sim.network().source_backlog();
+  got.checksum = channel_stats_checksum(sim.network());
+  got.mean_latency = sim.metrics().latency().mean();
+  got.mean_network_latency = sim.metrics().network_latency().mean();
+
+  if (print_mode()) {
+    std::cout.precision(17);
+    std::cout << "  // " << name << "\n"
+              << std::hexfloat << "  {" << got.generated << "u, " << got.delivered
+              << "u, " << got.flits_delivered << "u, " << got.inflight << "u, "
+              << got.backlog << "u, 0x" << std::hex << got.checksum << std::dec
+              << "ULL, " << got.mean_latency << ", " << got.mean_network_latency
+              << "},\n"
+              << std::defaultfloat;
+    return;
+  }
+  EXPECT_EQ(got.generated, want.generated) << name;
+  EXPECT_EQ(got.delivered, want.delivered) << name;
+  EXPECT_EQ(got.flits_delivered, want.flits_delivered) << name;
+  EXPECT_EQ(got.inflight, want.inflight) << name;
+  EXPECT_EQ(got.backlog, want.backlog) << name;
+  EXPECT_EQ(got.checksum, want.checksum) << name;
+  EXPECT_EQ(got.mean_latency, want.mean_latency) << name;
+  EXPECT_EQ(got.mean_network_latency, want.mean_network_latency) << name;
+}
+
+TEST(DeterminismGolden, HotspotK8) {
+  // The paper's workload shape: unidirectional 8x8 torus, hot-spot traffic,
+  // moderate load. Exercises dateline classes, hot-column contention and the
+  // active-set scheduler (most routers idle most cycles).
+  SimConfig cfg;
+  cfg.k = 8;
+  cfg.n = 2;
+  cfg.bidirectional = false;
+  cfg.vcs = 2;
+  cfg.buffer_depth = 2;
+  cfg.message_length = 16;
+  cfg.pattern = Pattern::kHotspot;
+  cfg.hot_fraction = 0.2;
+  cfg.injection_rate = 2e-3;
+  cfg.seed = 0xDE7E12;
+  run_case("HotspotK8", cfg, 20000,
+           {2506u, 2502u, 40063u, 33u, 0u, 0xbccd2532e298073dULL,
+            0x1.c9490e1eb208bp+4, 0x1.b60e531513d95p+4});
+}
+
+TEST(DeterminismGolden, HotspotK8HighLoad) {
+  // Near saturation: long queues, continuous arbitration conflicts, requester
+  // lists that stay populated — the stress case for round-robin parity.
+  SimConfig cfg;
+  cfg.k = 8;
+  cfg.n = 2;
+  cfg.vcs = 4;
+  cfg.buffer_depth = 4;
+  cfg.message_length = 32;
+  cfg.pattern = Pattern::kHotspot;
+  cfg.hot_fraction = 0.2;
+  cfg.injection_rate = 2.5e-3;
+  cfg.seed = 0xC0FFEE;
+  run_case("HotspotK8HighLoad", cfg, 8000,
+           {1293u, 1113u, 35778u, 2174u, 107u, 0xc2b9ad7ffded966ULL,
+            0x1.68a611054a4bbp+7, 0x1.1733c0847c34p+7});
+}
+
+TEST(DeterminismGolden, BidirectionalUniformK4) {
+  // Bidirectional 4x4 torus, uniform traffic, odd VC count (asymmetric
+  // dateline class split) and a non-power-of-two buffer depth (ring capacity
+  // rounds up while credits still cap at buffer_depth).
+  SimConfig cfg;
+  cfg.k = 4;
+  cfg.n = 2;
+  cfg.bidirectional = true;
+  cfg.vcs = 3;
+  cfg.buffer_depth = 3;
+  cfg.message_length = 4;
+  cfg.pattern = Pattern::kUniform;
+  cfg.injection_rate = 0.02;
+  cfg.seed = 99;
+  run_case("BidirectionalUniformK4", cfg, 6000,
+           {1919u, 1919u, 7676u, 0u, 0u, 0xd43eaca8df11f295ULL,
+            0x1.59a58d8a56b71p+2, 0x1.59502cd2c6c51p+2});
+}
+
+TEST(DeterminismGolden, SingleFlitCubeK4N3) {
+  // 3-D cube with single-flit messages (head == tail) and depth-1 buffers:
+  // every push/pop path, credit and release fires on the same flit.
+  SimConfig cfg;
+  cfg.k = 4;
+  cfg.n = 3;
+  cfg.vcs = 2;
+  cfg.buffer_depth = 1;
+  cfg.message_length = 1;
+  cfg.pattern = Pattern::kHotspot;
+  cfg.hot_fraction = 0.3;
+  cfg.injection_rate = 0.01;
+  cfg.seed = 7;
+  run_case("SingleFlitCubeK4N3", cfg, 6000,
+           {3853u, 3849u, 3849u, 4u, 0u, 0xdcd0080558ea6f0eULL,
+            0x1.265c2f16f23a5p+2, 0x1.2503645d61932p+2});
+}
+
+TEST(DeterminismGolden, FullMeasurementProtocol) {
+  // The complete run() protocol (warm-up, measurement window, anchored stop
+  // polling): pins end-to-end results including the steady-state machinery.
+  SimConfig cfg;
+  cfg.k = 8;
+  cfg.n = 2;
+  cfg.vcs = 2;
+  cfg.buffer_depth = 2;
+  cfg.message_length = 16;
+  cfg.pattern = Pattern::kHotspot;
+  cfg.hot_fraction = 0.2;
+  cfg.injection_rate = 1.5e-3;
+  cfg.seed = 0xBEEF;
+  cfg.warmup_cycles = 2000;
+  cfg.target_messages = 1200;
+  cfg.max_cycles = 300000;
+
+  Simulator sim(cfg);
+  const SimResult res = sim.run();
+  if (print_mode()) {
+    std::cout.precision(17);
+    std::cout << "  // FullMeasurementProtocol\n"
+              << "  cycles=" << res.cycles << " messages=" << res.measured_messages
+              << std::hexfloat << " mean=" << res.mean_latency
+              << " p95=" << res.p95_latency << " hot_util=" << res.hot_channel_utilization
+              << " chk=0x" << std::hex << channel_stats_checksum(sim.network())
+              << std::dec << std::defaultfloat << "\n";
+    return;
+  }
+  EXPECT_EQ(res.cycles, 34256u);
+  EXPECT_EQ(res.measured_messages, 3009u);
+  EXPECT_EQ(res.mean_latency, 0x1.a237a41d9b7p+4);
+  EXPECT_EQ(res.p95_latency, 0x1.5e75555555551p+5);
+  EXPECT_EQ(res.hot_channel_utilization, 0x1.479e79e79e79ep-2);
+  EXPECT_EQ(channel_stats_checksum(sim.network()), 0x383811799608d566ULL);
+}
+
+}  // namespace
+}  // namespace kncube::sim

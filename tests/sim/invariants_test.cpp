@@ -36,7 +36,7 @@ void assert_network_pristine(const Network& net, int vcs, int buffer_depth) {
     for (int p = 0; p <= r.network_ports(); ++p) {
       for (int v = 0; v < vcs; ++v) {
         const auto& ivc = r.input_vc(p, v);
-        EXPECT_TRUE(ivc.buffer.empty()) << "node " << id << " port " << p;
+        EXPECT_TRUE(ivc.empty()) << "node " << id << " port " << p;
         EXPECT_EQ(ivc.route_out, -1) << "node " << id << " port " << p;
         EXPECT_EQ(ivc.out_vc, -1) << "node " << id << " port " << p;
         EXPECT_FALSE(ivc.active) << "node " << id << " port " << p;
