@@ -13,7 +13,7 @@ int main() {
   std::cout << "=== Ablation A3a: blocking approximation variants "
                "(16x16, Lm=32, h=20%) ===\n\n";
 
-  core::Scenario base = bench::paper_scenario(32, 0.2);
+  core::ScenarioSpec base = bench::paper_scenario(32, 0.2);
   const double sat = core::model_saturation_rate(base).rate;
   const std::vector<double> lambdas = {0.2 * sat, 0.5 * sat, 0.8 * sat};
 
@@ -45,12 +45,15 @@ int main() {
   };
 
   for (const auto& variant : variants) {
+    // Each variant is its own ScenarioSpec (the ablation knobs are spec
+    // fields), dispatched through the registry like any other workload.
+    core::ScenarioSpec spec = base;
+    spec.busy_basis = variant.busy;
+    spec.vcmux_basis = variant.mux;
+    spec.blocking = variant.blocking;
+    const core::ModelDispatch dispatch = core::make_analytical_model(spec);
     for (std::size_t i = 0; i < lambdas.size(); ++i) {
-      model::ModelConfig mc = core::to_model_config(base, lambdas[i]);
-      mc.busy_basis = variant.busy;
-      mc.vcmux_basis = variant.mux;
-      mc.blocking = variant.blocking;
-      const model::ModelResult r = model::HotspotModel(mc).solve();
+      const model::ModelResult r = dispatch.model->solve_at(lambdas[i]);
       const double sim_lat = sim_pts[i].sim.mean_latency;
       table.add_row({std::string(variant.name), lambdas[i] / sat,
                      r.saturated ? std::numeric_limits<double>::infinity()

@@ -11,7 +11,7 @@ int main() {
   using namespace kncube;
   std::cout << "=== Ablation A3b: per-VC buffer depth (16x16, Lm=32, h=20%) ===\n\n";
 
-  core::Scenario base = bench::paper_scenario(32, 0.2);
+  core::ScenarioSpec base = bench::paper_scenario(32, 0.2);
   const double sat = core::model_saturation_rate(base).rate;
   const std::vector<double> lambdas = {0.3 * sat, 0.6 * sat};
 
@@ -21,7 +21,7 @@ int main() {
   table.set_precision(4);
 
   for (int depth : {1, 2, 4, 8}) {
-    core::Scenario s = base;
+    core::ScenarioSpec s = base;
     s.buffer_depth = depth;
     const auto pts = core::run_series(s, lambdas, /*run_sim=*/true);
     for (std::size_t i = 0; i < pts.size(); ++i) {

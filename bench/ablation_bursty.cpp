@@ -13,8 +13,9 @@ int main() {
   std::cout << "=== Ablation A4: bursty (MMPP) vs Poisson arrivals "
                "(16x16, Lm=32, h=20%) ===\n\n";
 
-  core::Scenario base = bench::paper_scenario(32, 0.2);
-  const double sat = core::model_saturation_rate(base).rate;
+  core::ScenarioSpec base = bench::paper_scenario(32, 0.2);
+  core::SweepEngine engine(base);
+  const double sat = engine.saturation_rate().rate;
 
   util::Table table({"lambda/sat", "model (Poisson)", "sim Poisson", "sim MMPP x4",
                      "sim MMPP x8", "MMPP x8 / Poisson"});
@@ -23,18 +24,16 @@ int main() {
 
   for (double frac : {0.2, 0.4, 0.6, 0.8}) {
     const double lambda = frac * sat;
-    const model::ModelResult mr =
-        model::HotspotModel(core::to_model_config(base, lambda)).solve();
+    const model::ModelResult mr = engine.model_point(lambda);
 
+    // The bursty variants are full ScenarioSpecs — MMPP arrivals are a
+    // first-class spec field now, not a sim-config patch.
     auto run_with = [&](double burst_mult) {
-      sim::SimConfig sc = core::to_sim_config(base, lambda);
+      core::ScenarioSpec spec = base;
       if (burst_mult > 1.0) {
-        sc.arrivals = sim::Arrivals::kMmpp;
-        sc.mmpp.burst_rate_multiplier = burst_mult;
-        sc.mmpp.p_enter_burst = 0.0008;
-        sc.mmpp.p_leave_burst = 0.004;
+        spec.arrivals = core::MmppArrivals{burst_mult, 0.0008, 0.004};
       }
-      return sim::simulate(sc);
+      return sim::simulate(core::to_sim_config(spec, lambda));
     };
     const sim::SimResult poisson = run_with(1.0);
     const sim::SimResult mmpp4 = run_with(4.0);

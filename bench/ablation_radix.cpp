@@ -16,14 +16,16 @@ int main() {
   table.set_precision(4);
 
   for (int k : {8, 12, 16, 24}) {
-    core::Scenario s = bench::paper_scenario(32, 0.2);
-    s.k = k;
-    const double sat = core::model_saturation_rate(s).rate;
-    const model::HotspotModel model(core::to_model_config(s, 1e-9));
-    const auto pts = core::run_series(s, {0.5 * sat}, /*run_sim=*/true);
+    core::ScenarioSpec s = bench::paper_scenario(32, 0.2);
+    s.torus().k = k;
+    // One engine per radix: saturation bisection, the operating point and
+    // the zero-load reference all share its dispatched model.
+    core::SweepEngine engine(s);
+    const double sat = engine.saturation_rate().rate;
+    const auto pts = engine.run({0.5 * sat}, /*run_sim=*/true);
     const auto& p = pts[0];
     table.add_row({static_cast<long long>(k), static_cast<long long>(k * k), sat,
-                   sat * k * k, model.zero_load_latency(),
+                   sat * k * k, engine.analytical_model().zero_load_latency(),
                    p.model.saturated ? std::numeric_limits<double>::infinity()
                                      : p.model.latency,
                    p.sim.mean_latency, p.relative_error()});

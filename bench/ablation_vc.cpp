@@ -17,11 +17,11 @@ int main() {
 
   // Fix the operating point to half the V=2 saturation so rows compare the
   // same absolute load.
-  core::Scenario base = bench::paper_scenario(32, 0.2);
+  core::ScenarioSpec base = bench::paper_scenario(32, 0.2);
   const double lambda = 0.5 * core::model_saturation_rate(base).rate;
 
   for (int vcs : {2, 3, 4, 6}) {
-    core::Scenario s = base;
+    core::ScenarioSpec s = base;
     s.vcs = vcs;
     const auto pts = core::run_series(s, {lambda}, /*run_sim=*/true);
     const auto& p = pts[0];

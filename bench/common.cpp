@@ -18,12 +18,12 @@ bool quick_mode() {
 
 int sweep_points(int full, int quick) { return quick_mode() ? quick : full; }
 
-core::Scenario paper_scenario(int message_length, double hot_fraction) {
-  core::Scenario s;
-  s.k = 16;
+core::ScenarioSpec paper_scenario(int message_length, double hot_fraction) {
+  core::ScenarioSpec s;
+  s.topology = core::TorusTopology{16, 2, false};
+  s.traffic = core::HotspotTraffic{hot_fraction, -1};
   s.vcs = 2;
   s.message_length = message_length;
-  s.hot_fraction = hot_fraction;
   s.buffer_depth = 2;
   s.seed = 0x1DC5;
   if (quick_mode()) {
@@ -39,12 +39,12 @@ core::Scenario paper_scenario(int message_length, double hot_fraction) {
 }
 
 std::vector<core::PointResult> run_panel(
-    const std::string& title, const core::Scenario& scenario, int points,
+    const std::string& title, const core::ScenarioSpec& spec, int points,
     const std::string& csv_basename,
     std::vector<std::pair<std::string, core::PanelSummary>>* summaries) {
   // One engine per panel: the saturation-anchored sweep and any repeated
   // operating points share the engine's memoized model solves.
-  core::SweepEngine engine(scenario);
+  core::SweepEngine engine(spec);
   const auto lambdas = engine.lambda_sweep(points, 0.1, 0.95);
   const auto pts = engine.run(lambdas, /*run_sim=*/true);
   util::Table table = core::figure_table(title, pts);

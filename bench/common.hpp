@@ -20,15 +20,16 @@ bool quick_mode();
 /// Picks the sweep size for the current mode.
 int sweep_points(int full, int quick);
 
-/// The paper's validation configuration (§4): 16x16 unidirectional torus,
-/// V=2 virtual channels, with bench-appropriate measurement effort.
-core::Scenario paper_scenario(int message_length, double hot_fraction);
+/// The paper's validation configuration (§4) as a ScenarioSpec: 16x16
+/// unidirectional torus, V=2 virtual channels, hot-spot traffic, with
+/// bench-appropriate measurement effort.
+core::ScenarioSpec paper_scenario(int message_length, double hot_fraction);
 
 /// Runs one figure panel (model + simulation over a saturation-anchored
 /// sweep), prints the paper-style table, optionally exports CSV, and appends
 /// the panel summary to `summaries`.
 std::vector<core::PointResult> run_panel(
-    const std::string& title, const core::Scenario& scenario, int points,
+    const std::string& title, const core::ScenarioSpec& spec, int points,
     const std::string& csv_basename,
     std::vector<std::pair<std::string, core::PanelSummary>>* summaries);
 

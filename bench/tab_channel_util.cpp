@@ -16,7 +16,7 @@ int main() {
   std::cout << "=== Channel-load validation: eqs (3)-(9) vs simulator "
                "(16x16, Lm=32, h=30%) ===\n\n";
 
-  core::Scenario s = bench::paper_scenario(32, 0.3);
+  core::ScenarioSpec s = bench::paper_scenario(32, 0.3);
   const double sat = core::model_saturation_rate(s).rate;
   const double lambda = 0.5 * sat;
 
@@ -30,7 +30,7 @@ int main() {
   const topo::KAryNCube& net = sim.network().topology();
   const topo::HotspotGeometry geo(net, cfg.resolved_hot_node());
   const model::TrafficRates rates =
-      model::traffic_rates(s.k, lambda, s.hot_fraction);
+      model::traffic_rates(s.torus().k, lambda, s.hotspot().fraction);
   const double lm = s.message_length;
 
   // Measured utilisation per class: hot-y channels individually, x channels
@@ -47,7 +47,7 @@ int main() {
                    sim_util > 0 ? std::abs(model_util - sim_util) / sim_util : 0.0});
   };
 
-  const int k = s.k;
+  const int k = s.torus().k;
   for (int j = 1; j <= k; ++j) {
     // Hot-y channel j hops from the hot node: outgoing y channel of the hot
     // column's node at y = hy - j.

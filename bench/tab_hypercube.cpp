@@ -2,29 +2,33 @@
 // ref. [12]) validated against the simulator in hypercube mode (k=2 n-cube),
 // and torus-vs-hypercube hot-spot capacity at equal node count — the
 // high-radix-vs-high-dimension trade-off under hot-spot pressure.
+//
+// Both topologies are plain ScenarioSpecs here: the registry dispatches the
+// hypercube spec to the lineage model and the torus spec to the paper's
+// model, and one SweepEngine per spec supplies memoized, warm-started
+// solves, the saturation bisection and the parallel model-vs-sim sweep —
+// none of which the hypercube path could reach before ScenarioSpec v2.
+#include <cmath>
 #include <iostream>
+#include <limits>
 
 #include "bench/common.hpp"
-#include "model/hypercube_model.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
 
 using namespace kncube;
 
-sim::SimConfig hypercube_sim(int dims, int lm, double h, double lambda, bool quick) {
-  sim::SimConfig sc;
-  sc.k = 2;
-  sc.n = dims;
-  sc.vcs = 2;
-  sc.message_length = lm;
-  sc.pattern = sim::Pattern::kHotspot;
-  sc.hot_fraction = h;
-  sc.injection_rate = lambda;
-  sc.target_messages = quick ? 800 : 2000;
-  sc.warmup_cycles = 6000;
-  sc.max_cycles = quick ? 400'000 : 1'200'000;
-  return sc;
+core::ScenarioSpec hypercube_spec(int dims, int lm, double h, bool quick) {
+  core::ScenarioSpec s;
+  s.topology = core::HypercubeTopology{dims};
+  s.traffic = core::HotspotTraffic{h, -1};
+  s.vcs = 2;
+  s.message_length = lm;
+  s.target_messages = quick ? 800 : 2000;
+  s.warmup_cycles = 6000;
+  s.max_cycles = quick ? 400'000 : 1'200'000;
+  return s;
 }
 
 }  // namespace
@@ -35,37 +39,27 @@ int main() {
   std::cout << "=== Hypercube hot-spot model [ref 12] vs simulator (N=64), and "
                "torus-vs-hypercube capacity ===\n\n";
 
-  // Panel 1: hypercube model vs sim across load, h = 20%.
+  // Panel 1: hypercube model vs sim across load, h = 20% — one engine runs
+  // both sides over a saturation-anchored sweep, exactly like the torus
+  // figure panels.
   {
-    const int dims = 6;
-    const int lm = 32;
-    const double h = 0.2;
-    model::HypercubeModelConfig mc;
-    mc.dims = dims;
-    mc.vcs = 2;
-    mc.message_length = lm;
-    mc.hot_fraction = h;
-    const double est = model::HypercubeHotspotModel(mc).estimated_saturation_rate();
+    core::SweepEngine engine(hypercube_spec(6, 32, 0.2, quick));
+    const int points = quick ? 4 : 8;
+    const auto lambdas = engine.lambda_sweep(points, 0.1, 0.85);
+    const auto pts = engine.run(lambdas, /*run_sim=*/true);
 
     util::Table table({"lambda", "model latency", "sim latency", "rel err",
                        "model sat", "sim sat"});
     table.set_title("6-cube (N=64), Lm=32, h=20%: model vs simulation");
     table.set_precision(5);
-    const int points = quick ? 4 : 8;
-    for (int i = 0; i < points; ++i) {
-      const double frac = 0.1 + 0.75 * i / (points - 1);
-      mc.injection_rate = frac * est;
-      const auto mr = model::HypercubeHotspotModel(mc).solve();
-      const auto sr =
-          sim::simulate(hypercube_sim(dims, lm, h, mc.injection_rate, quick));
-      const double rel = (!mr.saturated && sr.mean_latency > 0)
-                             ? std::abs(mr.latency - sr.mean_latency) / sr.mean_latency
-                             : 0.0;
-      table.add_row({mc.injection_rate,
-                     mr.saturated ? std::numeric_limits<double>::infinity()
-                                  : mr.latency,
-                     sr.mean_latency, rel, std::string(mr.saturated ? "yes" : "no"),
-                     std::string(sr.saturated ? "yes" : "no")});
+    for (const auto& p : pts) {
+      const double rel = p.relative_error();
+      table.add_row({p.lambda,
+                     p.model.saturated ? std::numeric_limits<double>::infinity()
+                                       : p.model.latency,
+                     p.sim.mean_latency, std::isnan(rel) ? 0.0 : rel,
+                     std::string(p.model.saturated ? "yes" : "no"),
+                     std::string(p.sim.saturated ? "yes" : "no")});
     }
     table.print(std::cout);
     const std::string csv = core::export_csv(table, "tab_hypercube_panel");
@@ -73,39 +67,24 @@ int main() {
     std::cout << "\n";
   }
 
-  // Panel 2: equal-N capacity comparison, torus 8x8 vs 6-cube (N=64).
+  // Panel 2: equal-N capacity comparison, torus 8x8 vs 6-cube (N=64). The
+  // same engine API bisects both saturation boundaries.
   {
     util::Table table({"topology", "h", "model sat rate", "zero-load latency",
                        "bottleneck"});
     table.set_title("Hot-spot capacity at N=64: 8x8 torus vs 6-cube");
     table.set_precision(4);
     for (double h : {0.1, 0.3, 0.5}) {
-      core::Scenario torus;
-      torus.k = 8;
-      torus.vcs = 2;
-      torus.message_length = 32;
-      torus.hot_fraction = h;
-      const double t_sat = core::model_saturation_rate(torus).rate;
-      const model::HotspotModel tm(core::to_model_config(torus, 1e-9));
-      table.add_row({std::string("8x8 torus"), h, t_sat, tm.zero_load_latency(),
+      core::ScenarioSpec torus = bench::paper_scenario(32, h);
+      torus.torus().k = 8;
+      core::SweepEngine torus_engine(torus);
+      table.add_row({std::string("8x8 torus"), h, torus_engine.saturation_rate().rate,
+                     torus_engine.analytical_model().zero_load_latency(),
                      std::string("hot column (k(k-1) streams)")});
 
-      model::HypercubeModelConfig hc;
-      hc.dims = 6;
-      hc.vcs = 2;
-      hc.message_length = 32;
-      hc.hot_fraction = h;
-      // Bisect the hypercube model's saturation boundary.
-      double lo = 0.0;
-      double hi = model::HypercubeHotspotModel(hc).estimated_saturation_rate() * 4;
-      for (int i = 0; i < 40; ++i) {
-        hc.injection_rate = 0.5 * (lo + hi);
-        (model::HypercubeHotspotModel(hc).solve().saturated ? hi : lo) =
-            hc.injection_rate;
-      }
-      hc.injection_rate = 1e-9;
-      table.add_row({std::string("6-cube"), h, lo,
-                     model::HypercubeHotspotModel(hc).zero_load_latency(),
+      core::SweepEngine cube_engine(hypercube_spec(6, 32, h, quick));
+      table.add_row({std::string("6-cube"), h, cube_engine.saturation_rate().rate,
+                     cube_engine.analytical_model().zero_load_latency(),
                      std::string("last funnel channel (2^{n-1} streams)")});
     }
     table.print(std::cout);

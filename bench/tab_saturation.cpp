@@ -19,14 +19,14 @@ int main() {
   const bool quick = bench::quick_mode();
   for (int lm : {32, 100}) {
     for (double h : {0.2, 0.4, 0.7}) {
-      core::Scenario s = bench::paper_scenario(lm, h);
+      core::ScenarioSpec s = bench::paper_scenario(lm, h);
       // Saturation probes reveal themselves quickly; cap per-probe effort.
       s.target_messages = 800;
       s.max_cycles = quick ? 150'000 : 400'000;
       const auto model_sat = core::model_saturation_rate(s);
       const auto sim_sat = core::sim_saturation_rate(s, quick ? 0.12 : 0.06);
       const double est =
-          model::HotspotModel(core::to_model_config(s, 1e-9)).estimated_saturation_rate();
+          core::make_analytical_model(s).model->estimated_saturation_rate();
       table.add_row({static_cast<long long>(lm), h, model_sat.rate, sim_sat.rate,
                      sim_sat.rate / model_sat.rate, est,
                      static_cast<long long>(model_sat.probes)});

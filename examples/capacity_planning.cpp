@@ -35,16 +35,16 @@ int main(int argc, char** argv) {
 
   for (int k : {8, 12, 16, 20, 24}) {
     for (int vcs : {2, 4}) {
-      core::Scenario s;
-      s.k = k;
+      core::ScenarioSpec s;
+      s.torus().k = k;
       s.vcs = vcs;
       s.message_length = lm;
-      s.hot_fraction = h;
-      // Engine for the memoized saturation search; one model object for both
-      // the operating point and its zero-load reference.
-      const double sat = core::SweepEngine(s).saturation_rate().rate;
-      const model::HotspotModel model(core::to_model_config(s, lambda));
-      const model::ModelResult r = model.solve();
+      s.hotspot().fraction = h;
+      // One engine per candidate: the memoized saturation search, the
+      // operating point and the zero-load reference share its model.
+      core::SweepEngine engine(s);
+      const double sat = engine.saturation_rate().rate;
+      const model::ModelResult r = engine.model_point(lambda);
 
       std::string verdict;
       if (r.saturated) {
@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
                      static_cast<long long>(vcs), sat, sat / lambda,
                      r.saturated ? std::numeric_limits<double>::infinity()
                                  : r.latency,
-                     model.zero_load_latency(), verdict});
+                     engine.analytical_model().zero_load_latency(), verdict});
     }
   }
   table.print(std::cout);

@@ -1,0 +1,147 @@
+// kncube_run: the generic ScenarioSpec driver — any workload the library
+// can describe, from one spec file or the command line, with no per-figure
+// hardcoding.
+//
+// Usage:
+//   kncube_run [spec.txt] [--set key=value]...   # spec file plus overrides
+//   kncube_run --set topology.k=32 --set traffic.hot_fraction=0.4
+//   kncube_run spec.txt --print-spec             # echo the resolved spec
+//
+// Sweep controls:
+//   --points N      operating points (default 8; KNCUBE_QUICK=1 halves it)
+//   --lo f --hi f   sweep range as fractions of the saturation rate
+//                   (default 0.1 .. 0.95)
+//   --max-rate r    absolute sweep ceiling in messages/node/cycle — required
+//                   for sim-only specs (no model to anchor the sweep at)
+//   --sim 0|1       run the simulator alongside the model (default 1)
+//   --csv name      export the table via KNCUBE_OUT (see bench/common.hpp)
+//
+// The spec grammar is the canonical `key=value` form of
+// core/scenario_spec.hpp; see examples/specs/ for committed examples.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/kncube.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using namespace kncube;
+
+bool quick_mode() {
+  const char* env = std::getenv("KNCUBE_QUICK");
+  return env && *env && std::string(env) != "0";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::Args args(argc, argv);
+  const auto unknown = args.unknown_keys(
+      {"set", "points", "lo", "hi", "max-rate", "sim", "csv", "print-spec"});
+  if (!unknown.empty()) {
+    std::cerr << "kncube_run: unknown option --" << unknown.front() << "\n";
+    return EXIT_FAILURE;
+  }
+
+  core::ScenarioSpec spec;
+  try {
+    // Spec file first (positional), then --set overrides in order. util::Args
+    // keeps only the last value per key, so collect repeated --set pairs from
+    // the raw argv.
+    if (!args.positional().empty()) {
+      std::ifstream in(args.positional().front());
+      if (!in) {
+        std::cerr << "kncube_run: cannot open spec file '"
+                  << args.positional().front() << "'\n";
+        return EXIT_FAILURE;
+      }
+      std::ostringstream text;
+      text << in.rdbuf();
+      spec = core::parse_scenario(text.str());
+    }
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) != "--set" || i + 1 >= argc) continue;
+      const std::string kv = argv[++i];
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos) {
+        std::cerr << "kncube_run: --set expects key=value, got '" << kv << "'\n";
+        return EXIT_FAILURE;
+      }
+      core::apply_scenario_setting(spec, kv.substr(0, eq), kv.substr(eq + 1));
+    }
+    if (quick_mode()) {
+      spec.target_messages = std::min<std::uint64_t>(spec.target_messages, 800);
+      spec.warmup_cycles = std::min<std::uint64_t>(spec.warmup_cycles, 6000);
+      spec.max_cycles = std::min<std::uint64_t>(spec.max_cycles, 400'000);
+    }
+    spec.validate();
+  } catch (const std::exception& e) {
+    std::cerr << "kncube_run: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+
+  std::cout << "--- scenario (key " << std::hex << spec.key() << std::dec
+            << ") ---\n"
+            << core::format_scenario(spec) << "\n";
+  if (args.get_bool("print-spec", false)) return EXIT_SUCCESS;
+
+  core::SweepEngine engine(spec);
+  const int points = static_cast<int>(
+      args.get_int("points", quick_mode() ? 4 : 8));
+  const double lo = args.get_double("lo", 0.1);
+  const double hi = args.get_double("hi", 0.95);
+  const bool with_sim = args.get_bool("sim", true);
+  const double max_rate = args.get_double("max-rate", 0.0);
+  if (points < 2 || !(lo > 0.0) || !(hi > lo)) {
+    std::cerr << "kncube_run: need --points >= 2 and 0 < --lo < --hi\n";
+    return EXIT_FAILURE;
+  }
+
+  // Sweep anchor: the model's bisected saturation boundary when the
+  // registry dispatched a model, else the explicit --max-rate ceiling.
+  std::vector<double> lambdas;
+  if (engine.has_model()) {
+    std::cout << "analytical model: " << engine.analytical_model().name()
+              << " (zero-load latency "
+              << engine.analytical_model().zero_load_latency() << " cycles)\n";
+    const core::SaturationResult sat = engine.saturation_rate();
+    std::cout << "model saturation rate: " << sat.rate << " messages/node/cycle ("
+              << sat.probes << " probes)\n\n";
+    lambdas = engine.lambda_sweep(points, lo, hi);
+  } else {
+    std::cout << "analytical model: none — " << engine.sim_only_reason()
+              << " (simulator only)\n\n";
+    if (max_rate <= 0.0) {
+      std::cerr << "kncube_run: sim-only scenario needs --max-rate to anchor "
+                   "the sweep\n";
+      return EXIT_FAILURE;
+    }
+    for (int i = 0; i < points; ++i) {
+      const double f = lo + (hi - lo) * static_cast<double>(i) /
+                                static_cast<double>(points - 1);
+      lambdas.push_back(f * max_rate);
+    }
+  }
+
+  const auto pts = engine.run(lambdas, with_sim);
+  util::Table table = core::figure_table("kncube_run", pts);
+  table.print(std::cout);
+  const std::string csv_name = args.get_string("csv", "");
+  if (!csv_name.empty()) {
+    const std::string csv = core::export_csv(table, csv_name);
+    if (!csv.empty()) std::cout << "csv: " << csv << "\n";
+  }
+
+  // Summary table: the one-line roll-up CI smoke-checks for.
+  std::vector<std::pair<std::string, core::PanelSummary>> summaries;
+  summaries.emplace_back("kncube_run", core::summarize_panel(pts));
+  std::cout << "\n";
+  core::summary_table("summary", summaries).print(std::cout);
+  return EXIT_SUCCESS;
+}

@@ -14,17 +14,18 @@ int main(int argc, char** argv) {
   using namespace kncube;
 
   util::Args args(argc, argv);
-  core::Scenario scenario;
-  scenario.k = static_cast<int>(args.get_int("k", 16));
+  core::ScenarioSpec scenario;
+  scenario.torus().k = static_cast<int>(args.get_int("k", 16));
   scenario.message_length = static_cast<int>(args.get_int("lm", 32));
-  scenario.hot_fraction = args.get_double("h", 0.2);
+  scenario.hotspot().fraction = args.get_double("h", 0.2);
   scenario.vcs = static_cast<int>(args.get_int("vcs", 2));
 
   // Where does this network saturate? (The engine memoizes every probe.)
   core::SweepEngine engine(scenario);
   const core::SaturationResult sat = engine.saturation_rate();
-  std::cout << "network: " << scenario.k << "x" << scenario.k << " torus, Lm="
-            << scenario.message_length << " flits, h=" << scenario.hot_fraction * 100
+  std::cout << "network: " << scenario.torus().k << "x" << scenario.torus().k
+            << " torus, Lm=" << scenario.message_length
+            << " flits, h=" << scenario.hotspot().fraction * 100
             << "%, V=" << scenario.vcs << "\n";
   std::cout << "model saturation rate: " << sat.rate << " messages/node/cycle ("
             << sat.probes << " probes)\n\n";

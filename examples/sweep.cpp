@@ -27,11 +27,11 @@ int main(int argc, char** argv) {
     return EXIT_FAILURE;
   }
 
-  core::Scenario s;
-  s.k = static_cast<int>(args.get_int("k", 16));
+  core::ScenarioSpec s;
+  s.torus().k = static_cast<int>(args.get_int("k", 16));
   s.vcs = static_cast<int>(args.get_int("vcs", 2));
   s.message_length = static_cast<int>(args.get_int("lm", 32));
-  s.hot_fraction = args.get_double("h", 0.2);
+  s.hotspot().fraction = args.get_double("h", 0.2);
   s.seed = static_cast<std::uint64_t>(args.get_int("seed", 0xC0FFEE));
   const int points = static_cast<int>(args.get_int("points", 10));
   const double lo = args.get_double("lo", 0.1);
@@ -40,8 +40,9 @@ int main(int argc, char** argv) {
 
   core::SweepEngine engine(s);
   const core::SaturationResult sat = engine.saturation_rate();
-  std::cout << s.k << "x" << s.k << " torus, Lm=" << s.message_length
-            << ", h=" << s.hot_fraction * 100 << "%, V=" << s.vcs
+  std::cout << s.torus().k << "x" << s.torus().k << " torus, Lm="
+            << s.message_length << ", h=" << s.hotspot().fraction * 100
+            << "%, V=" << s.vcs
             << "; model saturation " << sat.rate << " msg/node/cycle\n\n";
 
   const auto lambdas = engine.lambda_sweep(points, lo, hi);

@@ -26,13 +26,16 @@ int main(int argc, char** argv) {
   std::cout << "pattern comparison on a " << k << "x" << k << " torus, Lm=" << lm
             << ", lambda=" << lambda << " msg/node/cycle\n\n";
 
-  const std::vector<std::pair<std::string, sim::Pattern>> patterns = {
-      {"uniform", sim::Pattern::kUniform},
+  // Every pattern is a core::Traffic alternative: the spec drives the
+  // simulator (and, where one exists, the analytical model) through the
+  // same facade.
+  const std::vector<std::pair<std::string, core::Traffic>> patterns = {
+      {"uniform", core::UniformTraffic{}},
       {"hotspot h=" + std::to_string(static_cast<int>(h * 100)) + "%",
-       sim::Pattern::kHotspot},
-      {"transpose", sim::Pattern::kTranspose},
-      {"bit-complement", sim::Pattern::kBitComplement},
-      {"bit-reversal", sim::Pattern::kBitReversal},
+       core::HotspotTraffic{h, -1}},
+      {"transpose", core::TransposeTraffic{}},
+      {"bit-complement", core::BitComplementTraffic{}},
+      {"bit-reversal", core::BitReversalTraffic{}},
   };
 
   util::Table table({"pattern", "mean latency", "p95", "accepted load",
@@ -41,18 +44,15 @@ int main(int argc, char** argv) {
   table.set_precision(4);
 
   for (const auto& [name, pattern] : patterns) {
-    sim::SimConfig cfg;
-    cfg.k = k;
-    cfg.n = 2;
-    cfg.vcs = 2;
-    cfg.message_length = lm;
-    cfg.injection_rate = lambda;
-    cfg.pattern = pattern;
-    cfg.hot_fraction = h;
-    cfg.warmup_cycles = 5000;
-    cfg.target_messages = 2000;
-    cfg.max_cycles = 800000;
-    const sim::SimResult r = sim::simulate(cfg);
+    core::ScenarioSpec spec;
+    spec.torus().k = k;
+    spec.vcs = 2;
+    spec.message_length = lm;
+    spec.traffic = pattern;
+    spec.warmup_cycles = 5000;
+    spec.target_messages = 2000;
+    spec.max_cycles = 800000;
+    const sim::SimResult r = sim::simulate(core::to_sim_config(spec, lambda));
     table.add_row({name,
                    r.saturated ? std::numeric_limits<double>::infinity()
                                : r.mean_latency,

@@ -9,6 +9,24 @@
 
 namespace kncube::core {
 
+ScenarioSpec to_spec(const Scenario& s) {
+  ScenarioSpec spec;
+  spec.topology = TorusTopology{s.k, 2, false};
+  spec.traffic = HotspotTraffic{s.hot_fraction, -1};
+  spec.arrivals = BernoulliArrivals{};
+  spec.vcs = s.vcs;
+  spec.buffer_depth = s.buffer_depth;
+  spec.message_length = s.message_length;
+  spec.seed = s.seed;
+  spec.warmup_cycles = s.warmup_cycles;
+  spec.target_messages = s.target_messages;
+  spec.max_cycles = s.max_cycles;
+  spec.blocking = s.blocking;
+  spec.busy_basis = s.busy_basis;
+  spec.vcmux_basis = s.vcmux_basis;
+  return spec;
+}
+
 model::ModelConfig to_model_config(const Scenario& s, double lambda) {
   model::ModelConfig cfg;
   cfg.k = s.k;
@@ -23,21 +41,7 @@ model::ModelConfig to_model_config(const Scenario& s, double lambda) {
 }
 
 sim::SimConfig to_sim_config(const Scenario& s, double lambda) {
-  sim::SimConfig cfg;
-  cfg.k = s.k;
-  cfg.n = 2;  // the paper's analysis and validation are 2-D
-  cfg.bidirectional = false;
-  cfg.vcs = s.vcs;
-  cfg.buffer_depth = s.buffer_depth;
-  cfg.message_length = s.message_length;
-  cfg.injection_rate = lambda;
-  cfg.pattern = sim::Pattern::kHotspot;
-  cfg.hot_fraction = s.hot_fraction;
-  cfg.seed = s.seed;
-  cfg.warmup_cycles = s.warmup_cycles;
-  cfg.target_messages = s.target_messages;
-  cfg.max_cycles = s.max_cycles;
-  return cfg;
+  return to_sim_config(to_spec(s), lambda);
 }
 
 double PointResult::relative_error() const {
@@ -45,24 +49,35 @@ double PointResult::relative_error() const {
   // finite latency: missing sim, saturated model, a non-finite model latency
   // that slipped past the saturation flag, or an empty/saturated sim whose
   // mean is zero or non-finite.
-  if (!has_sim || model.saturated || !std::isfinite(model.latency) ||
+  if (!has_model || !has_sim || model.saturated || !std::isfinite(model.latency) ||
       !std::isfinite(sim.mean_latency) || sim.mean_latency <= 0.0) {
     return std::numeric_limits<double>::quiet_NaN();
   }
   return std::abs(model.latency - sim.mean_latency) / sim.mean_latency;
 }
 
-std::vector<PointResult> run_series(const Scenario& scenario,
+std::vector<PointResult> run_series(const ScenarioSpec& spec,
                                     const std::vector<double>& lambdas,
                                     bool run_sim) {
-  SweepEngine engine(scenario);
+  SweepEngine engine(spec);
   return engine.run(lambdas, run_sim);
 }
 
-std::vector<double> lambda_sweep(const Scenario& scenario, int points, double lo_frac,
-                                 double hi_frac) {
-  SweepEngine engine(scenario);
+std::vector<PointResult> run_series(const Scenario& scenario,
+                                    const std::vector<double>& lambdas,
+                                    bool run_sim) {
+  return run_series(to_spec(scenario), lambdas, run_sim);
+}
+
+std::vector<double> lambda_sweep(const ScenarioSpec& spec, int points,
+                                 double lo_frac, double hi_frac) {
+  SweepEngine engine(spec);
   return engine.lambda_sweep(points, lo_frac, hi_frac);
+}
+
+std::vector<double> lambda_sweep(const Scenario& scenario, int points,
+                                 double lo_frac, double hi_frac) {
+  return lambda_sweep(to_spec(scenario), points, lo_frac, hi_frac);
 }
 
 }  // namespace kncube::core

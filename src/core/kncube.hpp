@@ -8,21 +8,39 @@
 //                  channel geometry;
 //   * sim/       — flit-level wormhole simulator with virtual channels
 //                  (the paper's validation substrate);
-//   * model/     — the hot-spot analytical model (the contribution), the
-//                  uniform-traffic baseline and the queueing primitives;
-//   * core/      — experiment harness tying model and simulator together.
+//   * model/     — the analytical models behind one polymorphic
+//                  model::AnalyticalModel interface: the hot-spot torus
+//                  model (the contribution), the uniform-traffic baseline,
+//                  the hypercube lineage model, and the shared queueing
+//                  primitives;
+//   * core/      — the public facade. core::ScenarioSpec is the one typed
+//                  scenario language (topology × traffic × arrivals plus
+//                  router/measurement/ablation knobs); the model registry
+//                  dispatches a spec to its analytical model (or reports it
+//                  sim-only), and core::SweepEngine evaluates operating
+//                  points for any valid spec with memoization, warm-started
+//                  continuation, parallel sweeps and saturation bisection.
 //
 // Quick start (see examples/quickstart.cpp):
 //
-//   kncube::core::Scenario s;           // 16x16 torus, Lm=32, h=20%, V=2
+//   kncube::core::ScenarioSpec s;       // 16x16 torus, Lm=32, h=20%, V=2
 //   auto pts = kncube::core::run_series(s, kncube::core::lambda_sweep(s, 8));
 //   std::cout << kncube::core::figure_table("demo", pts).to_string();
+//
+// Specs are text round-trippable — `parse_scenario` / `format_scenario`
+// read and write a canonical `key=value` form (e.g. `topology.kind=torus`,
+// `traffic.hot_fraction=0.2`), and `examples/kncube_run` drives any spec
+// file from the command line. The pre-v2 flat core::Scenario remains as a
+// deprecated shim for one release (core/experiment.hpp).
 #pragma once
 
 #include "core/experiment.hpp"   // IWYU pragma: export
+#include "core/model_registry.hpp"  // IWYU pragma: export
 #include "core/report.hpp"       // IWYU pragma: export
 #include "core/saturation.hpp"   // IWYU pragma: export
+#include "core/scenario_spec.hpp"  // IWYU pragma: export
 #include "core/sweep_engine.hpp" // IWYU pragma: export
+#include "model/analytical_model.hpp"  // IWYU pragma: export
 #include "model/hotspot_model.hpp"  // IWYU pragma: export
 #include "model/hypercube_model.hpp"  // IWYU pragma: export
 #include "model/uniform_model.hpp"  // IWYU pragma: export

@@ -1,0 +1,96 @@
+#include "core/model_registry.hpp"
+
+namespace kncube::core {
+
+namespace {
+
+ModelDispatch sim_only(std::string reason) {
+  ModelDispatch d;
+  d.sim_only_reason = std::move(reason);
+  return d;
+}
+
+/// True when any model-approximation knob differs from its default. Families
+/// that cannot represent a knob must not silently ignore a non-default
+/// setting — the caller would believe they ran an ablation that never
+/// happened — so they dispatch sim-only instead.
+bool nondefault_blocking(const ScenarioSpec& spec) {
+  return spec.blocking != model::BlockingVariant::kPaper;
+}
+bool nondefault_bases(const ScenarioSpec& spec) {
+  return spec.busy_basis != model::ServiceBasis::kTransmission ||
+         spec.vcmux_basis != model::ServiceBasis::kTransmission;
+}
+
+ModelDispatch torus_dispatch(const ScenarioSpec& spec) {
+  const TorusTopology& t = spec.torus();
+  if (t.bidirectional) {
+    return sim_only("analytical models assume unidirectional links");
+  }
+  if (t.n != 2) {
+    return sim_only("analytical torus models are 2-D (n == 2)");
+  }
+  if (spec.is_hotspot()) {
+    model::ModelConfig cfg;
+    cfg.k = t.k;
+    cfg.vcs = spec.vcs;
+    cfg.message_length = spec.message_length;
+    cfg.hot_fraction = spec.hotspot().fraction;
+    cfg.blocking = spec.blocking;
+    cfg.busy_basis = spec.busy_basis;
+    cfg.vcmux_basis = spec.vcmux_basis;
+    ModelDispatch d;
+    d.model = std::make_unique<model::HotspotAnalyticalModel>(cfg);
+    return d;
+  }
+  if (std::holds_alternative<UniformTraffic>(spec.traffic)) {
+    if (nondefault_blocking(spec) || nondefault_bases(spec)) {
+      return sim_only(
+          "uniform-torus model has no blocking/basis ablation variants");
+    }
+    model::UniformModelConfig cfg;
+    cfg.k = t.k;
+    cfg.vcs = spec.vcs;
+    cfg.message_length = spec.message_length;
+    ModelDispatch d;
+    d.model = std::make_unique<model::UniformAnalyticalModel>(cfg);
+    return d;
+  }
+  return sim_only("no analytical counterpart for this traffic pattern");
+}
+
+ModelDispatch hypercube_dispatch(const ScenarioSpec& spec) {
+  const bool uniform = std::holds_alternative<UniformTraffic>(spec.traffic);
+  if (!spec.is_hotspot() && !uniform) {
+    return sim_only("no analytical counterpart for this traffic pattern");
+  }
+  if (nondefault_blocking(spec)) {
+    return sim_only("hypercube model has no blocking-form ablation variant");
+  }
+  model::HypercubeModelConfig cfg;
+  cfg.dims = spec.hypercube().dims;
+  cfg.vcs = spec.vcs;
+  cfg.message_length = spec.message_length;
+  // Uniform traffic is the h = 0 degeneration of the hot-spot model (the
+  // hot streams vanish and every channel carries the regular background).
+  cfg.hot_fraction = uniform ? 0.0 : spec.hotspot().fraction;
+  cfg.busy_basis = spec.busy_basis;
+  cfg.vcmux_basis = spec.vcmux_basis;
+  ModelDispatch d;
+  d.model = std::make_unique<model::HypercubeAnalyticalModel>(cfg);
+  return d;
+}
+
+}  // namespace
+
+ModelDispatch make_analytical_model(const ScenarioSpec& spec) {
+  spec.validate();
+  if (spec.is_mmpp()) {
+    // The models are Poisson-based; bursty arrivals are the paper's §5
+    // stated future work and currently simulator-only.
+    return sim_only("analytical models assume Bernoulli (Poisson) arrivals");
+  }
+  return spec.is_torus() ? torus_dispatch(spec) : hypercube_dispatch(spec);
+}
+
+}  // namespace kncube::core

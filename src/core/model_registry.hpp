@@ -1,0 +1,46 @@
+// Model registry: ScenarioSpec -> AnalyticalModel dispatch.
+//
+// Maps each (topology, traffic, arrivals) combination to the analytical
+// model family that covers it, or reports "sim-only" with a reason when no
+// analytical counterpart exists. This is the single place that knows which
+// corner of the scenario space each model family covers:
+//
+//   torus n=2 uni  × hotspot  × bernoulli  -> hotspot-torus   (the paper)
+//   torus n=2 uni  × uniform  × bernoulli  -> uniform-torus   (baseline)
+//   hypercube      × hotspot  × bernoulli  -> hotspot-hypercube (ref. [12])
+//   hypercube      × uniform  × bernoulli  -> hotspot-hypercube with h = 0
+//   anything else (permutation patterns, MMPP arrivals, bidirectional
+//   links, n ≠ 2 tori)                     -> sim-only
+//
+// A family that cannot represent a requested model-ablation knob (the
+// uniform-torus model has no blocking/basis variants; the hypercube model
+// has no blocking-form variant) also reports sim-only rather than silently
+// running the default approximation under an ablation's name.
+//
+// SweepEngine holds the dispatched model and solves every operating point
+// through it, so memoization, warm-started continuation and saturation
+// bisection work identically for all families.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/scenario_spec.hpp"
+#include "model/analytical_model.hpp"
+
+namespace kncube::core {
+
+struct ModelDispatch {
+  /// The matching analytical model, or nullptr when the spec is sim-only.
+  std::unique_ptr<model::AnalyticalModel> model;
+  /// Why no analytical model applies (empty when `model` is set).
+  std::string sim_only_reason;
+
+  bool has_model() const noexcept { return model != nullptr; }
+};
+
+/// Dispatches a validated spec to its analytical model family. Throws
+/// std::invalid_argument when the spec itself is invalid.
+ModelDispatch make_analytical_model(const ScenarioSpec& spec);
+
+}  // namespace kncube::core

@@ -14,13 +14,17 @@ util::Table figure_table(const std::string& title, const std::vector<PointResult
   t.set_precision(5);
   for (const auto& p : pts) {
     const double rel = p.relative_error();
+    // Sim-only scenarios (no analytical counterpart) render "-" in the model
+    // columns, mirroring how missing sims render on the other side.
     t.add_row({p.lambda,
-               p.model.saturated ? std::numeric_limits<double>::infinity()
-                                 : p.model.latency,
+               !p.has_model ? util::Cell{std::string{"-"}}
+               : p.model.saturated
+                   ? util::Cell{std::numeric_limits<double>::infinity()}
+                   : util::Cell{p.model.latency},
                p.has_sim ? util::Cell{p.sim.mean_latency} : util::Cell{std::string{"-"}},
                p.has_sim ? util::Cell{p.sim.latency_ci95} : util::Cell{std::string{"-"}},
                std::isnan(rel) ? util::Cell{std::string{"-"}} : util::Cell{rel},
-               std::string(p.model.saturated ? "yes" : "no"),
+               std::string(!p.has_model ? "-" : (p.model.saturated ? "yes" : "no")),
                std::string(!p.has_sim ? "-" : (p.sim.saturated ? "yes" : "no"))});
   }
   return t;
@@ -32,7 +36,7 @@ PanelSummary summarize_panel(const std::vector<PointResult>& pts) {
   std::vector<double> sim_curve;
   double err_acc = 0.0;
   for (const auto& p : pts) {
-    if (p.model.saturated) ++s.model_saturated_points;
+    if (p.has_model && p.model.saturated) ++s.model_saturated_points;
     if (p.has_sim && p.sim.saturated) ++s.sim_saturated_points;
     const double rel = p.relative_error();
     if (!std::isnan(rel) && p.has_sim && !p.sim.saturated) {

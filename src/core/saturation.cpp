@@ -1,5 +1,7 @@
 #include "core/saturation.hpp"
 
+#include <algorithm>
+
 #include "core/sweep_engine.hpp"
 
 #include "util/assert.hpp"
@@ -46,24 +48,37 @@ SaturationResult bisect_saturation(double initial_guess, double rel_tol,
   return res;
 }
 
-SaturationResult model_saturation_rate(const Scenario& scenario, double rel_tol) {
+SaturationResult model_saturation_rate(const ScenarioSpec& spec, double rel_tol) {
   // One-shot engine: the guess + bisection live in SweepEngine so the search
   // logic (and its memoization) has a single definition.
-  return SweepEngine(scenario).saturation_rate(rel_tol);
+  return SweepEngine(spec).saturation_rate(rel_tol);
+}
+
+SaturationResult model_saturation_rate(const Scenario& scenario, double rel_tol) {
+  return model_saturation_rate(to_spec(scenario), rel_tol);
+}
+
+SaturationResult sim_saturation_rate(const ScenarioSpec& spec, double rel_tol) {
+  // Each probe is a full simulation: cap the per-probe effort. A saturated
+  // probe reveals itself quickly (backlog growth), a stable one converges.
+  ScenarioSpec probe_spec = spec;
+  probe_spec.target_messages = std::max<std::uint64_t>(spec.target_messages / 2, 800);
+
+  // Seed the bracketing from the model's bottleneck estimate when the spec
+  // has an analytical model; otherwise from the streaming bound 1/Lm (the
+  // bracket phase then grows/shrinks to wherever the boundary actually is).
+  const ModelDispatch dispatch = make_analytical_model(spec);
+  const double guess = dispatch.has_model()
+                           ? dispatch.model->estimated_saturation_rate()
+                           : 1.0 / static_cast<double>(spec.message_length);
+  return bisect_saturation(guess, rel_tol, [&](double rate) {
+    const sim::SimResult r = sim::simulate(to_sim_config(probe_spec, rate));
+    return !r.saturated;
+  });
 }
 
 SaturationResult sim_saturation_rate(const Scenario& scenario, double rel_tol) {
-  // Each probe is a full simulation: cap the per-probe effort. A saturated
-  // probe reveals itself quickly (backlog growth), a stable one converges.
-  Scenario probe_scenario = scenario;
-  probe_scenario.target_messages = std::max<std::uint64_t>(scenario.target_messages / 2, 800);
-
-  const double guess =
-      model::HotspotModel(to_model_config(scenario, 1e-9)).estimated_saturation_rate();
-  return bisect_saturation(guess, rel_tol, [&](double rate) {
-    const sim::SimResult r = sim::simulate(to_sim_config(probe_scenario, rate));
-    return !r.saturated;
-  });
+  return sim_saturation_rate(to_spec(scenario), rel_tol);
 }
 
 }  // namespace kncube::core

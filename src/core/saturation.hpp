@@ -1,10 +1,12 @@
-// Saturation-rate search for both the analytical model and the simulator.
+// Saturation-rate search for both the analytical models and the simulator.
 //
-// The model has a sharp feasibility boundary (the fixed point stops
+// The models have a sharp feasibility boundary (the fixed point stops
 // existing); we locate it by exponential bracketing plus bisection. The
 // simulator's boundary is statistical (backlog growth), so the sim search
 // uses the same bisection with a coarser tolerance and reduced measurement
-// effort per probe.
+// effort per probe. Both searches accept any valid ScenarioSpec; the model
+// search requires the spec to have an analytical model (registry dispatch),
+// the sim search works for sim-only specs too.
 #pragma once
 
 #include <functional>
@@ -25,12 +27,16 @@ struct SaturationResult {
 SaturationResult bisect_saturation(double initial_guess, double rel_tol,
                                    const std::function<bool(double)>& stable);
 
-/// Bisects the model's saturation boundary to relative width `rel_tol`.
+/// Bisects the dispatched model's saturation boundary to relative width
+/// `rel_tol`. Throws std::logic_error for sim-only specs.
+SaturationResult model_saturation_rate(const ScenarioSpec& spec,
+                                       double rel_tol = 1e-3);
 SaturationResult model_saturation_rate(const Scenario& scenario,
                                        double rel_tol = 1e-3);
 
 /// Bisects the simulator's saturation boundary. `rel_tol` is coarser by
 /// default because every probe is a full simulation.
+SaturationResult sim_saturation_rate(const ScenarioSpec& spec, double rel_tol = 0.05);
 SaturationResult sim_saturation_rate(const Scenario& scenario, double rel_tol = 0.05);
 
 }  // namespace kncube::core

@@ -1,0 +1,412 @@
+#include "core/scenario_spec.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "topology/torus.hpp"
+
+namespace kncube::core {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::invalid_argument("ScenarioSpec: " + msg);
+}
+
+// Round-trip-exact double formatting: 17 significant digits reproduce any
+// IEEE-754 double bit-for-bit through strtod.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  char* end = nullptr;
+  const double v = std::strtod(value.c_str(), &end);
+  if (end == value.c_str() || *end != '\0') {
+    fail(key + ": expected a number, got '" + value + "'");
+  }
+  return v;
+}
+
+std::int64_t parse_int(const std::string& key, const std::string& value) {
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0' || errno == ERANGE) {
+    fail(key + ": expected an integer, got '" + value + "'");
+  }
+  return v;
+}
+
+/// Checked narrowing for the int-typed knobs: out-of-range values fail like
+/// any other malformed input instead of silently wrapping.
+int parse_int32(const std::string& key, const std::string& value) {
+  const std::int64_t v = parse_int(key, value);
+  if (v < std::numeric_limits<int>::min() || v > std::numeric_limits<int>::max()) {
+    fail(key + ": value " + value + " out of range");
+  }
+  return static_cast<int>(v);
+}
+
+std::uint64_t parse_uint(const std::string& key, const std::string& value) {
+  // strtoull (not strtoll): 64-bit seeds use the full unsigned range.
+  if (!value.empty() && value[0] == '-') fail(key + ": must be non-negative");
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (end == value.c_str() || *end != '\0') {
+    fail(key + ": expected an integer, got '" + value + "'");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+bool parse_bool(const std::string& key, const std::string& value) {
+  if (value == "true" || value == "1") return true;
+  if (value == "false" || value == "0") return false;
+  fail(key + ": expected true/false, got '" + value + "'");
+}
+
+const char* traffic_kind_name(const Traffic& t) {
+  struct Visitor {
+    const char* operator()(const HotspotTraffic&) const { return "hotspot"; }
+    const char* operator()(const UniformTraffic&) const { return "uniform"; }
+    const char* operator()(const TransposeTraffic&) const { return "transpose"; }
+    const char* operator()(const BitComplementTraffic&) const {
+      return "bit_complement";
+    }
+    const char* operator()(const BitReversalTraffic&) const {
+      return "bit_reversal";
+    }
+  };
+  return std::visit(Visitor{}, t);
+}
+
+const char* basis_name(model::ServiceBasis b) {
+  return b == model::ServiceBasis::kInclusive ? "inclusive" : "transmission";
+}
+
+model::ServiceBasis parse_basis(const std::string& key, const std::string& value) {
+  if (value == "transmission") return model::ServiceBasis::kTransmission;
+  if (value == "inclusive") return model::ServiceBasis::kInclusive;
+  fail(key + ": expected transmission|inclusive, got '" + value + "'");
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+std::uint64_t ScenarioSpec::node_count() const noexcept {
+  if (is_torus()) {
+    const TorusTopology& t = torus();
+    std::uint64_t size = 1;
+    for (int d = 0; d < t.n; ++d) size *= static_cast<std::uint64_t>(t.k);
+    return size;
+  }
+  return std::uint64_t{1} << hypercube().dims;
+}
+
+void ScenarioSpec::validate() const {
+  if (is_torus()) {
+    const TorusTopology& t = torus();
+    if (t.k < 2) fail("torus radix k must be >= 2");
+    if (t.n < 1 || t.n > topo::kMaxDims) fail("torus dimension count out of range");
+    if (!t.bidirectional && t.k > 2 && vcs < 2) {
+      fail("unidirectional torus requires V >= 2 for deadlock freedom");
+    }
+  } else {
+    const HypercubeTopology& h = hypercube();
+    // The simulator realises the hypercube as a k = 2 n-cube, so the
+    // simulator's dimension bound applies to the whole spec.
+    if (h.dims < 1 || h.dims > topo::kMaxDims) fail("hypercube dims out of range");
+  }
+  if (vcs < 1) fail("need at least one virtual channel");
+  if (buffer_depth < 1) fail("buffer depth must be >= 1");
+  if (message_length < 1) fail("message length must be >= 1 flit");
+  if (target_messages == 0) fail("target messages must be positive");
+  if (max_cycles <= warmup_cycles) fail("max cycles must exceed warmup");
+
+  const std::uint64_t size = node_count();
+  if (is_hotspot()) {
+    const HotspotTraffic& t = hotspot();
+    if (t.fraction < 0.0 || t.fraction > 1.0) fail("hot fraction must be in [0,1]");
+    if (t.hot_node >= 0 && static_cast<std::uint64_t>(t.hot_node) >= size) {
+      fail("hot node outside the network");
+    }
+  } else if (std::holds_alternative<TransposeTraffic>(traffic)) {
+    if (!is_torus() || torus().n != 2) fail("transpose traffic needs a 2-D torus");
+  } else if (std::holds_alternative<BitComplementTraffic>(traffic)) {
+    if (size % 2 != 0) fail("bit-complement needs an even node count");
+  } else if (std::holds_alternative<BitReversalTraffic>(traffic)) {
+    if ((size & (size - 1)) != 0) {
+      fail("bit-reversal needs a power-of-two node count");
+    }
+  }
+
+  if (is_mmpp()) {
+    const MmppArrivals& m = mmpp();
+    if (m.p_enter_burst <= 0.0 || m.p_enter_burst > 1.0 ||
+        m.p_leave_burst <= 0.0 || m.p_leave_burst > 1.0) {
+      fail("MMPP transition probabilities must be in (0,1]");
+    }
+    if (m.burst_multiplier < 1.0) fail("MMPP burst multiplier must be >= 1");
+  }
+}
+
+std::string format_scenario(const ScenarioSpec& spec) {
+  std::ostringstream out;
+  if (spec.is_torus()) {
+    const TorusTopology& t = spec.torus();
+    out << "topology.kind=torus\n";
+    out << "topology.k=" << t.k << "\n";
+    out << "topology.n=" << t.n << "\n";
+    out << "topology.bidirectional=" << (t.bidirectional ? "true" : "false") << "\n";
+  } else {
+    out << "topology.kind=hypercube\n";
+    out << "topology.dims=" << spec.hypercube().dims << "\n";
+  }
+  out << "traffic.kind=" << traffic_kind_name(spec.traffic) << "\n";
+  if (spec.is_hotspot()) {
+    const HotspotTraffic& t = spec.hotspot();
+    out << "traffic.hot_fraction=" << fmt_double(t.fraction) << "\n";
+    out << "traffic.hot_node=" << t.hot_node << "\n";
+  }
+  if (spec.is_mmpp()) {
+    const MmppArrivals& m = spec.mmpp();
+    out << "arrivals.kind=mmpp\n";
+    out << "arrivals.burst_multiplier=" << fmt_double(m.burst_multiplier) << "\n";
+    out << "arrivals.p_enter_burst=" << fmt_double(m.p_enter_burst) << "\n";
+    out << "arrivals.p_leave_burst=" << fmt_double(m.p_leave_burst) << "\n";
+  } else {
+    out << "arrivals.kind=bernoulli\n";
+  }
+  out << "router.vcs=" << spec.vcs << "\n";
+  out << "router.buffer_depth=" << spec.buffer_depth << "\n";
+  out << "workload.message_length=" << spec.message_length << "\n";
+  out << "measure.seed=" << spec.seed << "\n";
+  out << "measure.warmup_cycles=" << spec.warmup_cycles << "\n";
+  out << "measure.target_messages=" << spec.target_messages << "\n";
+  out << "measure.max_cycles=" << spec.max_cycles << "\n";
+  out << "model.blocking="
+      << (spec.blocking == model::BlockingVariant::kPureWait ? "pure_wait" : "paper")
+      << "\n";
+  out << "model.busy_basis=" << basis_name(spec.busy_basis) << "\n";
+  out << "model.vcmux_basis=" << basis_name(spec.vcmux_basis) << "\n";
+  return out.str();
+}
+
+void apply_scenario_setting(ScenarioSpec& spec, const std::string& key,
+                            const std::string& value) {
+  // --- variant selectors: switching kinds resets that variant to defaults
+  // (re-selecting the active kind is a no-op so parameter order is free).
+  if (key == "topology.kind") {
+    if (value == "torus") {
+      if (!spec.is_torus()) spec.topology = TorusTopology{};
+    } else if (value == "hypercube") {
+      if (!spec.is_hypercube()) spec.topology = HypercubeTopology{};
+    } else {
+      fail(key + ": expected torus|hypercube, got '" + value + "'");
+    }
+    return;
+  }
+  if (key == "traffic.kind") {
+    if (value == "hotspot") {
+      if (!spec.is_hotspot()) spec.traffic = HotspotTraffic{};
+    } else if (value == "uniform") {
+      spec.traffic = UniformTraffic{};
+    } else if (value == "transpose") {
+      spec.traffic = TransposeTraffic{};
+    } else if (value == "bit_complement") {
+      spec.traffic = BitComplementTraffic{};
+    } else if (value == "bit_reversal") {
+      spec.traffic = BitReversalTraffic{};
+    } else {
+      fail(key +
+           ": expected hotspot|uniform|transpose|bit_complement|bit_reversal, "
+           "got '" +
+           value + "'");
+    }
+    return;
+  }
+  if (key == "arrivals.kind") {
+    if (value == "bernoulli") {
+      spec.arrivals = BernoulliArrivals{};
+    } else if (value == "mmpp") {
+      if (!spec.is_mmpp()) spec.arrivals = MmppArrivals{};
+    } else {
+      fail(key + ": expected bernoulli|mmpp, got '" + value + "'");
+    }
+    return;
+  }
+
+  // --- variant parameters (require the matching kind to be active) ---
+  if (key == "topology.k" || key == "topology.n" || key == "topology.bidirectional") {
+    if (!spec.is_torus()) fail(key + " requires topology.kind=torus");
+    TorusTopology& t = spec.torus();
+    if (key == "topology.k") {
+      t.k = parse_int32(key, value);
+    } else if (key == "topology.n") {
+      t.n = parse_int32(key, value);
+    } else {
+      t.bidirectional = parse_bool(key, value);
+    }
+    return;
+  }
+  if (key == "topology.dims") {
+    if (!spec.is_hypercube()) fail(key + " requires topology.kind=hypercube");
+    spec.hypercube().dims = parse_int32(key, value);
+    return;
+  }
+  if (key == "traffic.hot_fraction" || key == "traffic.hot_node") {
+    if (!spec.is_hotspot()) fail(key + " requires traffic.kind=hotspot");
+    if (key == "traffic.hot_fraction") {
+      spec.hotspot().fraction = parse_double(key, value);
+    } else {
+      spec.hotspot().hot_node = parse_int(key, value);
+    }
+    return;
+  }
+  if (key == "arrivals.burst_multiplier" || key == "arrivals.p_enter_burst" ||
+      key == "arrivals.p_leave_burst") {
+    if (!spec.is_mmpp()) fail(key + " requires arrivals.kind=mmpp");
+    MmppArrivals& m = spec.mmpp();
+    const double v = parse_double(key, value);
+    if (key == "arrivals.burst_multiplier") {
+      m.burst_multiplier = v;
+    } else if (key == "arrivals.p_enter_burst") {
+      m.p_enter_burst = v;
+    } else {
+      m.p_leave_burst = v;
+    }
+    return;
+  }
+
+  // --- flat knobs ---
+  if (key == "router.vcs") {
+    spec.vcs = parse_int32(key, value);
+  } else if (key == "router.buffer_depth") {
+    spec.buffer_depth = parse_int32(key, value);
+  } else if (key == "workload.message_length") {
+    spec.message_length = parse_int32(key, value);
+  } else if (key == "measure.seed") {
+    spec.seed = parse_uint(key, value);
+  } else if (key == "measure.warmup_cycles") {
+    spec.warmup_cycles = parse_uint(key, value);
+  } else if (key == "measure.target_messages") {
+    spec.target_messages = parse_uint(key, value);
+  } else if (key == "measure.max_cycles") {
+    spec.max_cycles = parse_uint(key, value);
+  } else if (key == "model.blocking") {
+    if (value == "paper") {
+      spec.blocking = model::BlockingVariant::kPaper;
+    } else if (value == "pure_wait") {
+      spec.blocking = model::BlockingVariant::kPureWait;
+    } else {
+      fail(key + ": expected paper|pure_wait, got '" + value + "'");
+    }
+  } else if (key == "model.busy_basis") {
+    spec.busy_basis = parse_basis(key, value);
+  } else if (key == "model.vcmux_basis") {
+    spec.vcmux_basis = parse_basis(key, value);
+  } else {
+    fail("unknown key '" + key + "'");
+  }
+}
+
+ScenarioSpec parse_scenario(const std::string& text) {
+  ScenarioSpec spec;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string t = trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    const std::size_t eq = t.find('=');
+    if (eq == std::string::npos) {
+      fail("line " + std::to_string(line_no) + ": expected key=value, got '" + t +
+           "'");
+    }
+    apply_scenario_setting(spec, trim(t.substr(0, eq)), trim(t.substr(eq + 1)));
+  }
+  return spec;
+}
+
+std::uint64_t ScenarioSpec::key() const {
+  // FNV-1a over the canonical text form: stable across processes and
+  // sensitive to every field (the text form is injective by construction).
+  const std::string text = format_scenario(*this);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+sim::SimConfig to_sim_config(const ScenarioSpec& spec, double lambda) {
+  sim::SimConfig cfg;
+  if (spec.is_torus()) {
+    const TorusTopology& t = spec.torus();
+    cfg.k = t.k;
+    cfg.n = t.n;
+    cfg.bidirectional = t.bidirectional;
+  } else {
+    cfg.k = 2;
+    cfg.n = spec.hypercube().dims;
+    cfg.bidirectional = false;
+  }
+  cfg.vcs = spec.vcs;
+  cfg.buffer_depth = spec.buffer_depth;
+  cfg.message_length = spec.message_length;
+  cfg.injection_rate = lambda;
+
+  struct TrafficVisitor {
+    sim::SimConfig& cfg;
+    void operator()(const HotspotTraffic& t) const {
+      cfg.pattern = sim::Pattern::kHotspot;
+      cfg.hot_fraction = t.fraction;
+      cfg.hot_node = t.hot_node;
+    }
+    void operator()(const UniformTraffic&) const {
+      cfg.pattern = sim::Pattern::kUniform;
+    }
+    void operator()(const TransposeTraffic&) const {
+      cfg.pattern = sim::Pattern::kTranspose;
+    }
+    void operator()(const BitComplementTraffic&) const {
+      cfg.pattern = sim::Pattern::kBitComplement;
+    }
+    void operator()(const BitReversalTraffic&) const {
+      cfg.pattern = sim::Pattern::kBitReversal;
+    }
+  };
+  std::visit(TrafficVisitor{cfg}, spec.traffic);
+
+  if (spec.is_mmpp()) {
+    const MmppArrivals& m = spec.mmpp();
+    cfg.arrivals = sim::Arrivals::kMmpp;
+    cfg.mmpp.burst_rate_multiplier = m.burst_multiplier;
+    cfg.mmpp.p_enter_burst = m.p_enter_burst;
+    cfg.mmpp.p_leave_burst = m.p_leave_burst;
+  } else {
+    cfg.arrivals = sim::Arrivals::kBernoulli;
+  }
+
+  cfg.seed = spec.seed;
+  cfg.warmup_cycles = spec.warmup_cycles;
+  cfg.target_messages = spec.target_messages;
+  cfg.max_cycles = spec.max_cycles;
+  return cfg;
+}
+
+}  // namespace kncube::core

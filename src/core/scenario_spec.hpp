@@ -1,0 +1,166 @@
+// ScenarioSpec v2: the one typed scenario language of the library.
+//
+// A ScenarioSpec is a self-describing value covering the whole
+// (topology × traffic × arrivals) space the code implements — the hot-spot
+// 2-D torus the paper analyses, the uniform/hypercube baselines it validates
+// against, and the simulator-only extensions (permutation patterns, MMPP
+// bursts, bidirectional links, n ≠ 2). Every workload flows through this
+// type into the core facade: `SweepEngine`, `run_series`,
+// `model_saturation_rate` and `to_sim_config` all accept a spec, and the
+// model registry (core/model_registry.hpp) dispatches it to the matching
+// analytical model — or reports "sim-only" when no analytical counterpart
+// exists.
+//
+// Specs are file- and CLI-drivable: `format_scenario` emits a canonical
+// `key=value` text form, `parse_scenario` reads it back field-for-field, and
+// `apply_scenario_setting` applies one `--set topology.k=32`-style override.
+// `key()` is a canonical 64-bit hash of the spec (stable across processes)
+// for caching and memoization keyed on whole scenarios.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "model/engine/channel_class.hpp"  // BlockingVariant, ServiceBasis
+#include "sim/config.hpp"
+
+namespace kncube::core {
+
+// --------------------------------------------------------------- topology ---
+
+/// K-ary n-cube torus (the paper's substrate: n = 2, unidirectional).
+struct TorusTopology {
+  int k = 16;                  ///< radix
+  int n = 2;                   ///< dimensions (<= topo::kMaxDims)
+  bool bidirectional = false;  ///< paper analyses the unidirectional torus
+};
+
+/// Binary hypercube with 2^dims nodes (the k = 2 n-cube; paper ref. [12]).
+struct HypercubeTopology {
+  int dims = 6;
+};
+
+using Topology = std::variant<TorusTopology, HypercubeTopology>;
+
+// ---------------------------------------------------------------- traffic ---
+
+/// Pfister–Norton hot-spot traffic (the paper's assumption ii).
+struct HotspotTraffic {
+  double fraction = 0.2;       ///< h
+  std::int64_t hot_node = -1;  ///< -1 picks the centre node (k/2, k/2, ...)
+};
+
+struct UniformTraffic {};
+struct TransposeTraffic {};      ///< (x, y) -> (y, x); 2-D torus only
+struct BitComplementTraffic {};  ///< dest id = N-1 - src id
+struct BitReversalTraffic {};    ///< reverse node-index bits (N power of two)
+
+using Traffic = std::variant<HotspotTraffic, UniformTraffic, TransposeTraffic,
+                             BitComplementTraffic, BitReversalTraffic>;
+
+// --------------------------------------------------------------- arrivals ---
+
+/// Bernoulli(rate) per cycle: the discrete-time Poisson approximation the
+/// analytical models assume.
+struct BernoulliArrivals {};
+
+/// Two-state modulated Bernoulli — the §5 bursty extension (sim-only).
+struct MmppArrivals {
+  double burst_multiplier = 4.0;  ///< rate in burst state = mult * mean rate
+  double p_enter_burst = 0.0005;  ///< idle -> burst transition prob per cycle
+  double p_leave_burst = 0.002;   ///< burst -> idle transition prob per cycle
+};
+
+using Arrivals = std::variant<BernoulliArrivals, MmppArrivals>;
+
+// ------------------------------------------------------------------- spec ---
+
+struct ScenarioSpec {
+  Topology topology = TorusTopology{};
+  Traffic traffic = HotspotTraffic{};
+  Arrivals arrivals = BernoulliArrivals{};
+
+  // --- router ---
+  int vcs = 2;           ///< V virtual channels per physical channel
+  int buffer_depth = 2;  ///< simulator only (the model abstracts buffers away)
+
+  // --- workload ---
+  int message_length = 32;  ///< Lm flits
+
+  // --- measurement (simulator side) ---
+  std::uint64_t seed = 0xC0FFEE;
+  std::uint64_t warmup_cycles = 20000;
+  std::uint64_t target_messages = 2500;
+  std::uint64_t max_cycles = 3'000'000;
+
+  // --- model-approximation knobs (forwarded to the analytical models) ---
+  model::BlockingVariant blocking = model::BlockingVariant::kPaper;
+  model::ServiceBasis busy_basis = model::ServiceBasis::kTransmission;
+  model::ServiceBasis vcmux_basis = model::ServiceBasis::kTransmission;
+
+  /// Throws std::invalid_argument when the combination is inconsistent
+  /// (e.g. transpose off a 2-D torus, MMPP probabilities outside (0,1],
+  /// hot node outside the network).
+  void validate() const;
+
+  /// Canonical 64-bit hash over every field (FNV-1a of the canonical text
+  /// form), stable across processes — the cache key for whole scenarios.
+  std::uint64_t key() const;
+
+  /// Node count N of the configured topology.
+  std::uint64_t node_count() const noexcept;
+
+  // Checked variant accessors, for call sites that know (or require) the
+  // active alternative — `spec.torus().k = 32` reads better than get<>.
+  // Each throws std::bad_variant_access on a mismatch.
+  TorusTopology& torus() { return std::get<TorusTopology>(topology); }
+  const TorusTopology& torus() const { return std::get<TorusTopology>(topology); }
+  HypercubeTopology& hypercube() { return std::get<HypercubeTopology>(topology); }
+  const HypercubeTopology& hypercube() const {
+    return std::get<HypercubeTopology>(topology);
+  }
+  HotspotTraffic& hotspot() { return std::get<HotspotTraffic>(traffic); }
+  const HotspotTraffic& hotspot() const { return std::get<HotspotTraffic>(traffic); }
+  MmppArrivals& mmpp() { return std::get<MmppArrivals>(arrivals); }
+  const MmppArrivals& mmpp() const { return std::get<MmppArrivals>(arrivals); }
+
+  bool is_torus() const noexcept {
+    return std::holds_alternative<TorusTopology>(topology);
+  }
+  bool is_hypercube() const noexcept {
+    return std::holds_alternative<HypercubeTopology>(topology);
+  }
+  bool is_hotspot() const noexcept {
+    return std::holds_alternative<HotspotTraffic>(traffic);
+  }
+  bool is_mmpp() const noexcept {
+    return std::holds_alternative<MmppArrivals>(arrivals);
+  }
+};
+
+/// Canonical text form: one `key=value` per line, dotted keys
+/// (`topology.k=16`), doubles printed round-trip exact. The variant `*.kind`
+/// line always precedes the variant's parameters.
+std::string format_scenario(const ScenarioSpec& spec);
+
+/// Parses the `key=value` text form (any order within a variant, `#`
+/// comments and blank lines ignored; a `*.kind` line must precede that
+/// variant's parameters). Unknown keys and malformed values throw
+/// std::invalid_argument. `parse_scenario(format_scenario(s))` round-trips
+/// every field.
+ScenarioSpec parse_scenario(const std::string& text);
+
+/// Applies one `key=value` override (the `--set` CLI form) to `spec`.
+/// Setting `topology.kind` / `traffic.kind` / `arrivals.kind` switches the
+/// variant (resetting it to that alternative's defaults); setting a
+/// parameter of an inactive alternative throws std::invalid_argument.
+void apply_scenario_setting(ScenarioSpec& spec, const std::string& key,
+                            const std::string& value);
+
+/// Simulator configuration for `spec` at injection rate `lambda` —
+/// topology, pattern, arrivals and measurement knobs all forwarded, so the
+/// simulator and the analytical side always agree on parameters.
+sim::SimConfig to_sim_config(const ScenarioSpec& spec, double lambda);
+
+}  // namespace kncube::core

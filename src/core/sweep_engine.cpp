@@ -1,6 +1,7 @@
 #include "core/sweep_engine.hpp"
 
 #include <bit>
+#include <stdexcept>
 
 #include "core/saturation.hpp"
 #include "util/assert.hpp"
@@ -16,12 +17,27 @@ std::uint64_t lambda_key(double lambda) {
 
 }  // namespace
 
-SweepEngine::SweepEngine(Scenario scenario) : scenario_(scenario) {}
+SweepEngine::SweepEngine(ScenarioSpec spec) : spec_(std::move(spec)) {
+  ModelDispatch dispatch = make_analytical_model(spec_);  // validates spec_
+  model_ = std::move(dispatch.model);
+  sim_only_reason_ = std::move(dispatch.sim_only_reason);
+}
+
+SweepEngine::SweepEngine(const Scenario& scenario)
+    : SweepEngine(to_spec(scenario)) {}
+
+const model::AnalyticalModel& SweepEngine::analytical_model() const {
+  if (!model_) {
+    throw std::logic_error("SweepEngine: scenario is sim-only (" +
+                           sim_only_reason_ + ")");
+  }
+  return *model_;
+}
 
 std::uint64_t SweepEngine::point_seed(std::size_t index) const noexcept {
   // Golden-ratio stride decorrelates points while keeping series
   // reproducible across runs and scheduling orders.
-  return scenario_.seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
+  return spec_.seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
 }
 
 // Memoization is check-then-act: the lock is dropped during the solve, so
@@ -30,6 +46,7 @@ std::uint64_t SweepEngine::point_seed(std::size_t index) const noexcept {
 // arises when one batch repeats a lambda (model side; sims use per-index
 // seeds), and an in-flight-future scheme isn't worth the machinery for it.
 model::ModelResult SweepEngine::model_point(double lambda) {
+  const model::AnalyticalModel& model = analytical_model();
   const std::uint64_t key = lambda_key(lambda);
   // Warm-start source: the nearest cached stable solve at or below lambda.
   // The IEEE-754 bit pattern of a non-negative double is monotone in its
@@ -55,8 +72,7 @@ model::ModelResult SweepEngine::model_point(double lambda) {
     }
   }
   ModelEntry entry;
-  entry.result = model::HotspotModel(to_model_config(scenario_, lambda))
-                     .solve(warm.empty() ? nullptr : &warm, &entry.state);
+  entry.result = model.solve_at(lambda, warm.empty() ? nullptr : &warm, &entry.state);
   std::lock_guard<std::mutex> lock(mutex_);
   return model_cache_.emplace(key, std::move(entry)).first->second.result;
 }
@@ -70,7 +86,7 @@ sim::SimResult SweepEngine::sim_point(double lambda, std::uint64_t seed) {
       return it->second;
     }
   }
-  sim::SimConfig cfg = to_sim_config(scenario_, lambda);
+  sim::SimConfig cfg = to_sim_config(spec_, lambda);
   cfg.seed = seed;
   const sim::SimResult r = sim::simulate(cfg);
   std::lock_guard<std::mutex> lock(mutex_);
@@ -84,7 +100,10 @@ std::vector<PointResult> SweepEngine::run(const std::vector<double>& lambdas,
   util::parallel_for(lambdas.size(), [&](std::size_t i) {
     PointResult& pt = results[i];
     pt.lambda = lambdas[i];
-    pt.model = model_point(pt.lambda);
+    if (model_) {
+      pt.model = model_point(pt.lambda);
+      pt.has_model = true;
+    }
     if (run_sim) {
       pt.sim = sim_point(pt.lambda, point_seed(i));
       pt.has_sim = true;
@@ -94,6 +113,7 @@ std::vector<PointResult> SweepEngine::run(const std::vector<double>& lambdas,
 }
 
 SaturationResult SweepEngine::saturation_rate(double rel_tol) {
+  const model::AnalyticalModel& model = analytical_model();
   const std::uint64_t key = lambda_key(rel_tol);
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -101,8 +121,7 @@ SaturationResult SweepEngine::saturation_rate(double rel_tol) {
       return it->second;
     }
   }
-  const double guess =
-      model::HotspotModel(to_model_config(scenario_, 1e-9)).estimated_saturation_rate();
+  const double guess = model.estimated_saturation_rate();
   const SaturationResult res = bisect_saturation(
       guess, rel_tol, [this](double rate) { return !model_point(rate).saturated; });
   std::lock_guard<std::mutex> lock(mutex_);

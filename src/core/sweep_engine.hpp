@@ -2,9 +2,15 @@
 //
 // Every consumer of the library — benches, examples, the saturation search,
 // parameter studies — ultimately evaluates (scenario, lambda) points. The
-// engine centralises that loop: points are batched across the global thread
-// pool (util/thread_pool, KNCUBE_THREADS), simulator seeds are derived
-// per-point so series are reproducible regardless of scheduling, and
+// engine centralises that loop for *any* valid ScenarioSpec: the model
+// registry (core/model_registry.hpp) dispatches the spec to its analytical
+// model family (hot-spot torus, uniform torus, hot-spot hypercube) at
+// construction, and every model_point goes through that polymorphic
+// interface; sim-only specs (permutation patterns, MMPP arrivals,
+// bidirectional links, n ≠ 2 tori) still run simulations through the same
+// engine with the model side reported absent. Points are batched across the
+// global thread pool (util/thread_pool, KNCUBE_THREADS), simulator seeds are
+// derived per-point so series are reproducible regardless of scheduling, and
 // repeated points are memoized:
 //
 //  * model solves are deterministic in (scenario, lambda), so the model
@@ -35,28 +41,43 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/model_registry.hpp"
 #include "core/saturation.hpp"
 
 namespace kncube::core {
 
 class SweepEngine {
  public:
-  explicit SweepEngine(Scenario scenario);
+  /// Dispatches `spec` through the model registry; throws
+  /// std::invalid_argument when the spec is invalid.
+  explicit SweepEngine(ScenarioSpec spec);
+  /// DEPRECATED shim: accepts the legacy flat Scenario via to_spec.
+  explicit SweepEngine(const Scenario& scenario);
 
-  const Scenario& scenario() const noexcept { return scenario_; }
+  const ScenarioSpec& spec() const noexcept { return spec_; }
 
-  /// Runs `lambdas` through the model and (when `run_sim`) the simulator.
-  /// Points execute in parallel on the global thread pool; results come back
-  /// in input order.
+  /// True when the registry dispatched an analytical model for this spec.
+  bool has_model() const noexcept { return model_ != nullptr; }
+  /// Why the spec is sim-only (empty when has_model()).
+  const std::string& sim_only_reason() const noexcept { return sim_only_reason_; }
+  /// The dispatched model; throws std::logic_error for sim-only specs.
+  const model::AnalyticalModel& analytical_model() const;
+
+  /// Runs `lambdas` through the model (when one exists) and (when `run_sim`)
+  /// the simulator. Points execute in parallel on the global thread pool;
+  /// results come back in input order.
   std::vector<PointResult> run(const std::vector<double>& lambdas,
                                bool run_sim = true);
 
-  /// One model evaluation, memoized on lambda.
+  /// One model evaluation, memoized on lambda. Throws std::logic_error for
+  /// sim-only specs.
   model::ModelResult model_point(double lambda);
 
   /// One simulation, memoized on (lambda, seed).
@@ -64,7 +85,7 @@ class SweepEngine {
 
   /// The model's saturation boundary, bisected through the memoized
   /// model_point probes; the result itself is cached, so repeated sweeps
-  /// locate the boundary once.
+  /// locate the boundary once. Throws std::logic_error for sim-only specs.
   SaturationResult saturation_rate(double rel_tol = 1e-3);
 
   /// A sweep of `points` rates from `lo_frac` to `hi_frac` of the model's
@@ -98,7 +119,9 @@ class SweepEngine {
     std::vector<double> state;
   };
 
-  Scenario scenario_;
+  ScenarioSpec spec_;
+  std::unique_ptr<model::AnalyticalModel> model_;  ///< null for sim-only specs
+  std::string sim_only_reason_;
   bool warm_start_ = true;
 
   mutable std::mutex mutex_;

@@ -1,0 +1,119 @@
+#include "model/analytical_model.hpp"
+
+namespace kncube::model {
+
+namespace {
+
+/// Probe rate for lambda-independent queries (zero-load latency, saturation
+/// estimates): small enough to be deep in the stable region, positive so
+/// rate ratios stay well-defined.
+constexpr double kProbeRate = 1e-9;
+
+}  // namespace
+
+// ------------------------------------------------------------ hot-spot ---
+
+HotspotAnalyticalModel::HotspotAnalyticalModel(ModelConfig base)
+    : base_(std::move(base)) {
+  base_.injection_rate = kProbeRate;
+  base_.validate();  // reject inconsistent base configurations eagerly
+}
+
+ModelResult HotspotAnalyticalModel::solve_at(
+    double lambda, const std::vector<double>* warm_start,
+    std::vector<double>* converged_state) const {
+  ModelConfig cfg = base_;
+  cfg.injection_rate = lambda;
+  return HotspotModel(cfg).solve(warm_start, converged_state);
+}
+
+double HotspotAnalyticalModel::zero_load_latency() const {
+  return HotspotModel(base_).zero_load_latency();
+}
+
+double HotspotAnalyticalModel::estimated_saturation_rate() const {
+  return HotspotModel(base_).estimated_saturation_rate();
+}
+
+// ------------------------------------------------------------- uniform ---
+
+UniformAnalyticalModel::UniformAnalyticalModel(UniformModelConfig base)
+    : base_(std::move(base)) {
+  base_.injection_rate = kProbeRate;
+  base_.validate();  // reject inconsistent base configurations eagerly
+}
+
+ModelResult UniformAnalyticalModel::solve_at(
+    double lambda, const std::vector<double>* warm_start,
+    std::vector<double>* converged_state) const {
+  UniformModelConfig cfg = base_;
+  cfg.injection_rate = lambda;
+  const UniformModelResult r =
+      UniformTorusModel(cfg).solve(warm_start, converged_state);
+  ModelResult out;
+  out.latency = r.latency;
+  out.saturated = r.saturated;
+  out.converged = r.converged;
+  out.iterations = r.iterations;
+  out.regular_latency = r.latency;  // all traffic is regular under h = 0
+  out.hot_latency = 0.0;
+  out.regular_network_latency = r.network_latency;
+  out.source_wait_regular = r.source_wait;
+  out.vc_mux_x = r.vc_mux_x;
+  out.vc_mux_hot_y = r.vc_mux_y;
+  out.vc_mux_nonhot_y = r.vc_mux_y;
+  out.max_channel_utilization = r.channel_utilization;
+  return out;
+}
+
+double UniformAnalyticalModel::zero_load_latency() const {
+  return UniformTorusModel(base_).zero_load_latency();
+}
+
+double UniformAnalyticalModel::estimated_saturation_rate() const {
+  // The x channel is the capacity bound: per-channel rate lambda (k-1)/2 at
+  // holding time tx_x = Lm + k/2 - 1 + (k-1)/2 cycles per message.
+  const double k = static_cast<double>(base_.k);
+  const double tx_x =
+      static_cast<double>(base_.message_length) + k / 2.0 - 1.0 + (k - 1.0) / 2.0;
+  return 2.0 / ((k - 1.0) * tx_x);
+}
+
+// ----------------------------------------------------------- hypercube ---
+
+HypercubeAnalyticalModel::HypercubeAnalyticalModel(HypercubeModelConfig base)
+    : base_(std::move(base)) {
+  base_.injection_rate = kProbeRate;
+  base_.validate();  // reject inconsistent base configurations eagerly
+}
+
+ModelResult HypercubeAnalyticalModel::solve_at(
+    double lambda, const std::vector<double>* warm_start,
+    std::vector<double>* converged_state) const {
+  HypercubeModelConfig cfg = base_;
+  cfg.injection_rate = lambda;
+  const HypercubeModelResult r =
+      HypercubeHotspotModel(cfg).solve(warm_start, converged_state);
+  ModelResult out;
+  out.latency = r.latency;
+  out.saturated = r.saturated;
+  out.converged = r.converged;
+  out.iterations = r.iterations;
+  out.regular_latency = r.regular_latency;
+  out.hot_latency = r.hot_latency;
+  out.regular_network_latency = 0.0;  // not decomposed by the hypercube model
+  out.source_wait_regular = r.source_wait;
+  out.vc_mux_hot_y = r.vc_mux_bottleneck;  // the funnel channel into the hot node
+  out.max_channel_utilization = r.max_channel_utilization;
+  return out;
+}
+
+double HypercubeAnalyticalModel::zero_load_latency() const {
+  return HypercubeHotspotModel(base_).zero_load_latency();
+}
+
+double HypercubeAnalyticalModel::estimated_saturation_rate() const {
+  return HypercubeHotspotModel(base_).estimated_saturation_rate();
+}
+
+}  // namespace kncube::model

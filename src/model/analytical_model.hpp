@@ -1,0 +1,107 @@
+// AnalyticalModel: the polymorphic solve interface over the three model
+// families (hot-spot torus, uniform torus, hot-spot hypercube).
+//
+// Each adapter fixes a base configuration (topology, Lm, V, h, approximation
+// knobs) and exposes solve_at(lambda): build the concrete model at that
+// injection rate and solve, with the same warm-start/continuation contract
+// as the direct classes — warm solves are bit-identical to cold ones, a warm
+// failure falls back to the cold path, and `converged_state` receives the
+// converged iterate for chaining (empty when saturated). Results are
+// returned as the common ModelResult; the uniform and hypercube adapters map
+// their native result fields onto it by straight copies, so every double is
+// bit-identical to what the direct model class reports (pinned by
+// tests/model/engine_parity_test.cpp).
+//
+// Saturation semantics are uniform: `saturated == true` means the operating
+// point has no steady state (the blank region past the latency asymptote),
+// and `estimated_saturation_rate()` gives the coarse closed-form bottleneck
+// estimate used to seed bisection searches. core/model_registry.hpp
+// dispatches a core::ScenarioSpec to the matching adapter.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "model/hotspot_model.hpp"
+#include "model/hypercube_model.hpp"
+#include "model/uniform_model.hpp"
+
+namespace kncube::model {
+
+class AnalyticalModel {
+ public:
+  virtual ~AnalyticalModel() = default;
+
+  /// Short family name ("hotspot-torus", "uniform-torus", "hotspot-hypercube").
+  virtual const char* name() const noexcept = 0;
+
+  /// Solves the model at injection rate `lambda`. `warm_start` (optional)
+  /// seeds the fixed-point iteration with a nearby converged state;
+  /// `converged_state` (optional) receives the converged iterate (empty when
+  /// saturated). See HotspotModel::solve for the full contract.
+  virtual ModelResult solve_at(double lambda, const std::vector<double>* warm_start,
+                               std::vector<double>* converged_state) const = 0;
+
+  ModelResult solve_at(double lambda) const { return solve_at(lambda, nullptr, nullptr); }
+
+  /// Exact zero-load latency (the lambda -> 0 limit of solve_at().latency).
+  virtual double zero_load_latency() const = 0;
+
+  /// Coarse closed-form bottleneck estimate of the saturation rate, used to
+  /// seed bisection searches. Independent of any particular lambda.
+  virtual double estimated_saturation_rate() const = 0;
+};
+
+/// The paper's hot-spot 2-D torus model. `base.injection_rate` is ignored;
+/// solve_at substitutes its lambda.
+class HotspotAnalyticalModel final : public AnalyticalModel {
+ public:
+  explicit HotspotAnalyticalModel(ModelConfig base);
+  const char* name() const noexcept override { return "hotspot-torus"; }
+  ModelResult solve_at(double lambda, const std::vector<double>* warm_start,
+                       std::vector<double>* converged_state) const override;
+  double zero_load_latency() const override;
+  double estimated_saturation_rate() const override;
+
+ private:
+  ModelConfig base_;
+};
+
+/// The uniform-traffic torus baseline. Native UniformModelResult fields map
+/// onto ModelResult as: latency/saturated/converged/iterations verbatim;
+/// regular_latency = latency (all traffic is regular), hot_latency = 0;
+/// network_latency -> regular_network_latency; source_wait ->
+/// source_wait_regular; vc_mux_x verbatim; vc_mux_y -> both y-mux slots;
+/// channel_utilization -> max_channel_utilization.
+class UniformAnalyticalModel final : public AnalyticalModel {
+ public:
+  explicit UniformAnalyticalModel(UniformModelConfig base);
+  const char* name() const noexcept override { return "uniform-torus"; }
+  ModelResult solve_at(double lambda, const std::vector<double>* warm_start,
+                       std::vector<double>* converged_state) const override;
+  double zero_load_latency() const override;
+  double estimated_saturation_rate() const override;
+
+ private:
+  UniformModelConfig base_;
+};
+
+/// The hypercube lineage model (paper ref. [12]). Native fields map onto
+/// ModelResult as: latency/saturated/converged/iterations and the latency
+/// decomposition verbatim; source_wait -> source_wait_regular;
+/// vc_mux_bottleneck -> vc_mux_hot_y (the funnel is the hypercube's hot-y
+/// analogue); max_channel_utilization verbatim.
+class HypercubeAnalyticalModel final : public AnalyticalModel {
+ public:
+  explicit HypercubeAnalyticalModel(HypercubeModelConfig base);
+  const char* name() const noexcept override { return "hotspot-hypercube"; }
+  ModelResult solve_at(double lambda, const std::vector<double>* warm_start,
+                       std::vector<double>* converged_state) const override;
+  double zero_load_latency() const override;
+  double estimated_saturation_rate() const override;
+
+ private:
+  HypercubeModelConfig base_;
+};
+
+}  // namespace kncube::model

@@ -29,6 +29,15 @@ void SimConfig::validate() const {
     if (static_cast<std::uint64_t>(hot_node) >= size) fail("hot node outside network");
   }
   if (pattern == Pattern::kTranspose && n != 2) fail("transpose traffic needs n == 2");
+  if (arrivals == Arrivals::kMmpp) {
+    // Reject out-of-range MMPP parameters here, before they reach the
+    // arrival-process constructor's asserts mid-simulation.
+    if (mmpp.p_enter_burst <= 0.0 || mmpp.p_enter_burst > 1.0 ||
+        mmpp.p_leave_burst <= 0.0 || mmpp.p_leave_burst > 1.0) {
+      fail("MMPP transition probabilities must be in (0,1]");
+    }
+    if (mmpp.burst_rate_multiplier < 1.0) fail("MMPP burst multiplier must be >= 1");
+  }
   if (batch_size == 0) fail("batch size must be positive");
   if (steady_rel_tol <= 0.0) fail("steady-state tolerance must be positive");
   if (max_cycles <= warmup_cycles) fail("max cycles must exceed warmup");

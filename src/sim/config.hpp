@@ -60,10 +60,15 @@ struct SimConfig {
 
   topo::NodeId resolved_hot_node() const {
     if (hot_node >= 0) return static_cast<topo::NodeId>(hot_node);
-    const topo::KAryNCube net(k, n, bidirectional);
-    topo::Coords c{};
-    for (int d = 0; d < n; ++d) c[static_cast<std::size_t>(d)] = k / 2;
-    return net.node_at(c);
+    // Centre node (k/2, k/2, ...) computed arithmetically: coordinate d has
+    // stride k^d (dimension 0 varies fastest), so the id is (k/2)·Σ k^d.
+    topo::NodeId id = 0;
+    topo::NodeId stride = 1;
+    for (int d = 0; d < n; ++d) {
+      id += static_cast<topo::NodeId>(k / 2) * stride;
+      stride *= static_cast<topo::NodeId>(k);
+    }
+    return id;
   }
 
   /// Throws std::invalid_argument on inconsistent settings.

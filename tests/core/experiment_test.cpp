@@ -86,7 +86,8 @@ TEST(Experiment, PointSeedsDifferAcrossIndices) {
 
 TEST(Experiment, RelativeErrorNanCases) {
   PointResult p;
-  EXPECT_TRUE(std::isnan(p.relative_error()));  // no sim
+  EXPECT_TRUE(std::isnan(p.relative_error()));  // no model, no sim
+  p.has_model = true;
   p.has_sim = true;
   p.sim.mean_latency = 0.0;
   EXPECT_TRUE(std::isnan(p.relative_error()));  // empty sim

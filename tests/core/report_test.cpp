@@ -12,6 +12,7 @@ PointResult make_point(double lambda, double model_lat, double sim_lat,
                        bool model_sat = false, bool sim_sat = false) {
   PointResult p;
   p.lambda = lambda;
+  p.has_model = true;
   p.model.latency = model_lat;
   p.model.saturated = model_sat;
   p.has_sim = true;
@@ -37,6 +38,19 @@ TEST(Report, SaturatedModelRendersInfinity) {
   const std::string out = figure_table("x", pts).to_string();
   EXPECT_NE(out.find("inf (saturated)"), std::string::npos);
   EXPECT_NE(out.find("yes"), std::string::npos);
+}
+
+TEST(Report, SimOnlyPointsRenderDashesAndSkipModelCounts) {
+  // A sim-only scenario (no analytical counterpart) leaves has_model false:
+  // the model columns render "-" and the point is not counted as a model
+  // saturation, even though the default-constructed ModelResult is saturated.
+  PointResult p = make_point(1e-4, 0, 120);
+  p.has_model = false;
+  const std::string out = figure_table("sim-only", {p}).to_string();
+  EXPECT_EQ(out.find("inf (saturated)"), std::string::npos);
+  const PanelSummary s = summarize_panel({p});
+  EXPECT_EQ(s.model_saturated_points, 0);
+  EXPECT_EQ(s.stable_points, 0);  // no model side -> no relative error
 }
 
 TEST(Report, PanelSummaryCountsAndErrors) {

@@ -1,0 +1,362 @@
+// ScenarioSpec v2: text round-trip (property test over randomized specs),
+// canonical key() sanity, validation, --set semantics, to_sim_config
+// forwarding, and registry dispatch across every (topology, traffic) pair
+// including the sim-only ones.
+#include "core/scenario_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <random>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "core/model_registry.hpp"
+
+namespace kncube::core {
+namespace {
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+/// A random valid spec exercising every variant alternative and irrational
+/// doubles (so the round-trip test covers full-precision formatting).
+ScenarioSpec random_spec(std::mt19937_64& rng) {
+  ScenarioSpec s;
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  switch (rng() % 3) {
+    case 0: {
+      TorusTopology t;
+      t.k = 2 + static_cast<int>(rng() % 30);
+      t.n = 1 + static_cast<int>(rng() % 4);
+      t.bidirectional = rng() % 2 == 0;
+      s.topology = t;
+      break;
+    }
+    case 1:
+      s.topology = TorusTopology{16, 2, false};
+      break;
+    default:
+      s.topology = HypercubeTopology{1 + static_cast<int>(rng() % 8)};
+      break;
+  }
+  switch (rng() % 5) {
+    case 0:
+      s.traffic = HotspotTraffic{unit(rng), rng() % 2 == 0
+                                                ? std::int64_t{-1}
+                                                : static_cast<std::int64_t>(rng() % 4)};
+      break;
+    case 1:
+      s.traffic = UniformTraffic{};
+      break;
+    case 2:
+      s.traffic = TransposeTraffic{};
+      break;
+    case 3:
+      s.traffic = BitComplementTraffic{};
+      break;
+    default:
+      s.traffic = BitReversalTraffic{};
+      break;
+  }
+  if (rng() % 2 == 0) {
+    s.arrivals = MmppArrivals{1.0 + 9.0 * unit(rng), 1e-4 + unit(rng) * 0.9,
+                              1e-4 + unit(rng) * 0.9};
+  }
+  s.vcs = 1 + static_cast<int>(rng() % 6);
+  s.buffer_depth = 1 + static_cast<int>(rng() % 8);
+  s.message_length = 1 + static_cast<int>(rng() % 200);
+  s.seed = rng();
+  s.warmup_cycles = rng() % 100000;
+  s.target_messages = 1 + rng() % 10000;
+  s.max_cycles = s.warmup_cycles + 1 + rng() % 1000000;
+  s.blocking = rng() % 2 == 0 ? model::BlockingVariant::kPaper
+                              : model::BlockingVariant::kPureWait;
+  s.busy_basis = rng() % 2 == 0 ? model::ServiceBasis::kTransmission
+                                : model::ServiceBasis::kInclusive;
+  s.vcmux_basis = rng() % 2 == 0 ? model::ServiceBasis::kTransmission
+                                 : model::ServiceBasis::kInclusive;
+  return s;
+}
+
+void expect_specs_equal(const ScenarioSpec& a, const ScenarioSpec& b) {
+  // The canonical text form covers every field with round-trip-exact double
+  // formatting, so text equality is field-for-field equality; spot-check the
+  // double fields bitwise on top.
+  EXPECT_EQ(format_scenario(a), format_scenario(b));
+  EXPECT_EQ(a.key(), b.key());
+  if (a.is_hotspot() && b.is_hotspot()) {
+    EXPECT_EQ(bits(a.hotspot().fraction), bits(b.hotspot().fraction));
+    EXPECT_EQ(a.hotspot().hot_node, b.hotspot().hot_node);
+  }
+  if (a.is_mmpp() && b.is_mmpp()) {
+    EXPECT_EQ(bits(a.mmpp().burst_multiplier), bits(b.mmpp().burst_multiplier));
+    EXPECT_EQ(bits(a.mmpp().p_enter_burst), bits(b.mmpp().p_enter_burst));
+    EXPECT_EQ(bits(a.mmpp().p_leave_burst), bits(b.mmpp().p_leave_burst));
+  }
+}
+
+TEST(ScenarioSpec, ParseFormatRoundTripsRandomizedSpecs) {
+  std::mt19937_64 rng(0xBEEF);
+  for (int i = 0; i < 500; ++i) {
+    const ScenarioSpec s = random_spec(rng);
+    ScenarioSpec parsed;
+    ASSERT_NO_THROW(parsed = parse_scenario(format_scenario(s))) << format_scenario(s);
+    expect_specs_equal(s, parsed);
+  }
+}
+
+TEST(ScenarioSpec, KeyIsStableAndCollisionFreeAcrossDistinctSpecs) {
+  // key() must be deterministic and must separate every distinct spec in a
+  // sizable randomized sample (the canonical text is injective; a collision
+  // would be an FNV accident — vanishingly unlikely and worth failing on).
+  std::mt19937_64 rng(0xF00D);
+  std::set<std::string> texts;
+  std::set<std::uint64_t> keys;
+  for (int i = 0; i < 500; ++i) {
+    const ScenarioSpec s = random_spec(rng);
+    EXPECT_EQ(s.key(), s.key());
+    texts.insert(format_scenario(s));
+    keys.insert(s.key());
+  }
+  EXPECT_EQ(texts.size(), keys.size());
+
+  // A single-field flip must change the key.
+  ScenarioSpec a;
+  ScenarioSpec b;
+  b.hotspot().fraction = 0.2000000001;
+  EXPECT_NE(a.key(), b.key());
+}
+
+TEST(ScenarioSpec, ParseRejectsMalformedInput) {
+  EXPECT_THROW(parse_scenario("no equals sign"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario("unknown.key=1"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario("topology.kind=klein_bottle"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario("topology.k=abc"), std::invalid_argument);
+  // Out-of-int-range values fail instead of silently wrapping.
+  EXPECT_THROW(parse_scenario("topology.k=4294967298"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario("measure.seed=-3"), std::invalid_argument);
+  // Parameters of an inactive variant alternative are rejected.
+  EXPECT_THROW(parse_scenario("topology.kind=hypercube\ntopology.k=8"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario("traffic.kind=uniform\ntraffic.hot_fraction=0.5"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_scenario("arrivals.p_enter_burst=0.1"), std::invalid_argument);
+}
+
+TEST(ScenarioSpec, ParseAcceptsCommentsAndBlankLines) {
+  const ScenarioSpec s = parse_scenario(
+      "# a comment\n\n  topology.kind = hypercube \n topology.dims=4\n");
+  ASSERT_TRUE(s.is_hypercube());
+  EXPECT_EQ(s.hypercube().dims, 4);
+}
+
+TEST(ScenarioSpec, ApplySettingSwitchesVariantsAndPreservesReselection) {
+  ScenarioSpec s;
+  apply_scenario_setting(s, "traffic.hot_fraction", "0.5");
+  // Re-selecting the active kind keeps its parameters...
+  apply_scenario_setting(s, "traffic.kind", "hotspot");
+  EXPECT_DOUBLE_EQ(s.hotspot().fraction, 0.5);
+  // ...switching away and back resets them to defaults.
+  apply_scenario_setting(s, "traffic.kind", "uniform");
+  apply_scenario_setting(s, "traffic.kind", "hotspot");
+  EXPECT_DOUBLE_EQ(s.hotspot().fraction, 0.2);
+}
+
+TEST(ScenarioSpec, ValidateRejectsInconsistentCombinations) {
+  {
+    ScenarioSpec s;
+    s.torus().k = 1;
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    ScenarioSpec s;
+    s.vcs = 1;  // unidirectional torus with k > 2 can deadlock
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    ScenarioSpec s;
+    s.topology = HypercubeTopology{4};
+    s.traffic = TransposeTraffic{};  // transpose needs a 2-D torus
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    ScenarioSpec s;
+    s.torus() = TorusTopology{3, 2, false};  // N = 9: odd and not a power of two
+    s.traffic = BitComplementTraffic{};
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+    s.traffic = BitReversalTraffic{};
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    ScenarioSpec s;
+    s.hotspot().hot_node = 16 * 16;  // one past the last node
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+    s.hotspot().hot_node = 16 * 16 - 1;
+    EXPECT_NO_THROW(s.validate());
+  }
+  {
+    ScenarioSpec s;
+    s.arrivals = MmppArrivals{0.5, 0.001, 0.002};  // multiplier < 1
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+    s.arrivals = MmppArrivals{4.0, 0.0, 0.002};  // p_enter out of (0,1]
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+    s.arrivals = MmppArrivals{4.0, 0.001, 1.5};  // p_leave out of (0,1]
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+    s.arrivals = MmppArrivals{4.0, 0.001, 0.002};
+    EXPECT_NO_THROW(s.validate());
+  }
+}
+
+TEST(ScenarioSpec, ToSimConfigForwardsEveryField) {
+  ScenarioSpec s;
+  s.topology = TorusTopology{8, 3, true};
+  s.traffic = HotspotTraffic{0.35, 17};
+  s.arrivals = MmppArrivals{6.0, 0.001, 0.004};
+  s.vcs = 3;
+  s.buffer_depth = 4;
+  s.message_length = 24;
+  s.seed = 42;
+  s.warmup_cycles = 111;
+  s.target_messages = 222;
+  s.max_cycles = 333333;
+  const sim::SimConfig cfg = to_sim_config(s, 2.5e-4);
+  EXPECT_EQ(cfg.k, 8);
+  EXPECT_EQ(cfg.n, 3);
+  EXPECT_TRUE(cfg.bidirectional);
+  EXPECT_EQ(cfg.pattern, sim::Pattern::kHotspot);
+  EXPECT_DOUBLE_EQ(cfg.hot_fraction, 0.35);
+  EXPECT_EQ(cfg.hot_node, 17);
+  EXPECT_EQ(cfg.arrivals, sim::Arrivals::kMmpp);
+  EXPECT_DOUBLE_EQ(cfg.mmpp.burst_rate_multiplier, 6.0);
+  EXPECT_DOUBLE_EQ(cfg.mmpp.p_enter_burst, 0.001);
+  EXPECT_DOUBLE_EQ(cfg.mmpp.p_leave_burst, 0.004);
+  EXPECT_EQ(cfg.vcs, 3);
+  EXPECT_EQ(cfg.buffer_depth, 4);
+  EXPECT_EQ(cfg.message_length, 24);
+  EXPECT_DOUBLE_EQ(cfg.injection_rate, 2.5e-4);
+  EXPECT_EQ(cfg.seed, 42u);
+  EXPECT_EQ(cfg.warmup_cycles, 111u);
+  EXPECT_EQ(cfg.target_messages, 222u);
+  EXPECT_EQ(cfg.max_cycles, 333333u);
+  EXPECT_NO_THROW(cfg.validate());
+
+  // Hypercube topology maps to the k = 2 n-cube simulator.
+  ScenarioSpec cube;
+  cube.topology = HypercubeTopology{5};
+  const sim::SimConfig cube_cfg = to_sim_config(cube, 1e-4);
+  EXPECT_EQ(cube_cfg.k, 2);
+  EXPECT_EQ(cube_cfg.n, 5);
+  EXPECT_FALSE(cube_cfg.bidirectional);
+  EXPECT_NO_THROW(cube_cfg.validate());
+}
+
+// ---------------------------------------------------------------------------
+// Registry dispatch: every (topology, traffic) pair.
+// ---------------------------------------------------------------------------
+
+struct DispatchCase {
+  const char* name;
+  ScenarioSpec spec;
+  const char* model_name;  ///< nullptr = sim-only
+};
+
+std::vector<DispatchCase> dispatch_cases() {
+  std::vector<DispatchCase> cases;
+  auto torus = [](Traffic traffic) {
+    ScenarioSpec s;
+    s.traffic = std::move(traffic);
+    return s;
+  };
+  auto cube = [](Traffic traffic) {
+    ScenarioSpec s;
+    s.topology = HypercubeTopology{5};
+    s.traffic = std::move(traffic);
+    return s;
+  };
+  cases.push_back({"torus_hotspot", torus(HotspotTraffic{}), "hotspot-torus"});
+  cases.push_back({"torus_uniform", torus(UniformTraffic{}), "uniform-torus"});
+  cases.push_back({"torus_transpose", torus(TransposeTraffic{}), nullptr});
+  cases.push_back({"torus_bit_complement", torus(BitComplementTraffic{}), nullptr});
+  cases.push_back({"torus_bit_reversal", torus(BitReversalTraffic{}), nullptr});
+  cases.push_back({"cube_hotspot", cube(HotspotTraffic{}), "hotspot-hypercube"});
+  cases.push_back({"cube_uniform", cube(UniformTraffic{}), "hotspot-hypercube"});
+  cases.push_back({"cube_bit_complement", cube(BitComplementTraffic{}), nullptr});
+  cases.push_back({"cube_bit_reversal", cube(BitReversalTraffic{}), nullptr});
+
+  DispatchCase bidir{"torus_bidirectional_hotspot", torus(HotspotTraffic{}), nullptr};
+  bidir.spec.torus().bidirectional = true;
+  cases.push_back(bidir);
+
+  DispatchCase torus3d{"torus_3d_hotspot", torus(HotspotTraffic{}), nullptr};
+  torus3d.spec.torus() = TorusTopology{8, 3, false};
+  cases.push_back(torus3d);
+
+  DispatchCase mmpp{"torus_hotspot_mmpp", torus(HotspotTraffic{}), nullptr};
+  mmpp.spec.arrivals = MmppArrivals{};
+  cases.push_back(mmpp);
+
+  // Ablation knobs a family cannot represent dispatch sim-only rather than
+  // silently running the default approximation; the hot-spot torus model
+  // supports all of them.
+  DispatchCase uniform_basis{"torus_uniform_inclusive_basis",
+                             torus(UniformTraffic{}), nullptr};
+  uniform_basis.spec.busy_basis = model::ServiceBasis::kInclusive;
+  cases.push_back(uniform_basis);
+
+  DispatchCase cube_blocking{"cube_hotspot_pure_wait", cube(HotspotTraffic{}),
+                             nullptr};
+  cube_blocking.spec.blocking = model::BlockingVariant::kPureWait;
+  cases.push_back(cube_blocking);
+
+  DispatchCase hotspot_knobs{"torus_hotspot_all_knobs", torus(HotspotTraffic{}),
+                             "hotspot-torus"};
+  hotspot_knobs.spec.blocking = model::BlockingVariant::kPureWait;
+  hotspot_knobs.spec.busy_basis = model::ServiceBasis::kInclusive;
+  hotspot_knobs.spec.vcmux_basis = model::ServiceBasis::kInclusive;
+  cases.push_back(hotspot_knobs);
+  return cases;
+}
+
+TEST(ModelRegistry, DispatchesEveryTopologyTrafficPair) {
+  for (const auto& c : dispatch_cases()) {
+    const ModelDispatch d = make_analytical_model(c.spec);
+    if (c.model_name != nullptr) {
+      ASSERT_TRUE(d.has_model()) << c.name << ": " << d.sim_only_reason;
+      EXPECT_STREQ(d.model->name(), c.model_name) << c.name;
+      EXPECT_TRUE(d.sim_only_reason.empty()) << c.name;
+    } else {
+      EXPECT_FALSE(d.has_model()) << c.name;
+      EXPECT_FALSE(d.sim_only_reason.empty()) << c.name;
+    }
+  }
+  // Invalid specs throw out of dispatch rather than mis-routing.
+  ScenarioSpec invalid;
+  invalid.topology = HypercubeTopology{4};
+  invalid.traffic = TransposeTraffic{};
+  EXPECT_THROW(make_analytical_model(invalid), std::invalid_argument);
+}
+
+TEST(ModelRegistry, HypercubeUniformIsTheZeroHotFractionModel) {
+  ScenarioSpec uniform;
+  uniform.topology = HypercubeTopology{6};
+  uniform.traffic = UniformTraffic{};
+  const ModelDispatch d = make_analytical_model(uniform);
+  ASSERT_TRUE(d.has_model());
+
+  model::HypercubeModelConfig direct;
+  direct.dims = 6;
+  direct.vcs = uniform.vcs;
+  direct.message_length = uniform.message_length;
+  direct.hot_fraction = 0.0;
+  for (double rate : {1e-4, 2e-3}) {
+    direct.injection_rate = rate;
+    EXPECT_EQ(bits(d.model->solve_at(rate).latency),
+              bits(model::HypercubeHotspotModel(direct).solve().latency))
+        << rate;
+  }
+}
+
+}  // namespace
+}  // namespace kncube::core

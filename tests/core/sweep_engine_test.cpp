@@ -132,6 +132,7 @@ TEST(SweepEngine, ScenarioBasisKnobsReachTheModel) {
 
 TEST(SweepEngine, RelativeErrorIsNanOnDegenerateSim) {
   PointResult p;
+  p.has_model = true;
   p.has_sim = true;
   p.model.saturated = false;
   p.model.latency = 60.0;

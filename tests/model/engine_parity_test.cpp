@@ -6,9 +6,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
+#include "core/model_registry.hpp"
+#include "core/scenario_spec.hpp"
 #include "model/engine/mg1.hpp"
 #include "model/engine/vcmux.hpp"
 #include "model/hotspot_model.hpp"
@@ -620,6 +624,81 @@ TEST(EngineParity, HotspotAtZeroHotFractionIsStructurallyUniform) {
             << "k=" << k << " f=" << f;
       }
     }
+  }
+}
+
+TEST(EngineParity, RegistryPathMatchesDirectModelsBitForBit) {
+  // The polymorphic AnalyticalModel interface (ScenarioSpec -> registry ->
+  // solve_at) must return the same bits as constructing the direct model
+  // class, for every family, across sweeps including the saturated region.
+  const auto check = [](const core::ScenarioSpec& spec,
+                        const auto& direct_solve_latency, double sat_estimate,
+                        const std::string& ctx) {
+    const core::ModelDispatch d = core::make_analytical_model(spec);
+    ASSERT_TRUE(d.has_model()) << ctx << ": " << d.sim_only_reason;
+    for (double f : kSweepFractions) {
+      const double lambda = std::min(1.0, f * sat_estimate);
+      const ModelResult got = d.model->solve_at(lambda);
+      const auto [want_saturated, want_latency] = direct_solve_latency(lambda);
+      ASSERT_EQ(got.saturated, want_saturated) << ctx << " f=" << f;
+      EXPECT_EQ(std::bit_cast<std::uint64_t>(got.latency),
+                std::bit_cast<std::uint64_t>(want_latency))
+          << ctx << " f=" << f;
+    }
+  };
+
+  {
+    core::ScenarioSpec spec;
+    spec.torus().k = 8;
+    spec.hotspot().fraction = 0.2;
+    ModelConfig cfg;
+    cfg.k = 8;
+    cfg.vcs = spec.vcs;
+    cfg.message_length = spec.message_length;
+    cfg.hot_fraction = 0.2;
+    check(spec,
+          [&](double lambda) {
+            cfg.injection_rate = lambda;
+            const ModelResult r = HotspotModel(cfg).solve();
+            return std::make_pair(r.saturated, r.latency);
+          },
+          HotspotModel(cfg).estimated_saturation_rate(), "hotspot-torus");
+  }
+  {
+    core::ScenarioSpec spec;
+    spec.torus().k = 8;
+    spec.traffic = core::UniformTraffic{};
+    UniformModelConfig cfg;
+    cfg.k = 8;
+    cfg.vcs = spec.vcs;
+    cfg.message_length = spec.message_length;
+    const double tx_x = static_cast<double>(cfg.message_length) + 8.0 / 2.0 - 1.0 +
+                        (8.0 - 1.0) / 2.0;
+    check(spec,
+          [&](double lambda) {
+            cfg.injection_rate = lambda;
+            const UniformModelResult r = UniformTorusModel(cfg).solve();
+            return std::make_pair(r.saturated, r.latency);
+          },
+          2.0 / (7.0 * tx_x), "uniform-torus");
+  }
+  {
+    core::ScenarioSpec spec;
+    spec.topology = core::HypercubeTopology{6};
+    spec.hotspot().fraction = 0.2;
+    HypercubeModelConfig cfg;
+    cfg.dims = 6;
+    cfg.vcs = spec.vcs;
+    cfg.message_length = spec.message_length;
+    cfg.hot_fraction = 0.2;
+    check(spec,
+          [&](double lambda) {
+            cfg.injection_rate = lambda;
+            const HypercubeModelResult r = HypercubeHotspotModel(cfg).solve();
+            return std::make_pair(r.saturated, r.latency);
+          },
+          HypercubeHotspotModel(cfg).estimated_saturation_rate(),
+          "hotspot-hypercube");
   }
 }
 

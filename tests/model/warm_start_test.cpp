@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/saturation.hpp"
+#include "core/scenario_spec.hpp"
 #include "core/sweep_engine.hpp"
 #include "model/hotspot_model.hpp"
 #include "model/hypercube_model.hpp"
@@ -119,6 +120,57 @@ TEST(WarmStart, UniformAndHypercubeChainsAreBitIdentical) {
       EXPECT_EQ(bits(cold.latency), bits(warm.latency)) << f;
       if (!state.empty()) chain = std::move(state);
     }
+  }
+}
+
+TEST(WarmStart, RegistryEnginePathsAreBitIdenticalToDirectModels) {
+  // The engine's warm-started, memoized registry path (ScenarioSpec ->
+  // AnalyticalModel -> SweepEngine) must agree bit-for-bit with cold direct
+  // model solves, for the uniform-torus and hypercube families that only
+  // became engine-reachable with ScenarioSpec v2.
+  {
+    core::ScenarioSpec spec;
+    spec.torus().k = 16;
+    spec.traffic = core::UniformTraffic{};
+    core::SweepEngine engine(spec);
+    ASSERT_TRUE(engine.has_model());
+    const auto lams = engine.lambda_sweep(6, 0.1, 0.95);
+    const auto pts = engine.run(lams, /*run_sim=*/false);
+    UniformModelConfig cfg;
+    cfg.k = 16;
+    cfg.vcs = spec.vcs;
+    cfg.message_length = spec.message_length;
+    for (std::size_t i = 0; i < lams.size(); ++i) {
+      cfg.injection_rate = lams[i];
+      const UniformModelResult direct = UniformTorusModel(cfg).solve();
+      ASSERT_EQ(pts[i].model.saturated, direct.saturated) << i;
+      EXPECT_EQ(bits(pts[i].model.latency), bits(direct.latency)) << i;
+    }
+  }
+  {
+    core::ScenarioSpec spec;
+    spec.topology = core::HypercubeTopology{6};
+    spec.hotspot().fraction = 0.2;
+    core::SweepEngine engine(spec);
+    ASSERT_TRUE(engine.has_model());
+    const auto lams = engine.lambda_sweep(6, 0.1, 0.95);
+    const auto pts = engine.run(lams, /*run_sim=*/false);
+    HypercubeModelConfig cfg;
+    cfg.dims = 6;
+    cfg.vcs = spec.vcs;
+    cfg.message_length = spec.message_length;
+    cfg.hot_fraction = 0.2;
+    for (std::size_t i = 0; i < lams.size(); ++i) {
+      cfg.injection_rate = lams[i];
+      const HypercubeModelResult direct = HypercubeHotspotModel(cfg).solve();
+      ASSERT_EQ(pts[i].model.saturated, direct.saturated) << i;
+      EXPECT_EQ(bits(pts[i].model.latency), bits(direct.latency)) << i;
+    }
+    // The engine's saturation bisection agrees with a warm-off engine too.
+    core::SweepEngine cold(spec);
+    cold.set_warm_start(false);
+    EXPECT_EQ(bits(engine.saturation_rate(1e-3).rate),
+              bits(cold.saturation_rate(1e-3).rate));
   }
 }
 

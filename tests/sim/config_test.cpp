@@ -4,6 +4,7 @@
 
 #include <functional>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 namespace kncube::sim {
@@ -63,6 +64,28 @@ INSTANTIATE_TEST_SUITE_P(
                   c.pattern = Pattern::kTranspose;
                   c.n = 3;
                 }},
+        BadCase{"mmpp_zero_enter",
+                [](SimConfig& c) {
+                  c.arrivals = Arrivals::kMmpp;
+                  c.mmpp.p_enter_burst = 0.0;
+                }},
+        BadCase{"mmpp_enter_above_one",
+                [](SimConfig& c) {
+                  c.arrivals = Arrivals::kMmpp;
+                  c.mmpp.p_enter_burst = 1.5;
+                }},
+        BadCase{"mmpp_negative_leave",
+                [](SimConfig& c) {
+                  c.arrivals = Arrivals::kMmpp;
+                  c.mmpp.p_leave_burst = -0.1;
+                }},
+        BadCase{"mmpp_multiplier_below_one",
+                [](SimConfig& c) {
+                  c.arrivals = Arrivals::kMmpp;
+                  c.mmpp.burst_rate_multiplier = 0.5;
+                }},
+        BadCase{"hot_node_one_past_end",
+                [](SimConfig& c) { c.hot_node = 8 * 8; }},
         BadCase{"zero_batch", [](SimConfig& c) { c.batch_size = 0; }},
         BadCase{"bad_tolerance", [](SimConfig& c) { c.steady_rel_tol = 0.0; }},
         BadCase{"warmup_swallows_budget",
@@ -85,6 +108,23 @@ TEST(SimConfig, ResolvedHotNodeDefaultsToCentre) {
   const topo::NodeId hot = cfg.resolved_hot_node();
   EXPECT_EQ(net.coord(hot, 0), 4);
   EXPECT_EQ(net.coord(hot, 1), 4);
+}
+
+TEST(SimConfig, ResolvedHotNodeMatchesTopologyAcrossShapes) {
+  // The centre id is computed arithmetically (no KAryNCube construction);
+  // it must agree with the topology's addressing for every shape, including
+  // odd radices, k = 2 hypercube mode and higher dimensions.
+  for (const auto& [k, n] : std::vector<std::pair<int, int>>{
+           {2, 1}, {2, 6}, {3, 3}, {5, 2}, {8, 3}, {16, 2}, {4, 4}}) {
+    SimConfig cfg;
+    cfg.k = k;
+    cfg.n = n;
+    cfg.hot_node = -1;
+    const topo::KAryNCube net(k, n);
+    topo::Coords c{};
+    for (int d = 0; d < n; ++d) c[static_cast<std::size_t>(d)] = k / 2;
+    EXPECT_EQ(cfg.resolved_hot_node(), net.node_at(c)) << "k=" << k << " n=" << n;
+  }
 }
 
 TEST(SimConfig, ResolvedHotNodeHonoursExplicitChoice) {
