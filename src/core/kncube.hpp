@@ -19,7 +19,12 @@
 //                  dispatches a spec to its analytical model (or reports it
 //                  sim-only), and core::SweepEngine evaluates operating
 //                  points for any valid spec with memoization, warm-started
-//                  continuation, parallel sweeps and saturation bisection.
+//                  continuation, parallel sweeps and saturation bisection;
+//   * validate/  — the statistical validation subsystem: ReplicationRunner
+//                  (R-replication Student-t confidence intervals per
+//                  operating point) and ValidationEngine (model-vs-sim
+//                  accuracy classification over the spec space, rendered as
+//                  the committed ACCURACY.json baseline by tools/validate).
 //
 // Quick start (see examples/quickstart.cpp):
 //
@@ -47,3 +52,6 @@
 #include "sim/simulator.hpp"     // IWYU pragma: export
 #include "topology/hotspot_geometry.hpp"  // IWYU pragma: export
 #include "topology/torus.hpp"    // IWYU pragma: export
+#include "validate/accuracy_json.hpp"  // IWYU pragma: export
+#include "validate/replication.hpp"  // IWYU pragma: export
+#include "validate/validation_engine.hpp"  // IWYU pragma: export

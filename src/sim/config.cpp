@@ -3,7 +3,22 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/rng.hpp"
+
 namespace kncube::sim {
+
+std::uint64_t replication_seed(std::uint64_t scenario_key, std::uint64_t base_seed,
+                               std::uint64_t replication) {
+  // Stage 1: a per-scenario stream id. The multiplier keeps distinct base
+  // seeds from colliding after the XOR even when scenario keys differ in few
+  // bits; +1 keeps base_seed == 0 from zeroing the product.
+  util::SplitMix64 scenario_stream(scenario_key ^
+                                   (0xd1342543de82ef95ULL * (base_seed + 1)));
+  const std::uint64_t stream_id = scenario_stream.next();
+  // Stage 2: the replication member, golden-ratio strided within the stream.
+  util::SplitMix64 member(stream_id ^ (0x9e3779b97f4a7c15ULL * (replication + 1)));
+  return member.next();
+}
 
 void SimConfig::validate() const {
   auto fail = [](const std::string& msg) { throw std::invalid_argument("SimConfig: " + msg); };

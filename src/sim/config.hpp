@@ -75,4 +75,17 @@ struct SimConfig {
   void validate() const;
 };
 
+/// Simulator seed for replication `replication` of the scenario whose
+/// canonical key (core::ScenarioSpec::key()) is `scenario_key` and whose
+/// configured base seed is `base_seed`.
+///
+/// The stream is a two-stage SplitMix64 derivation: (scenario_key, base_seed)
+/// select a per-scenario stream, and the replication index selects the member
+/// seed within it. Constant time, deterministic across processes and thread
+/// schedules, and decorrelated both across replications and from
+/// core::SweepEngine's per-point golden-ratio seeds (which XOR the base seed
+/// directly, without the SplitMix64 mixing stage).
+std::uint64_t replication_seed(std::uint64_t scenario_key, std::uint64_t base_seed,
+                               std::uint64_t replication);
+
 }  // namespace kncube::sim

@@ -117,6 +117,112 @@ bool BatchMeans::add(double x) {
   return converged_;
 }
 
+namespace {
+
+/// Continued-fraction core of the incomplete beta function (Lentz's method,
+/// the standard Numerical-Recipes-style evaluation). Valid for
+/// x < (a + 1) / (a + b + 2); the symmetry I_x(a,b) = 1 - I_{1-x}(b,a)
+/// covers the rest.
+double beta_continued_fraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-15;
+  constexpr double kTiny = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const auto md = static_cast<double>(m);
+    const double m2 = 2.0 * md;
+    double aa = md * (b - md) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + md) * (qab + md) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double regularized_incomplete_beta(double a, double b, double x) {
+  KNC_ASSERT_MSG(a > 0.0 && b > 0.0, "incomplete beta needs positive parameters");
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  // Prefactor x^a (1-x)^b / (a B(a,b)), computed in log space.
+  const double log_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                           a * std::log(x) + b * std::log1p(-x);
+  const double front = std::exp(log_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_continued_fraction(a, b, x) / a;
+  }
+  return 1.0 - front * beta_continued_fraction(b, a, 1.0 - x) / b;
+}
+
+double student_t_critical(double confidence, std::uint64_t dof) {
+  KNC_ASSERT_MSG(confidence > 0.0 && confidence < 1.0,
+                 "confidence must be in (0,1)");
+  if (dof == 0) return std::numeric_limits<double>::infinity();
+  // For T ~ t(nu): P(|T| > t) = I_x(nu/2, 1/2) with x = nu / (nu + t^2),
+  // so the two-sided critical value solves I_x(nu/2, 1/2) = 1 - confidence.
+  // The tail probability is strictly decreasing in t; bracket then bisect.
+  const double nu = static_cast<double>(dof);
+  const double alpha = 1.0 - confidence;
+  const auto two_sided_tail = [nu](double t) {
+    return regularized_incomplete_beta(nu / 2.0, 0.5, nu / (nu + t * t));
+  };
+  double hi = 1.0;
+  while (two_sided_tail(hi) > alpha) {
+    hi *= 2.0;
+    if (hi > 1e12) return hi;  // absurd confidence/dof combination
+  }
+  double lo = 0.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (two_sided_tail(mid) > alpha) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo <= 1e-12 * std::max(1.0, hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+ConfidenceInterval student_t_ci(const std::vector<double>& samples,
+                                double confidence) {
+  ConfidenceInterval ci;
+  ci.confidence = confidence;
+  ci.count = samples.size();
+  if (samples.empty()) return ci;
+  RunningStats stats;
+  for (double x : samples) stats.add(x);
+  ci.mean = stats.mean();
+  if (samples.size() < 2) return ci;  // half-width stays infinite at R = 1
+  if (stats.variance() == 0.0) {
+    ci.half_width = 0.0;
+    return ci;
+  }
+  ci.half_width = student_t_critical(confidence, samples.size() - 1) * stats.sem();
+  return ci;
+}
+
 double pearson_correlation(const std::vector<double>& a, const std::vector<double>& b) {
   KNC_ASSERT(a.size() == b.size());
   const std::size_t n = a.size();

@@ -103,6 +103,49 @@ class BatchMeans {
   bool converged_ = false;
 };
 
+// ------------------------------------------------- replication statistics ---
+//
+// The validation subsystem (src/validate/) runs R independent simulator
+// replications per operating point and needs exact small-sample confidence
+// intervals: R is 3..10, far too small for the normal approximation that
+// RunningStats::ci95_half_width uses on per-message samples.
+
+/// Two-sided Student-t critical value: the t* with P(|T| <= t*) = confidence
+/// for T ~ t(dof). Computed by inverting the t CDF (regularized incomplete
+/// beta), accurate to ~1e-10. dof == 0 returns +infinity (no variance
+/// information); confidence must lie in (0, 1).
+double student_t_critical(double confidence, std::uint64_t dof);
+
+/// Regularized incomplete beta function I_x(a, b) for a, b > 0 and x in
+/// [0, 1], by continued fraction (Lentz). Exposed for tests; the building
+/// block of the t distribution's CDF.
+double regularized_incomplete_beta(double a, double b, double x);
+
+/// A two-sided mean confidence interval from R independent replications.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  /// Half-width of the interval; +infinity when it cannot be estimated
+  /// (fewer than two samples), 0 for zero sample variance.
+  double half_width = std::numeric_limits<double>::infinity();
+  std::uint64_t count = 0;
+  double confidence = 0.95;
+
+  double lo() const noexcept { return mean - half_width; }
+  double hi() const noexcept { return mean + half_width; }
+  /// True when x lies inside [lo, hi] widened by `slack` on each side.
+  bool contains(double x, double slack = 0.0) const noexcept {
+    return x >= lo() - slack && x <= hi() + slack;
+  }
+};
+
+/// Student-t confidence interval on the mean of `samples` (one value per
+/// independent replication). Degenerate cases: an empty sample set keeps the
+/// default (count 0, infinite half-width); a single sample pins the mean but
+/// keeps the infinite half-width (no variance estimate exists at R = 1);
+/// identical samples give half-width 0.
+ConfidenceInterval student_t_ci(const std::vector<double>& samples,
+                                double confidence = 0.95);
+
 /// Pearson correlation of two equally-sized series; used by tests to check
 /// that model and simulation latency curves co-move.
 double pearson_correlation(const std::vector<double>& a, const std::vector<double>& b);

@@ -1,0 +1,35 @@
+// ACCURACY.json: the committed accuracy trajectory.
+//
+// A ValidationReport renders to a stable, diff-friendly JSON document — the
+// accuracy analogue of the BENCH_*.json perf baselines. The writer is
+// deliberately environment-free: no timestamps, hostnames or build ids, so
+// the committed file only changes when the model, the simulator, the suite
+// or the tolerance policy changes, and a `git diff` of ACCURACY.json *is*
+// the accuracy regression review. Doubles print round-trip exact (%.17g),
+// NaN (sim-only model fields) prints as null, and points appear in suite
+// order.
+#pragma once
+
+#include <string>
+
+#include "util/table.hpp"
+#include "validate/validation_engine.hpp"
+
+namespace kncube::validate {
+
+/// Serializes the report (schema "kncube-accuracy-v1"): a `config` block,
+/// per-class `summary` counts plus the overall pass flag, and one object
+/// per classified point.
+std::string to_json(const ValidationReport& report);
+
+/// Writes `to_json` to `path`; returns false on I/O failure.
+bool write_accuracy_json(const ValidationReport& report, const std::string& path);
+
+/// Human-readable rendering of the same data: one row per point with the
+/// model/sim/CI columns and the classification verdict.
+util::Table accuracy_table(const ValidationReport& report);
+
+/// One-line per-class roll-up ("12 model-in-CI, 5 within-tolerance, ...").
+std::string summary_line(const ValidationReport& report);
+
+}  // namespace kncube::validate

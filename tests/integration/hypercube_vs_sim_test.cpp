@@ -1,98 +1,108 @@
 // Hypercube model vs the flit-level simulator in hypercube mode: a k = 2
 // n-cube *is* the binary hypercube, and dimension-order routing is e-cube,
 // so the simulator validates the predecessor model with zero extra code.
+//
+// Driven through the ScenarioSpec registry (HypercubeTopology dispatches the
+// hotspot-hypercube family) with replication CIs instead of single seeds.
 #include <gtest/gtest.h>
 
-#include "model/hypercube_model.hpp"
-#include "sim/simulator.hpp"
+#include "core/kncube.hpp"
 
 namespace kncube {
 namespace {
 
 constexpr int kDims = 6;  // N = 64
+constexpr int kReplications = 3;
 
-model::HypercubeModelResult run_model(double lambda, double h) {
-  model::HypercubeModelConfig mc;
-  mc.dims = kDims;
-  mc.vcs = 2;
-  mc.message_length = 16;
-  mc.injection_rate = lambda;
-  mc.hot_fraction = h;
-  return model::HypercubeHotspotModel(mc).solve();
-}
-
-sim::SimResult run_sim(double lambda, double h) {
-  sim::SimConfig sc;
-  sc.k = 2;  // binary hypercube
-  sc.n = kDims;
-  sc.vcs = 2;
-  sc.message_length = 16;
-  sc.pattern = sim::Pattern::kHotspot;
-  sc.hot_fraction = h;
-  sc.injection_rate = lambda;
-  sc.target_messages = 1500;
-  sc.warmup_cycles = 4000;
-  sc.max_cycles = 600000;
-  return sim::simulate(sc);
+core::ScenarioSpec cube_spec(double h) {
+  core::ScenarioSpec s;
+  s.topology = core::HypercubeTopology{kDims};
+  if (h > 0.0) {
+    s.hotspot().fraction = h;
+  } else {
+    s.traffic = core::UniformTraffic{};
+  }
+  s.vcs = 2;
+  s.message_length = 16;
+  s.target_messages = 800;
+  s.warmup_cycles = 4000;
+  s.max_cycles = 600000;
+  return s;
 }
 
 double saturation_estimate(double h) {
-  model::HypercubeModelConfig mc;
-  mc.dims = kDims;
-  mc.message_length = 16;
-  mc.hot_fraction = h;
-  return model::HypercubeHotspotModel(mc).estimated_saturation_rate();
+  return core::make_analytical_model(cube_spec(h)).model->estimated_saturation_rate();
 }
 
-TEST(HypercubeVsSim, ZeroLoadLatencyMatchesExactly) {
-  const auto sr = run_sim(1e-4, 0.0);
-  model::HypercubeModelConfig mc;
-  mc.dims = kDims;
-  mc.message_length = 16;
-  const double zero = model::HypercubeHotspotModel(mc).zero_load_latency();
-  EXPECT_NEAR(sr.mean_latency, zero, 0.05 * zero);
+TEST(HypercubeVsSim, ZeroLoadLatencyWithinReplicationCi) {
+  const core::ScenarioSpec s = cube_spec(0.0);
+  core::SweepEngine engine(s);
+  ASSERT_TRUE(engine.has_model());
+  const double zero = engine.analytical_model().zero_load_latency();
+  const validate::ReplicationRunner runner(s, kReplications);
+  const auto pt = runner.run(1e-4);
+  EXPECT_TRUE(pt.latency.contains(zero, 0.05 * pt.latency.mean))
+      << "zero-load=" << zero << " sim=" << pt.latency.mean << "±"
+      << pt.latency.half_width;
 }
 
-TEST(HypercubeVsSim, TracksAtLightLoad) {
+TEST(HypercubeVsSim, PredictionWithinReplicationCiAtLightLoad) {
   for (double h : {0.1, 0.3}) {
+    const core::ScenarioSpec s = cube_spec(h);
+    core::SweepEngine engine(s);
     const double lambda = 0.2 * saturation_estimate(h);
-    const auto mr = run_model(lambda, h);
-    const auto sr = run_sim(lambda, h);
+    const auto mr = engine.model_point(lambda);
     ASSERT_FALSE(mr.saturated) << h;
-    ASSERT_FALSE(sr.saturated) << h;
-    const double rel = std::abs(mr.latency - sr.mean_latency) / sr.mean_latency;
-    EXPECT_LT(rel, 0.15) << "h=" << h << " model=" << mr.latency
-                         << " sim=" << sr.mean_latency;
+    const validate::ReplicationRunner runner(s, kReplications);
+    const auto pt = runner.run(lambda);
+    ASSERT_FALSE(pt.saturated()) << h;
+    EXPECT_TRUE(pt.latency.contains(mr.latency, 0.15 * pt.latency.mean))
+        << "h=" << h << " model=" << mr.latency << " sim=" << pt.latency.mean
+        << "±" << pt.latency.half_width;
   }
 }
 
-TEST(HypercubeVsSim, ReasonableAtModerateLoad) {
+TEST(HypercubeVsSim, PredictionWithinWidenedCiAtModerateLoad) {
   const double h = 0.2;
+  const core::ScenarioSpec s = cube_spec(h);
+  core::SweepEngine engine(s);
   const double lambda = 0.5 * saturation_estimate(h);
-  const auto mr = run_model(lambda, h);
-  const auto sr = run_sim(lambda, h);
+  const auto mr = engine.model_point(lambda);
   ASSERT_FALSE(mr.saturated);
-  ASSERT_FALSE(sr.saturated);
-  EXPECT_LT(std::abs(mr.latency - sr.mean_latency) / sr.mean_latency, 0.45);
+  const validate::ReplicationRunner runner(s, kReplications);
+  const auto pt = runner.run(lambda);
+  ASSERT_FALSE(pt.saturated());
+  EXPECT_TRUE(pt.latency.contains(mr.latency, 0.45 * pt.latency.mean))
+      << "model=" << mr.latency << " sim=" << pt.latency.mean << "±"
+      << pt.latency.half_width;
 }
 
 TEST(HypercubeVsSim, BothSaturateInTheSameRegion) {
   const double h = 0.3;
   const double est = saturation_estimate(h);
-  const auto lo = run_sim(0.3 * est, h);
-  EXPECT_FALSE(lo.saturated);
-  const auto hi = run_sim(4.0 * est, h);
-  EXPECT_TRUE(hi.saturated);
+  core::ScenarioSpec s = cube_spec(h);
+  const validate::ReplicationRunner runner(s, kReplications);
+  EXPECT_FALSE(runner.run(0.3 * est).saturated());
+  s.max_cycles = 200000;
+  const validate::ReplicationRunner fast_runner(s, kReplications);
+  EXPECT_TRUE(fast_runner.run(4.0 * est).saturated());
 }
 
 TEST(HypercubeVsSim, HotClassOrderingAgrees) {
   const double h = 0.3;
+  const core::ScenarioSpec s = cube_spec(h);
+  core::SweepEngine engine(s);
   const double lambda = 0.5 * saturation_estimate(h);
-  const auto mr = run_model(lambda, h);
-  const auto sr = run_sim(lambda, h);
-  ASSERT_FALSE(sr.saturated);
+  const auto mr = engine.model_point(lambda);
   EXPECT_GT(mr.hot_latency, mr.regular_latency);
-  EXPECT_GT(sr.mean_latency_hot, sr.mean_latency_regular);
+  const validate::ReplicationRunner runner(s, kReplications);
+  const auto pt = runner.run(lambda);
+  ASSERT_FALSE(pt.saturated());
+  const double hot =
+      pt.mean_of([](const sim::SimResult& r) { return r.mean_latency_hot; });
+  const double regular =
+      pt.mean_of([](const sim::SimResult& r) { return r.mean_latency_regular; });
+  EXPECT_GT(hot, regular);
 }
 
 }  // namespace

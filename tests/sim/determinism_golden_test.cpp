@@ -174,6 +174,45 @@ TEST(DeterminismGolden, SingleFlitCubeK4N3) {
             0x1.265c2f16f23a5p+2, 0x1.2503645d61932p+2});
 }
 
+TEST(DeterminismGolden, HypercubeD6Hotspot) {
+  // Binary hypercube as a k = 2 n-cube (dimension-order routing is e-cube):
+  // 64 nodes, hot-spot traffic — the predecessor-model substrate that the
+  // validation suite sweeps; single-hop rings mean no dateline classes.
+  SimConfig cfg;
+  cfg.k = 2;
+  cfg.n = 6;
+  cfg.vcs = 2;
+  cfg.buffer_depth = 2;
+  cfg.message_length = 16;
+  cfg.pattern = Pattern::kHotspot;
+  cfg.hot_fraction = 0.2;
+  cfg.injection_rate = 3e-3;
+  cfg.seed = 0xCAB1E;
+  run_case("HypercubeD6Hotspot", cfg, 12000,
+           {2287u, 2284u, 36571u, 21u, 0u, 0x628687da0ef68d4aULL,
+            0x1.332e2dbaf4ca6p+4, 0x1.2d9aad0ecb8bfp+4});
+}
+
+TEST(DeterminismGolden, MmppHotspotK8) {
+  // MMPP bursty arrivals (the §5 extension): per-node two-state modulated
+  // Bernoulli sources layered on the hot-spot pattern. Pins the burst-state
+  // transition RNG stream alongside the routing/arbitration streams.
+  SimConfig cfg;
+  cfg.k = 8;
+  cfg.n = 2;
+  cfg.vcs = 2;
+  cfg.buffer_depth = 2;
+  cfg.message_length = 16;
+  cfg.pattern = Pattern::kHotspot;
+  cfg.hot_fraction = 0.2;
+  cfg.injection_rate = 1.5e-3;
+  cfg.arrivals = Arrivals::kMmpp;
+  cfg.seed = 0xB0B5;
+  run_case("MmppHotspotK8", cfg, 20000,
+           {1820u, 1817u, 29099u, 21u, 0u, 0x772f6d5353f4f90ULL,
+            0x1.ad0f134d59781p+4, 0x1.95b0415faa565p+4});
+}
+
 TEST(DeterminismGolden, FullMeasurementProtocol) {
   // The complete run() protocol (warm-up, measurement window, anchored stop
   // polling): pins end-to-end results including the steady-state machinery.

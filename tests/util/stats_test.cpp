@@ -183,6 +183,87 @@ TEST(Correlation, DegenerateSeriesGiveZero) {
   EXPECT_EQ(pearson_correlation({1, 1, 1}, {1, 2, 3}), 0.0);
 }
 
+TEST(IncompleteBeta, MatchesClosedForms) {
+  // I_x(1, 1) = x (uniform CDF).
+  EXPECT_NEAR(regularized_incomplete_beta(1.0, 1.0, 0.3), 0.3, 1e-12);
+  // I_x(1, b) = 1 - (1-x)^b.
+  EXPECT_NEAR(regularized_incomplete_beta(1.0, 3.0, 0.2),
+              1.0 - std::pow(0.8, 3.0), 1e-12);
+  // Symmetry: I_x(a, b) = 1 - I_{1-x}(b, a).
+  const double lhs = regularized_incomplete_beta(2.5, 0.5, 0.7);
+  const double rhs = 1.0 - regularized_incomplete_beta(0.5, 2.5, 0.3);
+  EXPECT_NEAR(lhs, rhs, 1e-12);
+  // Endpoints.
+  EXPECT_EQ(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_EQ(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(StudentT, MatchesPublishedTwoSidedTable) {
+  // Two-sided 95% critical values (standard t-table).
+  EXPECT_NEAR(student_t_critical(0.95, 1), 12.706, 2e-3);
+  EXPECT_NEAR(student_t_critical(0.95, 2), 4.303, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.95, 4), 2.776, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.95, 9), 2.262, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.95, 30), 2.042, 1e-3);
+  // Two-sided 99%.
+  EXPECT_NEAR(student_t_critical(0.99, 5), 4.032, 1e-3);
+  EXPECT_NEAR(student_t_critical(0.99, 10), 3.169, 1e-3);
+  // Large dof approaches the normal 1.96.
+  EXPECT_NEAR(student_t_critical(0.95, 100000), 1.960, 2e-3);
+}
+
+TEST(StudentT, MonotoneInDofAndConfidence) {
+  // Heavier tails at fewer dof; wider intervals at higher confidence.
+  EXPECT_GT(student_t_critical(0.95, 2), student_t_critical(0.95, 20));
+  EXPECT_GT(student_t_critical(0.99, 5), student_t_critical(0.95, 5));
+  EXPECT_TRUE(std::isinf(student_t_critical(0.95, 0)));
+}
+
+TEST(StudentTCi, MatchesHandComputation) {
+  // Samples {8, 10, 12}: mean 10, s = 2, sem = 2/sqrt(3),
+  // t*(0.95, dof 2) = 4.303 -> half-width 4.969...
+  const auto ci = student_t_ci({8.0, 10.0, 12.0});
+  EXPECT_EQ(ci.count, 3u);
+  EXPECT_NEAR(ci.mean, 10.0, 1e-12);
+  EXPECT_NEAR(ci.half_width, 4.303 * 2.0 / std::sqrt(3.0), 2e-3);
+  EXPECT_NEAR(ci.lo(), 10.0 - ci.half_width, 1e-12);
+  EXPECT_NEAR(ci.hi(), 10.0 + ci.half_width, 1e-12);
+  EXPECT_TRUE(ci.contains(10.0));
+  EXPECT_FALSE(ci.contains(20.0));
+  EXPECT_TRUE(ci.contains(15.1, 0.5));  // slack widens the interval
+}
+
+TEST(StudentTCi, DegenerateReplicationCounts) {
+  // R = 0: nothing known.
+  const auto empty = student_t_ci({});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_TRUE(std::isinf(empty.half_width));
+
+  // R = 1: the mean is pinned but no variance estimate exists, so the
+  // interval is infinitely wide — a single replication can never reject.
+  const auto one = student_t_ci({42.0});
+  EXPECT_EQ(one.count, 1u);
+  EXPECT_EQ(one.mean, 42.0);
+  EXPECT_TRUE(std::isinf(one.half_width));
+  EXPECT_TRUE(one.contains(1e9));
+
+  // Zero variance: the interval collapses to the point.
+  const auto flat = student_t_ci({5.0, 5.0, 5.0, 5.0});
+  EXPECT_EQ(flat.half_width, 0.0);
+  EXPECT_TRUE(flat.contains(5.0));
+  EXPECT_FALSE(flat.contains(5.001));
+}
+
+TEST(StudentTCi, WiderThanNormalApproximationAtSmallR) {
+  // The whole reason these helpers exist: at R = 5 the t interval must be
+  // visibly wider than the 1.96-sem normal approximation.
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0, 5.0};
+  RunningStats rs;
+  for (double x : xs) rs.add(x);
+  const auto ci = student_t_ci(xs);
+  EXPECT_GT(ci.half_width, rs.ci95_half_width() * 1.3);
+}
+
 TEST(MeanRelativeError, BasicAndSkipsNonpositive) {
   EXPECT_NEAR(mean_relative_error({11, 22}, {10, 20}), 0.1, 1e-12);
   // Entries with b <= 0 are skipped.
