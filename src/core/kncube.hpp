@@ -11,7 +11,8 @@
 //   * model/     — the analytical models behind one polymorphic
 //                  model::AnalyticalModel interface: the hot-spot torus
 //                  model (the contribution), the uniform-traffic baseline,
-//                  the hypercube lineage model, and the shared queueing
+//                  the hypercube lineage model, the k-ary n-mesh model
+//                  (position-dependent channel classes), and the shared queueing
 //                  primitives;
 //   * core/      — the public facade. core::ScenarioSpec is the one typed
 //                  scenario language (topology × traffic × arrivals plus
@@ -48,9 +49,11 @@
 #include "model/analytical_model.hpp"  // IWYU pragma: export
 #include "model/hotspot_model.hpp"  // IWYU pragma: export
 #include "model/hypercube_model.hpp"  // IWYU pragma: export
+#include "model/mesh_model.hpp"  // IWYU pragma: export
 #include "model/uniform_model.hpp"  // IWYU pragma: export
 #include "sim/simulator.hpp"     // IWYU pragma: export
 #include "topology/hotspot_geometry.hpp"  // IWYU pragma: export
+#include "topology/mesh_geometry.hpp"  // IWYU pragma: export
 #include "topology/torus.hpp"    // IWYU pragma: export
 #include "validate/accuracy_json.hpp"  // IWYU pragma: export
 #include "validate/replication.hpp"  // IWYU pragma: export

@@ -59,6 +59,34 @@ ModelDispatch torus_dispatch(const ScenarioSpec& spec) {
   return sim_only("no analytical counterpart for this traffic pattern");
 }
 
+ModelDispatch mesh_dispatch(const ScenarioSpec& spec) {
+  const MeshTopology& m = spec.mesh();
+  if (std::holds_alternative<UniformTraffic>(spec.traffic)) {
+    model::MeshModelConfig cfg;
+    cfg.k = m.k;
+    cfg.n = m.n;
+    cfg.vcs = spec.vcs;
+    cfg.message_length = spec.message_length;
+    cfg.blocking = spec.blocking;
+    cfg.busy_basis = spec.busy_basis;
+    cfg.vcmux_basis = spec.vcmux_basis;
+    ModelDispatch d;
+    d.model = std::make_unique<model::MeshAnalyticalModel>(cfg);
+    return d;
+  }
+  if (spec.is_hotspot()) {
+    // The uniform mesh folds its - channels onto the + classes by mirror
+    // symmetry and shares one rate profile across dimensions; a hot node
+    // breaks both symmetries, leaving one class per individual channel
+    // (O(n k^n)) with no reduction — not a channel-class model, so the
+    // simulator carries this family.
+    return sim_only(
+        "mesh hot-spot load is per-channel (no position symmetry to reduce "
+        "to channel classes)");
+  }
+  return sim_only("no analytical counterpart for this traffic pattern");
+}
+
 ModelDispatch hypercube_dispatch(const ScenarioSpec& spec) {
   const bool uniform = std::holds_alternative<UniformTraffic>(spec.traffic);
   if (!spec.is_hotspot() && !uniform) {
@@ -90,7 +118,9 @@ ModelDispatch make_analytical_model(const ScenarioSpec& spec) {
     // stated future work and currently simulator-only.
     return sim_only("analytical models assume Bernoulli (Poisson) arrivals");
   }
-  return spec.is_torus() ? torus_dispatch(spec) : hypercube_dispatch(spec);
+  if (spec.is_torus()) return torus_dispatch(spec);
+  if (spec.is_mesh()) return mesh_dispatch(spec);
+  return hypercube_dispatch(spec);
 }
 
 }  // namespace kncube::core

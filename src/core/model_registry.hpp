@@ -9,8 +9,11 @@
 //   torus n=2 uni  × uniform  × bernoulli  -> uniform-torus   (baseline)
 //   hypercube      × hotspot  × bernoulli  -> hotspot-hypercube (ref. [12])
 //   hypercube      × uniform  × bernoulli  -> hotspot-hypercube with h = 0
-//   anything else (permutation patterns, MMPP arrivals, bidirectional
-//   links, n ≠ 2 tori)                     -> sim-only
+//   mesh (any n)   × uniform  × bernoulli  -> uniform-mesh    (per-position
+//                                             channel classes, DESIGN.md §8)
+//   anything else (mesh hot-spot — per-channel load with no class
+//   reduction; permutation patterns, MMPP arrivals, bidirectional links,
+//   n ≠ 2 tori)                            -> sim-only
 //
 // A family that cannot represent a requested model-ablation knob (the
 // uniform-torus model has no blocking/basis variants; the hypercube model

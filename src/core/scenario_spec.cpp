@@ -106,13 +106,12 @@ std::string trim(const std::string& s) {
 }  // namespace
 
 std::uint64_t ScenarioSpec::node_count() const noexcept {
-  if (is_torus()) {
-    const TorusTopology& t = torus();
-    std::uint64_t size = 1;
-    for (int d = 0; d < t.n; ++d) size *= static_cast<std::uint64_t>(t.k);
-    return size;
-  }
-  return std::uint64_t{1} << hypercube().dims;
+  if (is_hypercube()) return std::uint64_t{1} << hypercube().dims;
+  const int k = is_torus() ? torus().k : mesh().k;
+  const int n = is_torus() ? torus().n : mesh().n;
+  std::uint64_t size = 1;
+  for (int d = 0; d < n; ++d) size *= static_cast<std::uint64_t>(k);
+  return size;
 }
 
 void ScenarioSpec::validate() const {
@@ -123,6 +122,11 @@ void ScenarioSpec::validate() const {
     if (!t.bidirectional && t.k > 2 && vcs < 2) {
       fail("unidirectional torus requires V >= 2 for deadlock freedom");
     }
+  } else if (is_mesh()) {
+    const MeshTopology& m = mesh();
+    if (m.k < 2) fail("mesh radix k must be >= 2");
+    if (m.n < 1 || m.n > topo::kMaxDims) fail("mesh dimension count out of range");
+    // Dimension-order routing is acyclic on a mesh: any V >= 1 works.
   } else {
     const HypercubeTopology& h = hypercube();
     // The simulator realises the hypercube as a k = 2 n-cube, so the
@@ -139,11 +143,17 @@ void ScenarioSpec::validate() const {
   if (is_hotspot()) {
     const HotspotTraffic& t = hotspot();
     if (t.fraction < 0.0 || t.fraction > 1.0) fail("hot fraction must be in [0,1]");
+    // Resolved-topology bounds live here, not just at sim-config time: -1 is
+    // the only placeholder (centre node); any other negative would silently
+    // alias it in SimConfig::resolved_hot_node, and ids must fit the node
+    // count of whichever topology alternative is active.
+    if (t.hot_node < -1) fail("hot node must be -1 (centre) or a node id");
     if (t.hot_node >= 0 && static_cast<std::uint64_t>(t.hot_node) >= size) {
       fail("hot node outside the network");
     }
   } else if (std::holds_alternative<TransposeTraffic>(traffic)) {
-    if (!is_torus() || torus().n != 2) fail("transpose traffic needs a 2-D torus");
+    const bool flat_2d = (is_torus() && torus().n == 2) || (is_mesh() && mesh().n == 2);
+    if (!flat_2d) fail("transpose traffic needs a 2-D torus or mesh");
   } else if (std::holds_alternative<BitComplementTraffic>(traffic)) {
     if (size % 2 != 0) fail("bit-complement needs an even node count");
   } else if (std::holds_alternative<BitReversalTraffic>(traffic)) {
@@ -170,6 +180,11 @@ std::string format_scenario(const ScenarioSpec& spec) {
     out << "topology.k=" << t.k << "\n";
     out << "topology.n=" << t.n << "\n";
     out << "topology.bidirectional=" << (t.bidirectional ? "true" : "false") << "\n";
+  } else if (spec.is_mesh()) {
+    const MeshTopology& m = spec.mesh();
+    out << "topology.kind=mesh\n";
+    out << "topology.k=" << m.k << "\n";
+    out << "topology.n=" << m.n << "\n";
   } else {
     out << "topology.kind=hypercube\n";
     out << "topology.dims=" << spec.hypercube().dims << "\n";
@@ -213,8 +228,10 @@ void apply_scenario_setting(ScenarioSpec& spec, const std::string& key,
       if (!spec.is_torus()) spec.topology = TorusTopology{};
     } else if (value == "hypercube") {
       if (!spec.is_hypercube()) spec.topology = HypercubeTopology{};
+    } else if (value == "mesh") {
+      if (!spec.is_mesh()) spec.topology = MeshTopology{};
     } else {
-      fail(key + ": expected torus|hypercube, got '" + value + "'");
+      fail(key + ": expected torus|hypercube|mesh, got '" + value + "'");
     }
     return;
   }
@@ -249,16 +266,21 @@ void apply_scenario_setting(ScenarioSpec& spec, const std::string& key,
   }
 
   // --- variant parameters (require the matching kind to be active) ---
-  if (key == "topology.k" || key == "topology.n" || key == "topology.bidirectional") {
-    if (!spec.is_torus()) fail(key + " requires topology.kind=torus");
-    TorusTopology& t = spec.torus();
-    if (key == "topology.k") {
-      t.k = parse_int32(key, value);
-    } else if (key == "topology.n") {
-      t.n = parse_int32(key, value);
-    } else {
-      t.bidirectional = parse_bool(key, value);
+  if (key == "topology.k" || key == "topology.n") {
+    // Shared by the two k^n families; the hypercube's size knob is
+    // topology.dims.
+    if (!spec.is_torus() && !spec.is_mesh()) {
+      fail(key + " requires topology.kind=torus or mesh");
     }
+    const int v = parse_int32(key, value);
+    int& slot = key == "topology.k" ? (spec.is_torus() ? spec.torus().k : spec.mesh().k)
+                                    : (spec.is_torus() ? spec.torus().n : spec.mesh().n);
+    slot = v;
+    return;
+  }
+  if (key == "topology.bidirectional") {
+    if (!spec.is_torus()) fail(key + " requires topology.kind=torus");
+    spec.torus().bidirectional = parse_bool(key, value);
     return;
   }
   if (key == "topology.dims") {
@@ -360,6 +382,11 @@ sim::SimConfig to_sim_config(const ScenarioSpec& spec, double lambda) {
     cfg.k = t.k;
     cfg.n = t.n;
     cfg.bidirectional = t.bidirectional;
+  } else if (spec.is_mesh()) {
+    const MeshTopology& m = spec.mesh();
+    cfg.k = m.k;
+    cfg.n = m.n;
+    cfg.mesh = true;
   } else {
     cfg.k = 2;
     cfg.n = spec.hypercube().dims;

@@ -3,8 +3,9 @@
 // A ScenarioSpec is a self-describing value covering the whole
 // (topology × traffic × arrivals) space the code implements — the hot-spot
 // 2-D torus the paper analyses, the uniform/hypercube baselines it validates
-// against, and the simulator-only extensions (permutation patterns, MMPP
-// bursts, bidirectional links, n ≠ 2). Every workload flows through this
+// against, the k-ary n-mesh (wrap-around links removed; position-dependent
+// channel load), and the simulator-only extensions (permutation patterns,
+// MMPP bursts, bidirectional links, n ≠ 2). Every workload flows through this
 // type into the core facade: `SweepEngine`, `run_series`,
 // `model_saturation_rate` and `to_sim_config` all accept a spec, and the
 // model registry (core/model_registry.hpp) dispatches it to the matching
@@ -41,7 +42,15 @@ struct HypercubeTopology {
   int dims = 6;
 };
 
-using Topology = std::variant<TorusTopology, HypercubeTopology>;
+/// K-ary n-mesh: the torus with its wrap-around links removed. Links are
+/// inherently bidirectional (a unidirectional line is disconnected) and
+/// dimension-order routing is acyclic, so any V >= 1 is deadlock-free.
+struct MeshTopology {
+  int k = 8;  ///< radix
+  int n = 2;  ///< dimensions (<= topo::kMaxDims)
+};
+
+using Topology = std::variant<TorusTopology, HypercubeTopology, MeshTopology>;
 
 // ---------------------------------------------------------------- traffic ---
 
@@ -120,6 +129,8 @@ struct ScenarioSpec {
   const HypercubeTopology& hypercube() const {
     return std::get<HypercubeTopology>(topology);
   }
+  MeshTopology& mesh() { return std::get<MeshTopology>(topology); }
+  const MeshTopology& mesh() const { return std::get<MeshTopology>(topology); }
   HotspotTraffic& hotspot() { return std::get<HotspotTraffic>(traffic); }
   const HotspotTraffic& hotspot() const { return std::get<HotspotTraffic>(traffic); }
   MmppArrivals& mmpp() { return std::get<MmppArrivals>(arrivals); }
@@ -130,6 +141,9 @@ struct ScenarioSpec {
   }
   bool is_hypercube() const noexcept {
     return std::holds_alternative<HypercubeTopology>(topology);
+  }
+  bool is_mesh() const noexcept {
+    return std::holds_alternative<MeshTopology>(topology);
   }
   bool is_hotspot() const noexcept {
     return std::holds_alternative<HotspotTraffic>(traffic);

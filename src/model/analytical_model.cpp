@@ -116,4 +116,43 @@ double HypercubeAnalyticalModel::estimated_saturation_rate() const {
   return HypercubeHotspotModel(base_).estimated_saturation_rate();
 }
 
+// ---------------------------------------------------------------- mesh ---
+
+MeshAnalyticalModel::MeshAnalyticalModel(MeshModelConfig base)
+    : base_(std::move(base)) {
+  base_.injection_rate = kProbeRate;
+  base_.validate();  // reject inconsistent base configurations eagerly
+}
+
+ModelResult MeshAnalyticalModel::solve_at(
+    double lambda, const std::vector<double>* warm_start,
+    std::vector<double>* converged_state) const {
+  MeshModelConfig cfg = base_;
+  cfg.injection_rate = lambda;
+  const MeshModelResult r =
+      MeshUniformModel(cfg).solve(warm_start, converged_state);
+  ModelResult out;
+  out.latency = r.latency;
+  out.saturated = r.saturated;
+  out.converged = r.converged;
+  out.iterations = r.iterations;
+  out.regular_latency = r.latency;  // all traffic is regular under uniform
+  out.hot_latency = 0.0;
+  out.regular_network_latency = r.network_latency;
+  out.source_wait_regular = r.source_wait;
+  out.vc_mux_x = r.vc_mux_first_dim;
+  out.vc_mux_hot_y = r.vc_mux_last_dim;
+  out.vc_mux_nonhot_y = r.vc_mux_last_dim;
+  out.max_channel_utilization = r.max_channel_utilization;
+  return out;
+}
+
+double MeshAnalyticalModel::zero_load_latency() const {
+  return MeshUniformModel(base_).zero_load_latency();
+}
+
+double MeshAnalyticalModel::estimated_saturation_rate() const {
+  return MeshUniformModel(base_).estimated_saturation_rate();
+}
+
 }  // namespace kncube::model

@@ -1,5 +1,6 @@
-// AnalyticalModel: the polymorphic solve interface over the three model
-// families (hot-spot torus, uniform torus, hot-spot hypercube).
+// AnalyticalModel: the polymorphic solve interface over the four model
+// families (hot-spot torus, uniform torus, hot-spot hypercube, uniform
+// mesh).
 //
 // Each adapter fixes a base configuration (topology, Lm, V, h, approximation
 // knobs) and exposes solve_at(lambda): build the concrete model at that
@@ -24,6 +25,7 @@
 
 #include "model/hotspot_model.hpp"
 #include "model/hypercube_model.hpp"
+#include "model/mesh_model.hpp"
 #include "model/uniform_model.hpp"
 
 namespace kncube::model {
@@ -32,7 +34,8 @@ class AnalyticalModel {
  public:
   virtual ~AnalyticalModel() = default;
 
-  /// Short family name ("hotspot-torus", "uniform-torus", "hotspot-hypercube").
+  /// Short family name ("hotspot-torus", "uniform-torus",
+  /// "hotspot-hypercube", "uniform-mesh").
   virtual const char* name() const noexcept = 0;
 
   /// Solves the model at injection rate `lambda`. `warm_start` (optional)
@@ -102,6 +105,26 @@ class HypercubeAnalyticalModel final : public AnalyticalModel {
 
  private:
   HypercubeModelConfig base_;
+};
+
+/// The k-ary n-mesh uniform model (position-dependent channel classes).
+/// Native MeshModelResult fields map onto ModelResult as:
+/// latency/saturated/converged/iterations verbatim; regular_latency =
+/// latency (all traffic is regular), hot_latency = 0; network_latency ->
+/// regular_network_latency; source_wait -> source_wait_regular;
+/// vc_mux_first_dim -> vc_mux_x; vc_mux_last_dim -> both y-mux slots;
+/// max_channel_utilization verbatim.
+class MeshAnalyticalModel final : public AnalyticalModel {
+ public:
+  explicit MeshAnalyticalModel(MeshModelConfig base);
+  const char* name() const noexcept override { return "uniform-mesh"; }
+  ModelResult solve_at(double lambda, const std::vector<double>* warm_start,
+                       std::vector<double>* converged_state) const override;
+  double zero_load_latency() const override;
+  double estimated_saturation_rate() const override;
+
+ private:
+  MeshModelConfig base_;
 };
 
 }  // namespace kncube::model

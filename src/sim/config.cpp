@@ -25,9 +25,16 @@ void SimConfig::validate() const {
   if (k < 2) fail("radix k must be >= 2");
   if (n < 1 || n > topo::kMaxDims) fail("dimension count out of range");
   if (vcs < 1) fail("need at least one virtual channel");
-  if (!bidirectional && k > 2 && vcs < 2) {
+  if (mesh && bidirectional) {
+    // Mesh links are inherently bidirectional; the flag is the torus
+    // extension knob and combining them would silently alias two topologies.
+    fail("the bidirectional flag applies to the torus; a mesh is always "
+         "bidirectional");
+  }
+  if (!mesh && !bidirectional && k > 2 && vcs < 2) {
     // A unidirectional ring with a single VC can deadlock (paper assumption
-    // vi requires V >= 2); k == 2 rings have no cycle of length > 1.
+    // vi requires V >= 2); k == 2 rings have no cycle of length > 1. A mesh
+    // is acyclic under dimension-order routing and needs no second VC.
     fail("unidirectional torus requires V >= 2 for deadlock freedom");
   }
   if (buffer_depth < 1) fail("buffer depth must be >= 1");

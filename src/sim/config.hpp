@@ -36,6 +36,11 @@ struct SimConfig {
   int k = 16;                 ///< radix
   int n = 2;                  ///< dimensions
   bool bidirectional = false; ///< paper analyses the unidirectional torus
+  /// k-ary n-mesh: no wrap-around links, lines instead of rings. Mesh links
+  /// are inherently bidirectional, so `bidirectional` must stay false (it is
+  /// the torus extension flag); dimension-order routing is acyclic on a
+  /// mesh, so no dateline VC classes and no V >= 2 deadlock requirement.
+  bool mesh = false;
   int vcs = 2;                ///< V, virtual channels per physical channel (>= 2)
   int buffer_depth = 2;       ///< flit buffer per VC; >= 2 streams 1 flit/cycle
 

@@ -7,7 +7,7 @@
 namespace kncube::sim {
 
 Network::Network(const SimConfig& cfg)
-    : topo_(cfg.k, cfg.n, cfg.bidirectional),
+    : topo_(cfg.k, cfg.n, cfg.bidirectional, cfg.mesh),
       message_length_(static_cast<std::uint32_t>(cfg.message_length)) {
   cfg.validate();
   routers_.reserve(topo_.size());
@@ -18,12 +18,16 @@ Network::Network(const SimConfig& cfg)
   }
   // Wire links: output port p of node r feeds input port p of the neighbour
   // in that port's (dim, dir); the input port keeps a reference back to the
-  // upstream output port for credit/release return.
+  // upstream output port for credit/release return. Mesh edge ports whose
+  // link would wrap stay unconnected — dimension-order routing on a mesh
+  // never selects a direction that runs off the line, so they are never
+  // routed to (channel statistics skip them too).
   for (topo::NodeId id = 0; id < topo_.size(); ++id) {
     Router& r = *routers_[id];
     for (int p = 0; p < r.network_ports(); ++p) {
       const int dim = r.port_dim(p);
       const topo::Direction dir = r.port_dir(p);
+      if (!topo_.link_exists(id, dim, dir)) continue;
       const topo::NodeId down_id = topo_.neighbor(id, dim, dir);
       Router& down = *routers_[down_id];
       r.connect(p, &down, p);
@@ -98,6 +102,9 @@ Network::ChannelSummary Network::channel_summary() const {
   for (const auto& r : routers_) {
     for (int p = 0; p < r->network_ports(); ++p) {
       const auto& op = r->output_port(p);
+      // Unconnected mesh edge ports are not physical channels; counting
+      // their permanent zeros would dilute the mean utilisation.
+      if (op.down == nullptr) continue;
       const double u = op.utilization();
       util_sum += u;
       s.max_utilization = std::max(s.max_utilization, u);

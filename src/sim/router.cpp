@@ -92,10 +92,15 @@ void Router::requesters_erase(OutputPort& op, std::int32_t index) {
 }
 
 int Router::class_vc_begin(int cls) const noexcept {
+  // A mesh has no wrap-around link, so dimension-order routing is acyclic
+  // and needs no dateline split: class 0 spans every VC (class 1 is never
+  // requested — vc_class_for cannot return 1 without a crossed wrap).
+  if (net_.mesh()) return 0;
   return cls == 0 ? 0 : (vcs_ + 1) / 2;
 }
 
 int Router::class_vc_end(int cls) const noexcept {
+  if (net_.mesh()) return vcs_;
   return cls == 0 ? (vcs_ + 1) / 2 : vcs_;
 }
 
@@ -105,6 +110,8 @@ int Router::vc_class_for(const Flit& head, int dim, topo::Direction dir) const n
   // untouched), so whether the wrap-around link has been crossed is derivable
   // from the source coordinate alone: travelling (+) from s, positions before
   // the wrap satisfy c >= s and after it c < s (and symmetrically for (-)).
+  // On a mesh a (+) message never sits below its source coordinate (nor a
+  // (-) message above it), so this naturally evaluates to class 0 there.
   const int s = net_.coord(head.src, dim);
   const int c = net_.coord(id_, dim);
   if (dir == topo::Direction::kPlus) return c < s ? 1 : 0;

@@ -1,0 +1,47 @@
+#include "topology/mesh_geometry.hpp"
+
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace kncube::topo {
+
+double mesh_link_pair_count(int k, int i) noexcept {
+  KNC_DEBUG_ASSERT(k >= 2 && i >= 0 && i < k - 1);
+  return static_cast<double>(i + 1) * static_cast<double>(k - 1 - i);
+}
+
+double mesh_channel_rate(double lambda, int k, int n, int i) noexcept {
+  KNC_DEBUG_ASSERT(n >= 1);
+  // k^(n-1) source rows feed the line bundle; the destination is uniform
+  // over the k^n - 1 other nodes.
+  const double rows = std::pow(static_cast<double>(k), n - 1);
+  const double others = std::pow(static_cast<double>(k), n) - 1.0;
+  return lambda * mesh_link_pair_count(k, i) * rows / others;
+}
+
+double mesh_bottleneck_rate(double lambda, int k, int n) noexcept {
+  // (i+1)(k-1-i) is maximal at the centre link i = floor((k-2)/2) (either
+  // centre link for odd k-1 — they tie by symmetry).
+  return mesh_channel_rate(lambda, k, n, (k - 2) / 2);
+}
+
+double mesh_mean_line_hops(int k) noexcept {
+  const double kd = static_cast<double>(k);
+  return (kd * kd - 1.0) / (3.0 * kd);
+}
+
+double mesh_mean_hops_uniform(int k, int n) noexcept {
+  const double p_self = std::pow(static_cast<double>(k), -n);
+  return static_cast<double>(n) * mesh_mean_line_hops(k) / (1.0 - p_self);
+}
+
+double mesh_entrance_weight(int k, int i) noexcept {
+  KNC_DEBUG_ASSERT(k >= 2 && i >= 0 && i < k - 1);
+  // Ordered coordinate pairs (a, b), a != b: k(k-1). Entering + at position
+  // i means a == i, b > i: k-1-i pairs; the mirrored - entrances double it.
+  return 2.0 * static_cast<double>(k - 1 - i) /
+         (static_cast<double>(k) * static_cast<double>(k - 1));
+}
+
+}  // namespace kncube::topo

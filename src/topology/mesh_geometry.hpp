@@ -1,0 +1,54 @@
+// Mesh path-counting geometry: the closed forms behind the k-ary n-mesh
+// analytical model (src/model/mesh_model.*) and its tests.
+//
+// Removing the wrap-around links breaks the torus's vertex-transitivity:
+// channel load under dimension-order routing becomes position-dependent
+// within each line. For the + direction, index the k-1 physical links of a
+// line by i = 0..k-2 (the link from coordinate i to i+1); the - direction
+// link from i+1 to i is the mirror image of the + link at position k-2-i
+// and carries identical uniform-traffic load, so every per-position quantity
+// below is stated for the + direction only.
+//
+// Under uniform traffic with dimension-order routing, a message traverses
+// dimension d's links in the row where dimensions < d are already corrected
+// and dimensions > d still hold the source coordinates, so the (src, dst)
+// pairs crossing the + link at position i of a given line are exactly the
+// pairs with src coordinate <= i and dst coordinate > i in that dimension:
+// (i+1)(k-1-i) coordinate pairs, peaking at the line's centre — the mesh's
+// signature bisection hot spot. See DESIGN.md §8 for the full derivation.
+#pragma once
+
+namespace kncube::topo {
+
+/// Coordinate pairs (a <= i < b) whose dimension-order route crosses the +
+/// link at position i of a line: (i+1)(k-1-i). The per-position load shape.
+double mesh_link_pair_count(int k, int i) noexcept;
+
+/// Per-channel message rate on the + link at position i of any dimension
+/// under uniform traffic at per-node injection rate lambda:
+///   lambda * (i+1)(k-1-i) * k^(n-1) / (k^n - 1).
+/// Independent of the dimension index — dimension-order routing gives every
+/// dimension the same free/corrected coordinate split (k^(n-1) rows feed
+/// each line bundle regardless of where the dimension sits in the order).
+double mesh_channel_rate(double lambda, int k, int n, int i) noexcept;
+
+/// The maximum of mesh_channel_rate over positions: the centre-link
+/// (bisection) rate that sets the mesh's bandwidth bottleneck.
+double mesh_bottleneck_rate(double lambda, int k, int n) noexcept;
+
+/// Mean |a - b| over iid uniform coordinates a, b in [0, k): (k^2 - 1)/(3k).
+double mesh_mean_line_hops(int k) noexcept;
+
+/// Mean Manhattan distance over uniform (src, dst) pairs with dst != src:
+///   n * (k^2 - 1)/(3k) / (1 - k^-n).
+/// The dst != src conditioning only rescales (distance 0 iff dst == src).
+double mesh_mean_hops_uniform(int k, int n) noexcept;
+
+/// Probability that a message entering a line at its source coordinate
+/// (uniform) bound for a different coordinate (uniform among the rest)
+/// enters through the + link at position i, folding the mirror-symmetric -
+/// entrances onto + positions: 2(k-1-i) / (k(k-1)). Sums to 1 over
+/// i = 0..k-2; the entrance-average weight of the mesh model.
+double mesh_entrance_weight(int k, int i) noexcept;
+
+}  // namespace kncube::topo

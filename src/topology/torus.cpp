@@ -2,10 +2,12 @@
 
 #include <cmath>
 
+#include "topology/mesh_geometry.hpp"
+
 namespace kncube::topo {
 
-KAryNCube::KAryNCube(int k, int n, bool bidirectional)
-    : k_(k), n_(n), bidirectional_(bidirectional) {
+KAryNCube::KAryNCube(int k, int n, bool bidirectional, bool mesh)
+    : k_(k), n_(n), bidirectional_(bidirectional || mesh), mesh_(mesh) {
   KNC_ASSERT_MSG(k >= 2, "radix must be at least 2");
   KNC_ASSERT_MSG(n >= 1 && n <= kMaxDims, "dimension count out of range");
   NodeId size = 1;
@@ -41,18 +43,31 @@ NodeId KAryNCube::node_at(const Coords& c) const noexcept {
 }
 
 NodeId KAryNCube::neighbor(NodeId node, int dim, Direction dir) const noexcept {
+  KNC_DEBUG_ASSERT(link_exists(node, dim, dir));
   const int c = coord(node, dim);
   const int next = dir == Direction::kPlus ? (c + 1) % k_ : (c - 1 + k_) % k_;
   const auto stride = stride_[static_cast<std::size_t>(dim)];
   return node + (static_cast<NodeId>(next) - static_cast<NodeId>(c)) * stride;
 }
 
+bool KAryNCube::link_exists(NodeId node, int dim, Direction dir) const noexcept {
+  if (!mesh_) return true;
+  const int c = coord(node, dim);
+  return dir == Direction::kPlus ? c < k_ - 1 : c > 0;
+}
+
 int KAryNCube::ring_distance(int a, int b, Direction dir) const noexcept {
   KNC_DEBUG_ASSERT(a >= 0 && a < k_ && b >= 0 && b < k_);
+  if (mesh_) {
+    // The line cannot wrap: b must lie on `dir`'s side of a.
+    KNC_DEBUG_ASSERT(dir == Direction::kPlus ? b >= a : b <= a);
+    return dir == Direction::kPlus ? b - a : a - b;
+  }
   return dir == Direction::kPlus ? (b - a + k_) % k_ : (a - b + k_) % k_;
 }
 
 int KAryNCube::ring_hops(int a, int b) const noexcept {
+  if (mesh_) return a <= b ? b - a : a - b;
   const int plus = ring_distance(a, b, Direction::kPlus);
   if (!bidirectional_) return plus;
   const int minus = ring_distance(a, b, Direction::kMinus);
@@ -60,6 +75,7 @@ int KAryNCube::ring_hops(int a, int b) const noexcept {
 }
 
 Direction KAryNCube::ring_direction(int a, int b) const noexcept {
+  if (mesh_) return b >= a ? Direction::kPlus : Direction::kMinus;
   if (!bidirectional_) return Direction::kPlus;
   const int plus = ring_distance(a, b, Direction::kPlus);
   const int minus = ring_distance(a, b, Direction::kMinus);
@@ -95,11 +111,17 @@ std::vector<Hop> KAryNCube::route(NodeId src, NodeId dst) const {
 }
 
 bool KAryNCube::is_wrap_link(NodeId node, int dim, Direction dir) const noexcept {
+  if (mesh_) return false;
   const int c = coord(node, dim);
   return dir == Direction::kPlus ? c == k_ - 1 : c == 0;
 }
 
 double KAryNCube::mean_ring_hops_uniform() const noexcept {
+  if (mesh_) {
+    // E|a - b| over iid uniform coordinates. Unlike the torus cases this is
+    // position-dependent per node; the iid mean is the network-wide average.
+    return mesh_mean_line_hops(k_);
+  }
   // Average of ring_hops(a, b) over b uniform in [0, k) for fixed a.
   if (!bidirectional_) return static_cast<double>(k_ - 1) / 2.0;
   double acc = 0.0;

@@ -8,6 +8,14 @@
 // paper assumption v). An *x-ring* is the set of nodes varying in dimension 0
 // with the other coordinates fixed; for n = 2 that is a row, and a *y-ring*
 // is a column.
+//
+// The same class also realises the k-ary n-*mesh* (`mesh = true`): the
+// wrap-around links are removed, every ring degenerates to a bidirectional
+// line, and dimension-order routing travels the unique minimal direction
+// within each line. Edge nodes simply lack the links that would wrap —
+// `link_exists` is the predicate the network wiring and the channel
+// statistics consult. A mesh is acyclic under dimension-order routing, so
+// no dateline VC classes are needed (sim/router.hpp).
 #pragma once
 
 #include <array>
@@ -43,15 +51,26 @@ class KAryNCube {
  public:
   /// Builds a k-ary n-cube. `bidirectional` enables the paper's "easily
   /// extended" variant with links in both ring directions and shortest-path
-  /// direction choice (ties resolved to kPlus).
-  KAryNCube(int k, int n, bool bidirectional = false);
+  /// direction choice (ties resolved to kPlus). `mesh` removes the
+  /// wrap-around links (k-ary n-mesh); a mesh is always bidirectional —
+  /// a unidirectional line is disconnected — so `bidirectional` is forced on.
+  KAryNCube(int k, int n, bool bidirectional = false, bool mesh = false);
 
   int radix() const noexcept { return k_; }
   int dims() const noexcept { return n_; }
   NodeId size() const noexcept { return size_; }
   bool bidirectional() const noexcept { return bidirectional_; }
-  /// Outgoing network channels per node (n for unidirectional, 2n otherwise).
+  bool mesh() const noexcept { return mesh_; }
+  /// Outgoing network channel *ports* per node (n for unidirectional,
+  /// 2n otherwise). On a mesh this is the port-array bound, not the physical
+  /// link count: edge nodes leave the would-wrap ports unconnected
+  /// (`link_exists`).
   int channels_per_node() const noexcept { return bidirectional_ ? 2 * n_ : n_; }
+
+  /// True when the outgoing link (node, dim, dir) physically exists. Always
+  /// true on a torus; false on a mesh for the edge positions whose link
+  /// would wrap (coordinate k-1 going kPlus, coordinate 0 going kMinus).
+  bool link_exists(NodeId node, int dim, Direction dir) const noexcept;
 
   /// Coordinate of `node` in dimension `dim` (dimension 0 varies fastest).
   int coord(NodeId node, int dim) const noexcept;
@@ -61,14 +80,17 @@ class KAryNCube {
   /// Neighbour of `node` one hop along `dim` in direction `dir`.
   NodeId neighbor(NodeId node, int dim, Direction dir) const noexcept;
 
-  /// Hops from coordinate a to b travelling in `dir` around a ring.
+  /// Hops from coordinate a to b travelling in `dir` around a ring. On a
+  /// mesh the line cannot wrap: b must be reachable in `dir` (b >= a for
+  /// kPlus, b <= a for kMinus).
   int ring_distance(int a, int b, Direction dir) const noexcept;
   /// Shortest-hop distance within a ring honouring directionality: for the
   /// unidirectional torus this is the (+) distance; for bidirectional, the
-  /// smaller of the two (ties count as the (+) distance).
+  /// smaller of the two (ties count as the (+) distance); for a mesh line,
+  /// |a - b|.
   int ring_hops(int a, int b) const noexcept;
   /// Direction a deterministic message takes in a ring (kPlus when
-  /// unidirectional or tied).
+  /// unidirectional or tied; on a mesh, the sign of b - a).
   Direction ring_direction(int a, int b) const noexcept;
 
   /// Total hop count of the deterministic route src -> dst.
@@ -83,16 +105,19 @@ class KAryNCube {
 
   /// True when the link (node, dim, dir) is the ring's wrap-around link,
   /// i.e. it crosses the dateline used for deadlock-free VC classing.
+  /// Always false on a mesh (there is no wrap-around link to cross).
   bool is_wrap_link(NodeId node, int dim, Direction dir) const noexcept;
 
   /// Mean hops per dimension under uniform traffic (paper eq (1)):
-  /// unidirectional (k-1)/2; bidirectional ~ k/4 (exact value returned).
+  /// unidirectional (k-1)/2; bidirectional ~ k/4 (exact value returned);
+  /// mesh (k^2 - 1)/(3k), the mean |a - b| over iid uniform coordinates.
   double mean_ring_hops_uniform() const noexcept;
 
  private:
   int k_;
   int n_;
   bool bidirectional_;
+  bool mesh_;
   NodeId size_;
   std::array<NodeId, kMaxDims> stride_;  // k^dim
 };

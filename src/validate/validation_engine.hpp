@@ -4,8 +4,9 @@
 // The paper's claim is §4's model/simulation agreement; this engine turns
 // that claim into a tracked, machine-checkable artifact. A validation suite
 // is a list of ScenarioCases spanning every registry-dispatched model family
-// (hot-spot torus, uniform torus, hot-spot/uniform hypercube) plus sim-only
-// specs (MMPP bursts, permutation patterns, ...). For each case the engine
+// (hot-spot torus, uniform torus, hot-spot/uniform hypercube, uniform mesh)
+// plus sim-only specs (MMPP bursts, permutation patterns, ...). For each
+// case the engine
 // sweeps lambda at fixed fractions of the model's bisected saturation rate
 // (sim-only cases anchor on an explicit max_rate), measures each point with
 // R-replication Student-t confidence intervals (ReplicationRunner), and
@@ -136,9 +137,10 @@ class ValidationEngine {
 };
 
 /// The committed-baseline suite: every registry-modeled topology x traffic x
-/// arrivals family plus sim-only specs (MMPP bursts, transpose permutation,
-/// bidirectional torus). Sized for minutes, not hours — the nightly CI job
-/// and `tools/validate` run this.
+/// arrivals family (incl. the uniform mesh at two shapes) plus sim-only
+/// specs (MMPP bursts, transpose permutation, bidirectional torus, mesh
+/// hot-spot). Sized for minutes, not hours — the nightly CI job and
+/// `tools/validate` run this.
 std::vector<ScenarioCase> full_suite();
 
 /// Tier-1 subset (ctest label `accuracy`): one modeled case per topology

@@ -1,0 +1,215 @@
+// Error-path coverage for the ScenarioSpec text language and validate():
+// the round-trip property test (scenario_spec_test.cpp) pins the happy
+// path; these pin that malformed keys, malformed and out-of-range values,
+// inactive-variant parameters and inconsistent topology/traffic
+// combinations all throw std::invalid_argument instead of slipping through
+// to the simulator as silently-wrong configurations.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <stdexcept>
+#include <string>
+
+#include "core/scenario_spec.hpp"
+
+namespace kncube::core {
+namespace {
+
+void expect_throws(const std::string& key, const std::string& value,
+                   ScenarioSpec spec = {}) {
+  EXPECT_THROW(apply_scenario_setting(spec, key, value), std::invalid_argument)
+      << key << "=" << value;
+}
+
+TEST(ScenarioErrors, UnknownAndMalformedKeys) {
+  expect_throws("nonsense", "1");
+  expect_throws("topology", "torus");        // missing the .kind leaf
+  expect_throws("topology.radix", "8");      // no such parameter
+  expect_throws("Topology.k", "8");          // keys are case-sensitive
+  expect_throws("router.vcs ", "2");         // apply takes exact keys
+  EXPECT_THROW(parse_scenario("topology.kind"), std::invalid_argument);
+  EXPECT_THROW(parse_scenario("just some text\n"), std::invalid_argument);
+}
+
+TEST(ScenarioErrors, MalformedValues) {
+  expect_throws("topology.k", "eight");
+  expect_throws("topology.k", "8x");         // trailing garbage
+  expect_throws("topology.k", "");
+  expect_throws("topology.bidirectional", "maybe");
+  expect_throws("traffic.hot_fraction", "20%");
+  expect_throws("measure.seed", "-1");       // seeds are unsigned
+  expect_throws("measure.seed", "0x10");     // decimal only
+  expect_throws("model.blocking", "both");
+  expect_throws("model.busy_basis", "Transmission");
+  expect_throws("topology.kind", "ring");
+  expect_throws("traffic.kind", "bitreversal");
+  expect_throws("arrivals.kind", "poisson");
+}
+
+TEST(ScenarioErrors, OutOfRangeIntegers) {
+  // Values beyond int32 must fail the parse, not wrap silently.
+  const std::string big = std::to_string(
+      static_cast<long long>(std::numeric_limits<int>::max()) + 1);
+  expect_throws("topology.k", big);
+  expect_throws("router.vcs", big);
+  expect_throws("workload.message_length",
+                "999999999999999999999999999999");  // overflows long long too
+}
+
+TEST(ScenarioErrors, InactiveVariantParameters) {
+  {
+    ScenarioSpec spec;  // torus active
+    EXPECT_THROW(apply_scenario_setting(spec, "topology.dims", "5"),
+                 std::invalid_argument);
+  }
+  {
+    ScenarioSpec spec;
+    apply_scenario_setting(spec, "topology.kind", "hypercube");
+    EXPECT_THROW(apply_scenario_setting(spec, "topology.k", "8"),
+                 std::invalid_argument);
+    EXPECT_THROW(apply_scenario_setting(spec, "topology.bidirectional", "true"),
+                 std::invalid_argument);
+  }
+  {
+    // topology.k/n are shared by torus and mesh, but bidirectional is the
+    // torus extension knob: a mesh must reject it rather than alias the
+    // bidirectional torus.
+    ScenarioSpec spec;
+    apply_scenario_setting(spec, "topology.kind", "mesh");
+    apply_scenario_setting(spec, "topology.k", "6");
+    apply_scenario_setting(spec, "topology.n", "3");
+    EXPECT_EQ(spec.mesh().k, 6);
+    EXPECT_EQ(spec.mesh().n, 3);
+    EXPECT_THROW(apply_scenario_setting(spec, "topology.bidirectional", "true"),
+                 std::invalid_argument);
+    EXPECT_THROW(apply_scenario_setting(spec, "topology.dims", "3"),
+                 std::invalid_argument);
+  }
+  {
+    ScenarioSpec spec;
+    apply_scenario_setting(spec, "traffic.kind", "uniform");
+    EXPECT_THROW(apply_scenario_setting(spec, "traffic.hot_fraction", "0.3"),
+                 std::invalid_argument);
+    EXPECT_THROW(apply_scenario_setting(spec, "traffic.hot_node", "5"),
+                 std::invalid_argument);
+  }
+  {
+    ScenarioSpec spec;  // bernoulli active
+    EXPECT_THROW(apply_scenario_setting(spec, "arrivals.burst_multiplier", "2"),
+                 std::invalid_argument);
+  }
+}
+
+TEST(ScenarioErrors, ParseReportsLineNumbersForMalformedLines) {
+  try {
+    parse_scenario("topology.kind=torus\n\n# comment\nbroken line\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioErrors, ValidateRejectsInconsistentTopologyTrafficCombos) {
+  {
+    // Transpose needs a flat 2-D substrate: fine on a 2-D mesh...
+    ScenarioSpec spec;
+    spec.topology = MeshTopology{8, 2};
+    spec.traffic = TransposeTraffic{};
+    EXPECT_NO_THROW(spec.validate());
+    // ...but must throw on a 3-D mesh, a 3-D torus and a hypercube.
+    spec.topology = MeshTopology{4, 3};
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+    spec.topology = TorusTopology{4, 3, false};
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+    spec.topology = HypercubeTopology{6};
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+  }
+  {
+    // Bit-reversal needs a power-of-two node count: a 3x3 mesh is not one.
+    ScenarioSpec spec;
+    spec.topology = MeshTopology{3, 2};
+    spec.traffic = BitReversalTraffic{};
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+    spec.topology = MeshTopology{4, 2};
+    EXPECT_NO_THROW(spec.validate());
+  }
+  {
+    // The unidirectional torus deadlock guard does not apply to the mesh:
+    // V = 1 is legal there (acyclic dimension-order routing)...
+    ScenarioSpec spec;
+    spec.topology = MeshTopology{8, 2};
+    spec.traffic = UniformTraffic{};
+    spec.vcs = 1;
+    EXPECT_NO_THROW(spec.validate());
+    // ...and still illegal on the unidirectional torus.
+    spec.topology = TorusTopology{8, 2, false};
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+  }
+  {
+    // Shape bounds per family.
+    ScenarioSpec spec;
+    spec.topology = MeshTopology{1, 2};
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+    spec.topology = MeshTopology{4, 9};  // > topo::kMaxDims
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+  }
+  {
+    // MMPP probabilities must be in (0, 1].
+    ScenarioSpec spec;
+    spec.arrivals = MmppArrivals{4.0, 0.0, 0.5};
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+    spec.arrivals = MmppArrivals{0.5, 0.001, 0.002};  // multiplier < 1
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+  }
+}
+
+TEST(ScenarioErrors, ValidateBoundsHotNodeAgainstResolvedTopology) {
+  // The resolved-topology hot-node check lives in validate() itself (not
+  // only at sim-config time): -1 is the centre placeholder, other negatives
+  // are rejected, and ids must fit the active alternative's node count —
+  // across all three topology families.
+  const auto with_hot_node = [](Topology topo, std::int64_t hot_node) {
+    ScenarioSpec spec;
+    spec.topology = topo;
+    spec.hotspot().hot_node = hot_node;
+    return spec;
+  };
+  const struct {
+    Topology topo;
+    std::uint64_t nodes;
+  } families[] = {
+      {TorusTopology{8, 2, false}, 64},
+      {HypercubeTopology{5}, 32},
+      {MeshTopology{4, 3}, 64},
+  };
+  for (const auto& fam : families) {
+    EXPECT_NO_THROW(with_hot_node(fam.topo, -1).validate());
+    EXPECT_NO_THROW(
+        with_hot_node(fam.topo, static_cast<std::int64_t>(fam.nodes) - 1).validate());
+    EXPECT_THROW(with_hot_node(fam.topo, -2).validate(), std::invalid_argument);
+    EXPECT_THROW(
+        with_hot_node(fam.topo, static_cast<std::int64_t>(fam.nodes)).validate(),
+        std::invalid_argument);
+  }
+}
+
+TEST(ScenarioErrors, MeshRoundTripsThroughTextForm) {
+  // The mesh variant participates in the canonical text form like any
+  // other: format -> parse -> format is a fixed point and the key is stable.
+  ScenarioSpec spec;
+  spec.topology = MeshTopology{6, 3};
+  spec.traffic = UniformTraffic{};
+  spec.vcs = 1;
+  const std::string text = format_scenario(spec);
+  EXPECT_NE(text.find("topology.kind=mesh\n"), std::string::npos);
+  const ScenarioSpec back = parse_scenario(text);
+  ASSERT_TRUE(back.is_mesh());
+  EXPECT_EQ(back.mesh().k, 6);
+  EXPECT_EQ(back.mesh().n, 3);
+  EXPECT_EQ(format_scenario(back), text);
+  EXPECT_EQ(back.key(), spec.key());
+}
+
+}  // namespace
+}  // namespace kncube::core

@@ -17,6 +17,7 @@
 #include "model/engine/vcmux.hpp"
 #include "model/hotspot_model.hpp"
 #include "model/hypercube_model.hpp"
+#include "model/mesh_model.hpp"
 #include "model/path_probabilities.hpp"
 #include "model/solver.hpp"
 #include "model/uniform_model.hpp"
@@ -699,6 +700,23 @@ TEST(EngineParity, RegistryPathMatchesDirectModelsBitForBit) {
           },
           HypercubeHotspotModel(cfg).estimated_saturation_rate(),
           "hotspot-hypercube");
+  }
+  {
+    core::ScenarioSpec spec;
+    spec.topology = core::MeshTopology{8, 2};
+    spec.traffic = core::UniformTraffic{};
+    MeshModelConfig cfg;
+    cfg.k = 8;
+    cfg.n = 2;
+    cfg.vcs = spec.vcs;
+    cfg.message_length = spec.message_length;
+    check(spec,
+          [&](double lambda) {
+            cfg.injection_rate = lambda;
+            const MeshModelResult r = MeshUniformModel(cfg).solve();
+            return std::make_pair(r.saturated, r.latency);
+          },
+          MeshUniformModel(cfg).estimated_saturation_rate(), "uniform-mesh");
   }
 }
 

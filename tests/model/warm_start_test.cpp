@@ -10,6 +10,7 @@
 
 #include <bit>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/saturation.hpp"
@@ -17,6 +18,7 @@
 #include "core/sweep_engine.hpp"
 #include "model/hotspot_model.hpp"
 #include "model/hypercube_model.hpp"
+#include "model/mesh_model.hpp"
 #include "model/uniform_model.hpp"
 
 namespace kncube::model {
@@ -171,6 +173,83 @@ TEST(WarmStart, RegistryEnginePathsAreBitIdenticalToDirectModels) {
     cold.set_warm_start(false);
     EXPECT_EQ(bits(engine.saturation_rate(1e-3).rate),
               bits(cold.saturation_rate(1e-3).rate));
+  }
+}
+
+TEST(WarmStart, MeshChainIsBitIdenticalIncludingKnee) {
+  // The mesh model's per-(dimension, position) classes run through the same
+  // engine solve; continuation across an ascending sweep (including the
+  // saturation knee and one saturated point) must be a pure accelerator.
+  for (auto [k, n] : {std::pair{8, 2}, std::pair{4, 3}}) {
+    MeshModelConfig cfg;
+    cfg.k = k;
+    cfg.n = n;
+    cfg.vcs = 2;
+    cfg.message_length = 16;
+    const double sat_est = MeshUniformModel(cfg).estimated_saturation_rate();
+
+    std::vector<double> chain;  // converged state of the previous point
+    for (double f : {0.1, 0.3, 0.5, 0.7, 0.85, 0.95, 1.05, 1.5}) {
+      cfg.injection_rate = f * sat_est;
+      const MeshUniformModel model(cfg);
+      const MeshModelResult cold = model.solve();
+      std::vector<double> state;
+      const MeshModelResult warm =
+          model.solve(chain.empty() ? nullptr : &chain, &state);
+      ASSERT_EQ(cold.saturated, warm.saturated) << "k=" << k << " f=" << f;
+      EXPECT_EQ(bits(cold.latency), bits(warm.latency)) << "k=" << k << " f=" << f;
+      EXPECT_EQ(bits(cold.network_latency), bits(warm.network_latency))
+          << "k=" << k << " f=" << f;
+      EXPECT_EQ(bits(cold.max_channel_utilization), bits(warm.max_channel_utilization))
+          << "k=" << k << " f=" << f;
+      EXPECT_EQ(cold.saturated, state.empty()) << "k=" << k << " f=" << f;
+      if (!state.empty()) chain = std::move(state);
+    }
+  }
+}
+
+TEST(WarmStart, MeshSweepEngineIsWarmStartedMemoizedAndBitIdenticalToCold) {
+  // Mesh sweeps ride the same SweepEngine machinery as every other family:
+  // repeated lambdas are memoized, each solve is warm-started from the
+  // nearest stable point below, and none of that may change a single bit
+  // relative to a cold engine or the direct model class.
+  core::ScenarioSpec spec;
+  spec.topology = core::MeshTopology{8, 2};
+  spec.traffic = core::UniformTraffic{};
+
+  core::SweepEngine warm_engine(spec);
+  ASSERT_TRUE(warm_engine.has_model());
+  ASSERT_TRUE(warm_engine.warm_start());
+  core::SweepEngine cold_engine(spec);
+  cold_engine.set_warm_start(false);
+
+  // The saturation bisection must agree bit-for-bit (every probe classifies
+  // identically on both paths).
+  EXPECT_EQ(bits(warm_engine.saturation_rate(1e-3).rate),
+            bits(cold_engine.saturation_rate(1e-3).rate));
+
+  const auto lams = warm_engine.lambda_sweep(6, 0.1, 0.95);
+  std::vector<double> descending(lams.rbegin(), lams.rend());
+  // Populate the warm cache in descending order first so warm sources vary.
+  (void)warm_engine.run(descending, /*run_sim=*/false);
+  const std::uint64_t hits_before = warm_engine.model_cache_hits();
+  const auto warm_pts = warm_engine.run(lams, /*run_sim=*/false);
+  // The second sweep re-visits the identical lambdas: all solves memoized.
+  EXPECT_EQ(warm_engine.model_cache_hits(), hits_before + lams.size());
+
+  const auto cold_pts = cold_engine.run(lams, /*run_sim=*/false);
+  MeshModelConfig cfg;
+  cfg.k = 8;
+  cfg.n = 2;
+  cfg.vcs = spec.vcs;
+  cfg.message_length = spec.message_length;
+  for (std::size_t i = 0; i < lams.size(); ++i) {
+    ASSERT_EQ(warm_pts[i].model.saturated, cold_pts[i].model.saturated) << i;
+    EXPECT_EQ(bits(warm_pts[i].model.latency), bits(cold_pts[i].model.latency)) << i;
+    cfg.injection_rate = lams[i];
+    const MeshModelResult direct = MeshUniformModel(cfg).solve();
+    ASSERT_EQ(warm_pts[i].model.saturated, direct.saturated) << i;
+    EXPECT_EQ(bits(warm_pts[i].model.latency), bits(direct.latency)) << i;
   }
 }
 

@@ -15,11 +15,15 @@
 // round-trip is exact).
 #include <gtest/gtest.h>
 
+#include <bit>
 #include <cstdint>
 #include <cstdlib>
 #include <iostream>
 
+#include "core/scenario_spec.hpp"
 #include "sim/simulator.hpp"
+#include "util/thread_pool.hpp"
+#include "validate/replication.hpp"
 
 namespace kncube::sim {
 namespace {
@@ -211,6 +215,83 @@ TEST(DeterminismGolden, MmppHotspotK8) {
   run_case("MmppHotspotK8", cfg, 20000,
            {1820u, 1817u, 29099u, 21u, 0u, 0x772f6d5353f4f90ULL,
             0x1.ad0f134d59781p+4, 0x1.95b0415faa565p+4});
+}
+
+TEST(DeterminismGolden, MeshK8N2Uniform) {
+  // 8x8 mesh, uniform traffic: no wrap links (edge ports unconnected), no
+  // dateline classes (all VCs are class 0), position-dependent channel load
+  // peaking at the bisection links. Pins the mesh routing/wiring path.
+  SimConfig cfg;
+  cfg.k = 8;
+  cfg.n = 2;
+  cfg.mesh = true;
+  cfg.vcs = 2;
+  cfg.buffer_depth = 2;
+  cfg.message_length = 16;
+  cfg.pattern = Pattern::kUniform;
+  cfg.injection_rate = 8e-3;
+  cfg.seed = 0x4D455348;  // "MESH"
+  run_case("MeshK8N2Uniform", cfg, 20000,
+           {10084u, 10069u, 161194u, 150u, 0u, 0xcb293402a592d1dfULL,
+            0x1.daab9da8630ebp+4, 0x1.ce79e2a8f8c25p+4});
+}
+
+TEST(DeterminismGolden, MeshK4N3Hotspot) {
+  // 4x4x4 mesh with a centre hot spot: hot-spot funnelling without the
+  // torus's symmetry, V = 1 (legal on a mesh — acyclic routing needs no
+  // dateline split) and depth-1 buffers to stress the credit path.
+  SimConfig cfg;
+  cfg.k = 4;
+  cfg.n = 3;
+  cfg.mesh = true;
+  cfg.vcs = 1;
+  cfg.buffer_depth = 1;
+  cfg.message_length = 8;
+  cfg.pattern = Pattern::kHotspot;
+  cfg.hot_fraction = 0.3;
+  cfg.injection_rate = 4e-3;
+  cfg.seed = 0xCAFE42;
+  run_case("MeshK4N3Hotspot", cfg, 16000,
+           {4049u, 4042u, 32348u, 44u, 0u, 0x9e1a02730f915509ULL,
+            0x1.5b0c4977f4dacp+4, 0x1.44c61ca09e15fp+4});
+}
+
+TEST(DeterminismGolden, MeshReplicationBitIdenticalAcrossThreadCountsAndRuns) {
+  // The mesh goldens above pin one process; this pins the *measurement
+  // subsystem* over the mesh: ReplicationRunner aggregates must be
+  // bit-identical when re-run and when the worker count changes (per-
+  // replication seed streams are scheduling-independent).
+  core::ScenarioSpec spec;
+  spec.topology = core::MeshTopology{8, 2};
+  spec.traffic = core::UniformTraffic{};
+  spec.message_length = 16;
+  spec.warmup_cycles = 2000;
+  spec.target_messages = 400;
+  spec.max_cycles = 200000;
+
+  util::ThreadPool one(1);
+  util::ThreadPool many(4);
+  const validate::ReplicationRunner serial(spec, 3, &one);
+  const validate::ReplicationRunner serial_again(spec, 3, &one);
+  const validate::ReplicationRunner parallel(spec, 3, &many);
+
+  const double lambda = 5e-3;
+  const validate::ReplicationPoint a = serial.run(lambda);
+  const validate::ReplicationPoint b = serial_again.run(lambda);
+  const validate::ReplicationPoint c = parallel.run(lambda);
+  const auto bits = [](double v) { return std::bit_cast<std::uint64_t>(v); };
+  for (const validate::ReplicationPoint* p : {&b, &c}) {
+    EXPECT_EQ(bits(a.latency.mean), bits(p->latency.mean));
+    EXPECT_EQ(bits(a.latency.half_width), bits(p->latency.half_width));
+    EXPECT_EQ(bits(a.network_latency.mean), bits(p->network_latency.mean));
+    EXPECT_EQ(bits(a.throughput.mean), bits(p->throughput.mean));
+    ASSERT_EQ(a.results.size(), p->results.size());
+    for (std::size_t r = 0; r < a.results.size(); ++r) {
+      EXPECT_EQ(bits(a.results[r].mean_latency), bits(p->results[r].mean_latency))
+          << "replication " << r;
+      EXPECT_EQ(a.results[r].cycles, p->results[r].cycles) << "replication " << r;
+    }
+  }
 }
 
 TEST(DeterminismGolden, FullMeasurementProtocol) {

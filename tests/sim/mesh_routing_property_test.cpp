@@ -1,0 +1,108 @@
+// Property tests for mesh routing, randomized over the ScenarioSpec space.
+//
+// On a k-ary n-mesh, dimension-order routing has exactly one minimal path
+// per (src, dst) pair and no wrap-around links to take: every routed message
+// must traverse exactly the Manhattan-distance hop count and never cross a
+// wrap link. The matching torus (same k, n) can only shorten rides — its
+// wrap links add shortcuts — giving a metamorphic cross-topology check that
+// needs no golden values. Both properties are checked on the topology the
+// *simulator* routes with (to_sim_config -> Network), not a hand-built one,
+// so the spec plumbing is under test too.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+
+#include "core/scenario_spec.hpp"
+#include "sim/network.hpp"
+#include "sim/simulator.hpp"
+
+namespace kncube::sim {
+namespace {
+
+int manhattan(const topo::KAryNCube& net, topo::NodeId s, topo::NodeId t) {
+  int dist = 0;
+  for (int d = 0; d < net.dims(); ++d) {
+    dist += std::abs(net.coord(s, d) - net.coord(t, d));
+  }
+  return dist;
+}
+
+TEST(MeshRoutingProperty, RoutesAreManhattanMinimalAndNeverWrap) {
+  std::mt19937_64 rng(0x4D455348);  // deterministic: "MESH"
+  for (int trial = 0; trial < 40; ++trial) {
+    core::ScenarioSpec spec;
+    const int n = 1 + static_cast<int>(rng() % 3);
+    // Keep k^n small enough to sample densely (<= 512 nodes).
+    const int max_k = n == 1 ? 32 : (n == 2 ? 16 : 8);
+    const int k = 2 + static_cast<int>(rng() % (max_k - 1));
+    spec.topology = core::MeshTopology{k, n};
+    spec.traffic = core::UniformTraffic{};
+    spec.vcs = 1 + static_cast<int>(rng() % 3);  // V = 1 is legal on a mesh
+    spec.validate();
+
+    const Network net(core::to_sim_config(spec, 1e-3));
+    const topo::KAryNCube& mesh = net.topology();
+    ASSERT_TRUE(mesh.mesh());
+
+    const topo::KAryNCube torus(k, n, /*bidirectional=*/true);
+
+    std::uniform_int_distribution<topo::NodeId> node(0, mesh.size() - 1);
+    for (int pair = 0; pair < 200; ++pair) {
+      const topo::NodeId s = node(rng);
+      const topo::NodeId t = node(rng);
+      if (s == t) continue;
+      const int dist = manhattan(mesh, s, t);
+      EXPECT_EQ(mesh.hops(s, t), dist) << "k=" << k << " n=" << n;
+      const auto path = mesh.route(s, t);
+      EXPECT_EQ(static_cast<int>(path.size()), dist) << "k=" << k << " n=" << n;
+      topo::NodeId cur = s;
+      for (const topo::Hop& hop : path) {
+        EXPECT_EQ(hop.from, cur);
+        EXPECT_FALSE(hop.wraps) << "mesh route crossed a wrap link";
+        EXPECT_FALSE(mesh.is_wrap_link(hop.from, hop.dim, hop.dir));
+        EXPECT_TRUE(mesh.link_exists(hop.from, hop.dim, hop.dir));
+        cur = hop.to;
+      }
+      EXPECT_EQ(cur, t);
+      // Metamorphic: wrap links only ever shorten the ride.
+      EXPECT_LE(torus.hops(s, t), dist) << "k=" << k << " n=" << n;
+    }
+  }
+}
+
+TEST(MeshRoutingProperty, DeliveredMeshMessagesMatchManhattanAtZeroLoad) {
+  // End-to-end through the router pipeline: at near-zero load a message
+  // faces no contention, so its network latency is exactly
+  // hops + Lm - 1 + 1 (the injection crossing). Sampled via the simulator's
+  // min network latency over a short run on random mesh shapes.
+  std::mt19937_64 rng(0xA11CE);
+  for (int trial = 0; trial < 5; ++trial) {
+    core::ScenarioSpec spec;
+    const int n = 1 + static_cast<int>(rng() % 2);
+    const int k = 3 + static_cast<int>(rng() % 6);
+    spec.topology = core::MeshTopology{k, n};
+    spec.traffic = core::UniformTraffic{};
+    spec.message_length = 4;
+    spec.seed = rng();
+    spec.warmup_cycles = 0;
+    spec.target_messages = 50;
+    spec.max_cycles = 200000;
+    spec.validate();
+
+    Simulator sim(core::to_sim_config(spec, 1e-4));
+    sim.metrics().begin_measurement(0);
+    sim.step_cycles(50000);
+    ASSERT_GT(sim.metrics().delivered_total(), 0u) << "k=" << k << " n=" << n;
+    // A contention-free message spends hops + Lm - 1 cycles in the network,
+    // so the mean must sit inside [1 + Lm - 1, n(k-1) + Lm - 1] (plus a
+    // whisker of queueing noise at the top) at this near-zero load.
+    const double lm = spec.message_length;
+    const double mean = sim.metrics().network_latency().mean();
+    EXPECT_GE(mean, 1.0 + lm - 1.0) << "k=" << k << " n=" << n;
+    EXPECT_LE(mean, n * (k - 1) + lm - 1.0 + 2.0) << "k=" << k << " n=" << n;
+  }
+}
+
+}  // namespace
+}  // namespace kncube::sim

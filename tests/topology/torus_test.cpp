@@ -164,6 +164,31 @@ TEST(Torus, MeanRingHopsUniform) {
   EXPECT_DOUBLE_EQ(KAryNCube(4, 2).mean_ring_hops_uniform(), 1.5);
   // Bidirectional 8-ring: distances 0,1,2,3,4,3,2,1 -> mean 2.
   EXPECT_DOUBLE_EQ(KAryNCube(8, 2, true).mean_ring_hops_uniform(), 2.0);
+  // Mesh 8-line: E|a-b| = (k^2-1)/(3k) = 63/24.
+  EXPECT_DOUBLE_EQ(KAryNCube(8, 2, false, true).mean_ring_hops_uniform(),
+                   63.0 / 24.0);
+}
+
+TEST(Torus, MeshLinesHaveNoWrapLinksAndForcedBidirectionality) {
+  const KAryNCube net(4, 2, /*bidirectional=*/false, /*mesh=*/true);
+  EXPECT_TRUE(net.mesh());
+  EXPECT_TRUE(net.bidirectional());  // a unidirectional line is disconnected
+  EXPECT_EQ(net.channels_per_node(), 4);  // 2n ports (edge ones unconnected)
+  for (NodeId id = 0; id < net.size(); ++id) {
+    for (int d = 0; d < net.dims(); ++d) {
+      const int c = net.coord(id, d);
+      EXPECT_EQ(net.link_exists(id, d, Direction::kPlus), c < 3);
+      EXPECT_EQ(net.link_exists(id, d, Direction::kMinus), c > 0);
+      EXPECT_FALSE(net.is_wrap_link(id, d, Direction::kPlus));
+      EXPECT_FALSE(net.is_wrap_link(id, d, Direction::kMinus));
+    }
+  }
+  // Direction always follows the sign of the coordinate difference; the
+  // torus's wrap tie-break never applies.
+  EXPECT_EQ(net.ring_direction(0, 3), Direction::kPlus);
+  EXPECT_EQ(net.ring_direction(3, 0), Direction::kMinus);
+  EXPECT_EQ(net.ring_hops(0, 3), 3);  // the torus would wrap in 1
+  EXPECT_EQ(net.ring_hops(3, 0), 3);
 }
 
 TEST(Torus, MeanHopsMatchesBruteForceEnumeration) {
