@@ -8,7 +8,8 @@ namespace {
 
 using namespace kncube;
 
-sim::SimConfig bench_config(int k, int lm, double frac_of_capacity) {
+sim::SimConfig bench_config(int k, int lm, double frac_of_capacity,
+                            int sim_threads = 1) {
   sim::SimConfig cfg;
   cfg.k = k;
   cfg.n = 2;
@@ -20,13 +21,18 @@ sim::SimConfig bench_config(int k, int lm, double frac_of_capacity) {
   const double coeff = 0.2 * k * (k - 1.0) + 0.8 * (k - 1.0) / 2.0;
   cfg.injection_rate = frac_of_capacity / (coeff * lm);
   cfg.seed = 42;
+  cfg.sim_threads = sim_threads;
   return cfg;
 }
 
+/// Args: {k, load%, sim_threads}. The threads axis measures the sharded
+/// cycle engine; results are bit-identical across it by contract, so the
+/// flits_delivered counter doubles as a cross-check between rows.
 void BM_SimulatorCycles(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
   const auto load = static_cast<double>(state.range(1)) / 100.0;
-  sim::Simulator sim(bench_config(k, 32, load));
+  const int threads = static_cast<int>(state.range(2));
+  sim::Simulator sim(bench_config(k, 32, load, threads));
   sim.step_cycles(2000);  // warm the network into steady operation
   std::uint64_t cycles = 0;
   for (auto _ : state) {
@@ -39,9 +45,11 @@ void BM_SimulatorCycles(benchmark::State& state) {
       benchmark::Counter(static_cast<double>(cycles), benchmark::Counter::kIsRate);
   state.counters["flits_delivered"] =
       static_cast<double>(sim.metrics().flits_delivered());
+  state.counters["shards"] = static_cast<double>(sim.network().shard_count());
 }
 BENCHMARK(BM_SimulatorCycles)
-    ->ArgsProduct({{8, 16, 32}, {30, 80}})
+    ->ArgsProduct({{8, 16, 32, 64}, {30, 80}, {1}})
+    ->ArgsProduct({{32, 64}, {30, 80}, {2, 4}})
     ->Unit(benchmark::kMillisecond);
 
 void BM_SimulatorConstruction(benchmark::State& state) {

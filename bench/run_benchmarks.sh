@@ -28,8 +28,17 @@ for bin in perf_sim perf_model; do
   fi
 done
 
+# Refuse to bake Debug numbers into the committed baselines: -O0 results are
+# an order of magnitude off and every later perf PR would diff against noise.
+# KNCUBE_ALLOW_DEBUG_BENCH=1 overrides for local experiments.
 if grep -q "CMAKE_BUILD_TYPE:STRING=Debug" "$build_dir/CMakeCache.txt" 2>/dev/null; then
-  echo "warning: $build_dir is a Debug build; do not commit these numbers." >&2
+  if [[ "${KNCUBE_ALLOW_DEBUG_BENCH:-}" != "1" ]]; then
+    echo "error: $build_dir is a Debug build; refusing to write baselines." >&2
+    echo "Rebuild Release (a bare 'cmake -B build' defaults to it), or set" >&2
+    echo "KNCUBE_ALLOW_DEBUG_BENCH=1 to override for a local experiment." >&2
+    exit 1
+  fi
+  echo "warning: Debug build (override active); do not commit these numbers." >&2
 fi
 
 echo "== perf_sim -> BENCH_sim.json"
@@ -43,5 +52,16 @@ echo "== perf_model -> BENCH_model.json"
   --benchmark_format=json \
   --benchmark_out="$repo_root/BENCH_model.json" \
   --benchmark_out_format=json "$@"
+
+# The distro's libbenchmark can itself be a debug flavour; it stamps the
+# context block, so surface it — the numbers are still comparable between
+# runs on the same library, but note it when reading absolute values.
+for f in "$repo_root/BENCH_sim.json" "$repo_root/BENCH_model.json"; do
+  if grep -q '"library_build_type": "debug"' "$f"; then
+    echo "WARNING: $(basename "$f") was produced against a debug google-benchmark" >&2
+    echo "         library (see its context block); absolute timings carry" >&2
+    echo "         library overhead even though the kncube code is optimised." >&2
+  fi
+done
 
 echo "Wrote $repo_root/BENCH_sim.json and $repo_root/BENCH_model.json"

@@ -5,6 +5,8 @@
 // Usage:
 //   kncube_run [spec.txt] [--set key=value]...   # spec file plus overrides
 //   kncube_run --set topology.k=32 --set traffic.hot_fraction=0.4
+//   kncube_run --set topology.k=32 --set sim.threads=4   # sharded stepping,
+//                                  # bit-identical results (DESIGN.md §9)
 //   kncube_run spec.txt --print-spec             # echo the resolved spec
 //
 // Sweep controls:

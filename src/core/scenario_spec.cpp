@@ -133,6 +133,7 @@ void ScenarioSpec::validate() const {
     // simulator's dimension bound applies to the whole spec.
     if (h.dims < 1 || h.dims > topo::kMaxDims) fail("hypercube dims out of range");
   }
+  if (sim_threads < 0) fail("sim threads must be >= 0 (0 = hardware concurrency)");
   if (vcs < 1) fail("need at least one virtual channel");
   if (buffer_depth < 1) fail("buffer depth must be >= 1");
   if (message_length < 1) fail("message length must be >= 1 flit");
@@ -216,6 +217,9 @@ std::string format_scenario(const ScenarioSpec& spec) {
       << "\n";
   out << "model.busy_basis=" << basis_name(spec.busy_basis) << "\n";
   out << "model.vcmux_basis=" << basis_name(spec.vcmux_basis) << "\n";
+  // Execution knobs come last: key() drops `sim.`-prefixed lines wholesale,
+  // so everything above is the result-defining prefix.
+  out << "sim.threads=" << spec.sim_threads << "\n";
   return out.str();
 }
 
@@ -339,6 +343,8 @@ void apply_scenario_setting(ScenarioSpec& spec, const std::string& key,
     spec.busy_basis = parse_basis(key, value);
   } else if (key == "model.vcmux_basis") {
     spec.vcmux_basis = parse_basis(key, value);
+  } else if (key == "sim.threads") {
+    spec.sim_threads = parse_int32(key, value);
   } else {
     fail("unknown key '" + key + "'");
   }
@@ -365,12 +371,23 @@ ScenarioSpec parse_scenario(const std::string& text) {
 
 std::uint64_t ScenarioSpec::key() const {
   // FNV-1a over the canonical text form: stable across processes and
-  // sensitive to every field (the text form is injective by construction).
+  // sensitive to every result-affecting field (the text form is injective by
+  // construction). `sim.`-prefixed execution lines are skipped: sim.threads
+  // is bit-identical by contract, so cache entries, SweepEngine memo hits
+  // and replication seeds must not depend on it.
   const std::string text = format_scenario(*this);
   std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (const char c : text) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 0x100000001b3ULL;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size() - 1;
+    if (text.compare(pos, 4, "sim.") != 0) {
+      for (std::size_t i = pos; i <= nl; ++i) {
+        h ^= static_cast<unsigned char>(text[i]);
+        h *= 0x100000001b3ULL;
+      }
+    }
+    pos = nl + 1;
   }
   return h;
 }
@@ -433,6 +450,7 @@ sim::SimConfig to_sim_config(const ScenarioSpec& spec, double lambda) {
   cfg.warmup_cycles = spec.warmup_cycles;
   cfg.target_messages = spec.target_messages;
   cfg.max_cycles = spec.max_cycles;
+  cfg.sim_threads = spec.sim_threads;
   return cfg;
 }
 

@@ -108,13 +108,21 @@ struct ScenarioSpec {
   model::ServiceBasis busy_basis = model::ServiceBasis::kTransmission;
   model::ServiceBasis vcmux_basis = model::ServiceBasis::kTransmission;
 
+  // --- execution (simulator side; never affects results) ---
+  /// Router shards for Network::step: 0 = hardware concurrency, 1 = serial,
+  /// N > 1 = N shards. Results are bit-identical for every value, so this
+  /// knob is excluded from key() — same scenario, same cache entry and
+  /// replication seeds, regardless of how it is executed.
+  int sim_threads = 1;
+
   /// Throws std::invalid_argument when the combination is inconsistent
   /// (e.g. transpose off a 2-D torus, MMPP probabilities outside (0,1],
   /// hot node outside the network).
   void validate() const;
 
-  /// Canonical 64-bit hash over every field (FNV-1a of the canonical text
-  /// form), stable across processes — the cache key for whole scenarios.
+  /// Canonical 64-bit hash over every result-affecting field (FNV-1a of the
+  /// canonical text form with `sim.*` execution lines skipped), stable
+  /// across processes — the cache key for whole scenarios.
   std::uint64_t key() const;
 
   /// Node count N of the configured topology.

@@ -60,6 +60,7 @@ void SimConfig::validate() const {
     }
     if (mmpp.burst_rate_multiplier < 1.0) fail("MMPP burst multiplier must be >= 1");
   }
+  if (sim_threads < 0) fail("sim threads must be >= 0 (0 = hardware concurrency)");
   if (batch_size == 0) fail("batch size must be positive");
   if (steady_rel_tol <= 0.0) fail("steady-state tolerance must be positive");
   if (max_cycles <= warmup_cycles) fail("max cycles must exceed warmup");

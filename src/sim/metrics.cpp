@@ -26,6 +26,19 @@ void Metrics::on_injected(MessageId msg, std::uint64_t gen_cycle, std::uint64_t 
   inject_cycle_.emplace(msg, cycle);
 }
 
+void Metrics::apply_ejects(const StepDelta& delta, std::uint64_t cycle) {
+  flits_delivered_ += delta.flits_delivered;
+  for (const StepDelta::DeliveredEvent& e : delta.delivered) {
+    on_delivered(e.msg, e.gen_cycle, cycle, e.dest);
+  }
+}
+
+void Metrics::apply_injects(const StepDelta& delta, std::uint64_t cycle) {
+  for (const StepDelta::InjectedEvent& e : delta.injected) {
+    on_injected(e.msg, e.gen_cycle, cycle);
+  }
+}
+
 void Metrics::on_delivered(MessageId msg, std::uint64_t gen_cycle, std::uint64_t cycle,
                            topo::NodeId dest) {
   ++delivered_total_;

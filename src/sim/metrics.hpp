@@ -7,11 +7,46 @@
 
 #include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 #include "sim/flit.hpp"
 #include "util/stats.hpp"
 
 namespace kncube::sim {
+
+/// Per-shard buffer of one cycle's metric events and occupancy deltas.
+///
+/// The sharded Network::step cannot let router phases call Metrics directly:
+/// the floating-point accumulators are order-sensitive, so concurrent calls
+/// would make results depend on thread interleaving. Instead every shard
+/// appends its events here in router-id order during the phases, and the
+/// cycle boundary replays the buffers into Metrics shard-by-shard — ejection
+/// events of all shards first, then injection events, exactly the call
+/// sequence the serial loop produced. The integer fields are plain sums
+/// (order-independent), merged by addition.
+struct StepDelta {
+  struct DeliveredEvent {
+    MessageId msg = 0;
+    std::uint64_t gen_cycle = 0;
+    topo::NodeId dest = 0;
+  };
+  struct InjectedEvent {
+    MessageId msg = 0;
+    std::uint64_t gen_cycle = 0;
+  };
+
+  std::vector<DeliveredEvent> delivered;  ///< tail ejections, phase_eject order
+  std::vector<InjectedEvent> injected;    ///< head injections, phase_switch order
+  std::uint64_t flits_delivered = 0;      ///< every ejected flit (not just tails)
+  std::uint64_t messages_refilled = 0;    ///< source-queue messages materialised
+
+  void clear() noexcept {
+    delivered.clear();
+    injected.clear();
+    flits_delivered = 0;
+    messages_refilled = 0;
+  }
+};
 
 class Metrics {
  public:
@@ -36,6 +71,14 @@ class Metrics {
   void on_delivered(MessageId msg, std::uint64_t gen_cycle, std::uint64_t cycle,
                     topo::NodeId dest);
   void on_flit_delivered() noexcept { ++flits_delivered_; }
+
+  // --- deterministic replay of sharded-step buffers (Network::step) ---
+  /// Applies one shard's ejection-side events: flit count plus on_delivered
+  /// for each tail, in recorded order. Call for every shard in shard order
+  /// before any apply_injects of the same cycle.
+  void apply_ejects(const StepDelta& delta, std::uint64_t cycle);
+  /// Applies one shard's injection-side events (on_injected in order).
+  void apply_injects(const StepDelta& delta, std::uint64_t cycle);
 
   // --- counters ---
   std::uint64_t generated_total() const noexcept { return generated_total_; }

@@ -1,17 +1,36 @@
 #include "sim/network.hpp"
 
 #include <algorithm>
+#include <thread>
 
 #include "util/assert.hpp"
 
 namespace kncube::sim {
+
+namespace {
+
+/// Shards actually used for `size` routers: the configured knob (0 = one per
+/// hardware thread) capped so every shard keeps enough routers to amortise
+/// its phase barriers — tiny networks run serial no matter the knob. Pure
+/// function of (knob, hardware, size): never of timing, so the partition is
+/// process-deterministic; and results are partition-independent anyway.
+std::size_t resolve_shards(int sim_threads, topo::NodeId size) {
+  std::size_t want = sim_threads == 0
+                         ? std::max(1u, std::thread::hardware_concurrency())
+                         : static_cast<std::size_t>(sim_threads);
+  constexpr topo::NodeId kMinRoutersPerShard = 16;
+  const std::size_t cap =
+      std::max<std::size_t>(1, static_cast<std::size_t>(size / kMinRoutersPerShard));
+  return std::min(want, cap);
+}
+
+}  // namespace
 
 Network::Network(const SimConfig& cfg)
     : topo_(cfg.k, cfg.n, cfg.bidirectional, cfg.mesh),
       message_length_(static_cast<std::uint32_t>(cfg.message_length)) {
   cfg.validate();
   routers_.reserve(topo_.size());
-  active_.reserve(topo_.size());
   for (topo::NodeId id = 0; id < topo_.size(); ++id) {
     routers_.push_back(std::make_unique<Router>(
         topo_, id, cfg.vcs, cfg.buffer_depth, message_length_));
@@ -34,32 +53,64 @@ Network::Network(const SimConfig& cfg)
       down.connect_upstream(p, &r, p);
     }
   }
+
+  // Contiguous equal-ish shards over the router-id range. Contiguity keeps
+  // the concatenation of per-shard orders equal to global router-id order,
+  // which the metric replay and commit pass rely on.
+  const std::size_t shard_count = resolve_shards(cfg.sim_threads, topo_.size());
+  shards_.resize(shard_count);
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    Shard& sh = shards_[s];
+    sh.begin = static_cast<topo::NodeId>(topo_.size() * s / shard_count);
+    sh.end = static_cast<topo::NodeId>(topo_.size() * (s + 1) / shard_count);
+    sh.active.reserve(sh.end - sh.begin);
+  }
+  if (shard_count > 1) {
+    barrier_ = std::make_unique<util::SpinBarrier>(shard_count);
+    team_ = std::make_unique<util::ThreadTeam>(shard_count);
+  }
 }
 
-void Network::step(std::uint64_t cycle, Metrics& metrics) {
-  // Quiescent routers skip every phase; phases still run list-at-a-time (in
-  // router-id order) so all cross-router interactions keep the seed's
-  // globally synchronous semantics and metric-callback order.
-  active_.clear();
-  for (auto& r : routers_) {
+void Network::step_shard(std::size_t s) {
+  // Quiescent routers skip every phase; within the shard each phase runs
+  // list-at-a-time in router-id order, and the barrier between stages keeps
+  // all cross-router interactions on the seed's globally synchronous
+  // schedule: a stage's remote staged writes complete before any shard
+  // enters the stage that could observe their side effects.
+  Shard& sh = shards_[s];
+  sh.active.clear();
+  for (topo::NodeId id = sh.begin; id < sh.end; ++id) {
+    Router* r = routers_[id].get();
     if (r->quiescent()) {
       r->note_idle_cycle();
     } else {
-      active_.push_back(r.get());
+      sh.active.push_back(r);
     }
   }
-  for (Router* r : active_) r->refill_injection();
-  for (Router* r : active_) r->phase_eject(cycle, metrics);
-  for (Router* r : active_) r->phase_route();
-  for (Router* r : active_) r->phase_vc_alloc();
-  for (Router* r : active_) r->phase_switch(cycle, metrics);
+  // The build above reads each router's committed occupancy, which the
+  // phases below mutate remotely (staged arrivals/credits) — no shard may
+  // start phasing until every shard has classified its routers.
+  phase_barrier();
+  for (Router* r : sh.active) r->refill_injection(sh.delta);
+  phase_barrier();
+  for (Router* r : sh.active) r->phase_eject(sh.delta);
+  phase_barrier();
+  for (Router* r : sh.active) r->phase_route();
+  phase_barrier();
+  for (Router* r : sh.active) r->phase_vc_alloc();
+  phase_barrier();
+  for (Router* r : sh.active) r->phase_switch(sh.delta);
+  // Commit consumes the staged slots every shard wrote during the phases;
+  // it must not start anywhere before phase_switch ends everywhere.
+  phase_barrier();
   // A router idle at the cycle start may have received a flit during
   // phase_switch; its staged arrival must become visible at this boundary
   // (full commit is unnecessary: it has no signals, and its idle cycle is
-  // already accounted).
+  // already accounted). Commit itself touches only the owning router.
   std::size_t next_active = 0;
-  for (auto& r : routers_) {
-    if (next_active < active_.size() && active_[next_active] == r.get()) {
+  for (topo::NodeId id = sh.begin; id < sh.end; ++id) {
+    Router* r = routers_[id].get();
+    if (next_active < sh.active.size() && sh.active[next_active] == r) {
       r->commit();
       ++next_active;
     } else if (r->has_staged_arrivals()) {
@@ -68,21 +119,58 @@ void Network::step(std::uint64_t cycle, Metrics& metrics) {
   }
 }
 
+void Network::step(std::uint64_t cycle, Metrics& metrics) {
+  if (team_) {
+    team_->run([this](std::size_t member) { step_shard(member); });
+  } else {
+    step_shard(0);
+  }
+  // Deterministic merge, identical to the serial call sequence: ejection
+  // events of every shard replay in shard (== router-id) order, then the
+  // injection events — floating-point accumulation order is preserved
+  // bit-for-bit. Integer deltas are sums and merge by addition.
+  std::uint64_t flits_out = 0;
+  std::uint64_t refilled = 0;
+  for (Shard& sh : shards_) {
+    metrics.apply_ejects(sh.delta, cycle);
+    flits_out += sh.delta.flits_delivered;
+  }
+  for (Shard& sh : shards_) {
+    metrics.apply_injects(sh.delta, cycle);
+    refilled += sh.delta.messages_refilled;
+  }
+  inflight_ += refilled * message_length_;
+  inflight_ -= flits_out;
+  backlog_ -= refilled;
+  for (Shard& sh : shards_) sh.delta.clear();
+}
+
 void Network::enqueue_message(const QueuedMessage& msg) {
   KNC_ASSERT(msg.src < topo_.size() && msg.dest < topo_.size());
   routers_[msg.src]->enqueue_message(msg, message_length_);
+  ++backlog_;
 }
 
-std::uint64_t Network::inflight_flits() const {
+std::uint64_t Network::scan_inflight_flits() const {
   std::uint64_t total = 0;
   for (const auto& r : routers_) total += r->buffered_flits();
   return total;
 }
 
-std::uint64_t Network::source_backlog() const {
+std::uint64_t Network::scan_source_backlog() const {
   std::uint64_t total = 0;
   for (const auto& r : routers_) total += r->source_queue_length();
   return total;
+}
+
+std::uint64_t Network::inflight_flits() const {
+  KNC_DEBUG_ASSERT(inflight_ == scan_inflight_flits());
+  return inflight_;
+}
+
+std::uint64_t Network::source_backlog() const {
+  KNC_DEBUG_ASSERT(backlog_ == scan_source_backlog());
+  return backlog_;
 }
 
 void Network::reset_channel_stats() {

@@ -12,8 +12,18 @@
 // only bookkeeping, the per-port stat_cycles advance, is folded in lazily
 // (Router::note_idle_cycle / flush). Routers that receive a flit mid-cycle
 // still commit their staged arrivals at the cycle boundary.
+//
+// Sharding (DESIGN.md §9): with SimConfig::sim_threads > 1 the router-id
+// range splits into contiguous shards, one ThreadTeam member each, and every
+// phase runs shard-parallel with a SpinBarrier between phases. Cross-shard
+// writes land only in single-writer staged slots (read by the owner at
+// commit, after the pre-commit barrier) and relaxed atomic sum counters, and
+// per-shard metric/occupancy deltas replay into Metrics in shard (router-id)
+// order at the cycle boundary — so every result is bit-identical to the
+// serial schedule, for any thread count.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -21,6 +31,7 @@
 #include "sim/metrics.hpp"
 #include "sim/router.hpp"
 #include "topology/torus.hpp"
+#include "util/thread_pool.hpp"
 
 namespace kncube::sim {
 
@@ -33,6 +44,10 @@ class Network {
   const Router& router(topo::NodeId id) const { return *routers_[id]; }
   topo::NodeId size() const noexcept { return topo_.size(); }
 
+  /// Router shards actually stepping in parallel (1 = serial loop): the
+  /// configured sim_threads resolved against hardware and network size.
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
   /// Advances the whole network by one cycle.
   void step(std::uint64_t cycle, Metrics& metrics);
 
@@ -40,8 +55,11 @@ class Network {
 
   /// Flits resident in any router buffer or in-flight staging slot
   /// (excludes messages still waiting, unmaterialised, in source queues).
+  /// O(1): maintained incrementally at the cycle boundary from the shard
+  /// deltas; debug builds assert it against the full router scan.
   std::uint64_t inflight_flits() const;
   /// Messages waiting in source queues across all nodes (unmaterialised).
+  /// O(1), incrementally maintained like inflight_flits().
   std::uint64_t source_backlog() const;
 
   void reset_channel_stats();
@@ -58,10 +76,37 @@ class Network {
   double channel_utilization(topo::NodeId node, int dim, topo::Direction dir) const;
 
  private:
+  /// One contiguous router-id range stepped by one team member.
+  struct Shard {
+    topo::NodeId begin = 0;
+    topo::NodeId end = 0;
+    std::vector<Router*> active;  ///< per-cycle scratch, rebuilt each cycle
+    StepDelta delta;              ///< per-cycle metric/occupancy buffer
+  };
+
+  /// Runs one full cycle for shard `s`: active-list rebuild, the five phases
+  /// (with a barrier between every stage when sharded) and the commit pass
+  /// over the shard's id range.
+  void step_shard(std::size_t s);
+  void phase_barrier() noexcept {
+    if (barrier_) barrier_->arrive_and_wait();
+  }
+
+  std::uint64_t scan_inflight_flits() const;
+  std::uint64_t scan_source_backlog() const;
+
   topo::KAryNCube topo_;
   std::vector<std::unique_ptr<Router>> routers_;
-  std::vector<Router*> active_;  ///< per-cycle scratch, rebuilt by step()
+  std::vector<Shard> shards_;
+  std::unique_ptr<util::ThreadTeam> team_;      ///< only when shard_count() > 1
+  std::unique_ptr<util::SpinBarrier> barrier_;  ///< ditto
   std::uint32_t message_length_;
+  // Incremental occupancy (satisfies the O(routers)-scan-per-poll problem):
+  // enqueue_message bumps backlog_; each step folds the shard deltas —
+  // a refilled message moves 1 off the backlog and Lm flits into flight, an
+  // ejected flit leaves flight; switch transfers are flight-neutral.
+  std::uint64_t inflight_ = 0;
+  std::uint64_t backlog_ = 0;
 };
 
 }  // namespace kncube::sim

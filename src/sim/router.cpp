@@ -127,7 +127,7 @@ Flit Router::pop_and_credit(int port, int vc) {
     KNC_DEBUG_ASSERT(up != nullptr);
     OutputPort& up_op = up->out_[static_cast<std::size_t>(up_port_[static_cast<std::size_t>(port)])];
     ++up_op.staged_credits[static_cast<std::size_t>(vc)];
-    ++up->pending_signals_;
+    up->pending_signals_.fetch_add(1, std::memory_order_relaxed);
     if (f.tail) {
       KNC_DEBUG_ASSERT(in.count == 0);  // tail is the last flit
       up_op.staged_release[static_cast<std::size_t>(vc)] = 1;
@@ -137,7 +137,7 @@ Flit Router::pop_and_credit(int port, int vc) {
   return f;
 }
 
-void Router::refill_injection() {
+void Router::refill_injection(StepDelta& delta) {
   const int inj = injection_port();
   for (int v = 0; v < vcs_; ++v) {
     InputVc& in = ivc(inj, v);
@@ -146,6 +146,7 @@ void Router::refill_injection() {
     const QueuedMessage msg = q.front();
     q.pop_front();
     --source_total_;
+    ++delta.messages_refilled;
     for (std::uint32_t seq = 0; seq < message_length_; ++seq) {
       Flit f;
       f.msg = msg.id;
@@ -160,7 +161,7 @@ void Router::refill_injection() {
   }
 }
 
-void Router::phase_eject(std::uint64_t cycle, Metrics& metrics) {
+void Router::phase_eject(StepDelta& delta) {
   // Unlimited ejection bandwidth (assumption iv): drain every destined flit
   // at a buffer head this cycle. Flits of one message arrive in order on a
   // single VC, so draining per-VC preserves message ordering.
@@ -169,8 +170,8 @@ void Router::phase_eject(std::uint64_t cycle, Metrics& metrics) {
       InputVc& in = ivc(p, v);
       while (in.count != 0 && ring_front(in).dest == id_) {
         const Flit f = pop_and_credit(p, v);
-        metrics.on_flit_delivered();
-        if (f.tail) metrics.on_delivered(f.msg, f.gen_cycle, cycle, f.dest);
+        ++delta.flits_delivered;
+        if (f.tail) delta.delivered.push_back({f.msg, f.gen_cycle, f.dest});
       }
     }
   }
@@ -247,7 +248,7 @@ void Router::phase_vc_alloc() {
   }
 }
 
-void Router::phase_switch(std::uint64_t cycle, Metrics& metrics) {
+void Router::phase_switch(StepDelta& delta) {
   const int total_vcs = (net_ports_ + 1) * vcs_;
   for (int op_idx = 0; op_idx < net_ports_; ++op_idx) {
     OutputPort& op = out_[static_cast<std::size_t>(op_idx)];
@@ -282,10 +283,10 @@ void Router::phase_switch(std::uint64_t cycle, Metrics& metrics) {
       KNC_DEBUG_ASSERT(slot.vc < 0);
       slot.flit = f;
       slot.vc = out_vc;
-      ++down.staged_count_;
+      down.staged_count_.fetch_add(1, std::memory_order_relaxed);
 
       if (port == injection_port() && f.head) {
-        metrics.on_injected(f.msg, f.gen_cycle, cycle);
+        delta.injected.push_back({f.msg, f.gen_cycle});
       }
       if (f.tail) {
         // The message releases *this* input VC; the downstream (output) VC
@@ -301,7 +302,7 @@ void Router::phase_switch(std::uint64_t cycle, Metrics& metrics) {
 }
 
 void Router::commit_arrivals() {
-  if (staged_count_ == 0) return;
+  if (staged_count_.load(std::memory_order_relaxed) == 0) return;
   for (int p = 0; p < net_ports_; ++p) {
     StagedArrival& slot = staged_in_[static_cast<std::size_t>(p)];
     if (slot.vc < 0) continue;
@@ -319,14 +320,14 @@ void Router::commit_arrivals() {
                    "buffer overflow: credit accounting broken");
     slot.vc = -1;
   }
-  staged_count_ = 0;
+  staged_count_.store(0, std::memory_order_relaxed);
 }
 
 void Router::commit() {
   // 1. Arrivals become visible.
   commit_arrivals();
   // 2. Credits and VC releases from downstream become visible.
-  const bool signals = pending_signals_ != 0;
+  const bool signals = pending_signals_.load(std::memory_order_relaxed) != 0;
   for (auto& op : out_) {
     if (signals) {
       for (std::size_t v = 0; v < op.vcs.size(); ++v) {
@@ -355,7 +356,7 @@ void Router::commit() {
       ++op.busy_cycles;
     }
   }
-  pending_signals_ = 0;
+  pending_signals_.store(0, std::memory_order_relaxed);
 }
 
 void Router::enqueue_message(const QueuedMessage& msg, std::uint32_t lm) {

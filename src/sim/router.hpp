@@ -34,6 +34,7 @@
 // `quiescent()` O(1), letting Network::step skip idle routers entirely.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -125,11 +126,20 @@ class Router {
   void connect_upstream(int in_port, Router* up, int up_port);
 
   // --- per-cycle phases (invoked by Network in order, across all routers) ---
-  void refill_injection();
-  void phase_eject(std::uint64_t cycle, Metrics& metrics);
+  // Metric events and occupancy deltas accumulate into the caller's StepDelta
+  // (the shard's buffer) instead of hitting Metrics directly; Network::step
+  // replays the buffers in router-id order at the cycle boundary, so the
+  // sharded and serial schedules produce the same Metrics call sequence.
+  // Thread-safety contract under sharding: a phase writes remote routers only
+  // through single-writer staged slots (arrivals, credits, releases — one
+  // upstream/downstream owner per slot) plus the relaxed atomic aggregates
+  // below, and never *reads* remote state; staged data is consumed only by
+  // the owner's commit, after the pre-commit barrier.
+  void refill_injection(StepDelta& delta);
+  void phase_eject(StepDelta& delta);
   void phase_route();
   void phase_vc_alloc();
-  void phase_switch(std::uint64_t cycle, Metrics& metrics);
+  void phase_switch(StepDelta& delta);
   void commit();
   /// Commit restricted to staged arrivals: run for routers that were
   /// quiescent at the cycle start but received a flit during phase_switch
@@ -142,10 +152,13 @@ class Router {
   /// buffered or staged, empty source queues, no busy output VCs and no
   /// pending credit/release signals.
   bool quiescent() const noexcept {
-    return buffered_ == 0 && staged_count_ == 0 && source_total_ == 0 &&
-           busy_out_ == 0 && pending_signals_ == 0;
+    return buffered_ == 0 && staged_count_.load(std::memory_order_relaxed) == 0 &&
+           source_total_ == 0 && busy_out_ == 0 &&
+           pending_signals_.load(std::memory_order_relaxed) == 0;
   }
-  bool has_staged_arrivals() const noexcept { return staged_count_ != 0; }
+  bool has_staged_arrivals() const noexcept {
+    return staged_count_.load(std::memory_order_relaxed) != 0;
+  }
   /// Accounts one skipped (idle) cycle: every output port's stat_cycles
   /// still advances (a quiescent router has zero busy VCs, so the busy
   /// statistics are untouched), keeping utilisation denominators exact
@@ -166,7 +179,7 @@ class Router {
   const OutputPort& output_port(int port) const;
   OutputPort& output_port_mutable(int port);
   std::uint64_t buffered_flits() const noexcept {
-    return buffered_ + staged_count_;
+    return buffered_ + staged_count_.load(std::memory_order_relaxed);
   }
 
  private:
@@ -223,11 +236,17 @@ class Router {
   std::uint32_t next_inject_vc_ = 0;
 
   // Aggregate occupancy counters backing quiescent() / buffered_flits().
+  // staged_count_ and pending_signals_ are bumped by *neighbouring* routers
+  // (phase_switch stages an arrival downstream, pop_and_credit stages a
+  // credit upstream), so under sharding several shards increment them
+  // concurrently: they are relaxed atomics — the final value is a sum, which
+  // is interleaving-independent, keeping the counters bit-deterministic.
+  // All other counters are written by the owning router only.
   std::uint64_t buffered_ = 0;        ///< flits resident in any ring
-  std::uint32_t staged_count_ = 0;    ///< staged arrivals awaiting commit
+  std::atomic<std::uint32_t> staged_count_{0};  ///< staged arrivals awaiting commit
   std::uint64_t source_total_ = 0;    ///< messages waiting in source queues
   std::uint32_t busy_out_ = 0;        ///< busy output VCs across all ports
-  std::uint32_t pending_signals_ = 0; ///< staged credits awaiting commit
+  std::atomic<std::uint32_t> pending_signals_{0};  ///< staged credits awaiting commit
 };
 
 }  // namespace kncube::sim

@@ -7,6 +7,99 @@
 
 namespace kncube::util {
 
+void spin_backoff(unsigned& spins) noexcept {
+  if (++spins <= 64) {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#endif
+    return;
+  }
+  std::this_thread::yield();
+}
+
+void SpinBarrier::arrive_and_wait() noexcept {
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 == parties_) {
+    // Reset before the generation bump releases the waiters: a fast party
+    // re-arriving for the next use must start the count from zero. No party
+    // can complete that next use early — it would need all `parties_`
+    // arrivals, and at least one is still leaving this one.
+    arrived_.store(0, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_release);
+    return;
+  }
+  unsigned spins = 0;
+  while (generation_.load(std::memory_order_acquire) == gen) spin_backoff(spins);
+}
+
+ThreadTeam::ThreadTeam(std::size_t members) : members_(members ? members : 1) {
+  threads_.reserve(members_ - 1);
+  for (std::size_t m = 1; m < members_; ++m) {
+    threads_.emplace_back([this, m] { worker_loop(m); });
+  }
+}
+
+ThreadTeam::~ThreadTeam() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_.store(true, std::memory_order_release);
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadTeam::worker_loop(std::size_t member) {
+  // Spin-yield this many waits before sleeping on the condition variable:
+  // cheap enough to stay hot between per-cycle runs, bounded so an idle team
+  // releases its cores within a fraction of a millisecond.
+  constexpr unsigned kWakeSpins = 512;
+  std::uint64_t seen = 0;
+  for (;;) {
+    unsigned spins = 0;
+    while (epoch_.load(std::memory_order_acquire) == seen) {
+      if (stop_.load(std::memory_order_acquire)) return;
+      if (spins < kWakeSpins) {
+        spin_backoff(spins);
+        continue;
+      }
+      std::unique_lock lock(mutex_);
+      ++sleepers_;
+      cv_.wait(lock, [&] {
+        return epoch_.load(std::memory_order_acquire) != seen ||
+               stop_.load(std::memory_order_acquire);
+      });
+      --sleepers_;
+    }
+    if (stop_.load(std::memory_order_acquire)) return;
+    ++seen;
+    (*fn_)(member);
+    done_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void ThreadTeam::run(const std::function<void(std::size_t)>& fn) {
+  if (members_ == 1) {
+    fn(0);
+    return;
+  }
+  fn_ = &fn;
+  done_.store(0, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+  bool need_notify;
+  {
+    // sleepers_ changes only under the mutex, so either a sleeper registered
+    // before we took the lock (we notify it) or it will re-check the epoch
+    // predicate under the lock after we release it and skip sleeping.
+    std::lock_guard lock(mutex_);
+    need_notify = sleepers_ != 0;
+  }
+  if (need_notify) cv_.notify_all();
+  fn(0);
+  unsigned spins = 0;
+  while (done_.load(std::memory_order_acquire) != members_ - 1) spin_backoff(spins);
+  fn_ = nullptr;
+}
+
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
     const unsigned hc = std::thread::hardware_concurrency();

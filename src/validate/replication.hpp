@@ -14,6 +14,15 @@
 // sequentially in replication order after the parallel phase — so the entire
 // ReplicationPoint is bit-identical across thread counts and schedules
 // (pinned by tests/validate/replication_test.cpp).
+//
+// Composition with intra-simulation sharding: the runner's worker pool
+// parallelises *across* replications while ScenarioSpec::sim_threads shards
+// *within* each replication's Network::step — the two nest freely. Since
+// sim.threads is excluded from the spec key(), per-replication seeds are
+// unchanged by it, and sharding itself is bit-identical, so any
+// (outer workers × inner sim_threads) combination reproduces the serial
+// ReplicationPoint exactly. Note the thread budgets multiply: R outer
+// workers each spin up sim_threads-1 extra team threads.
 #pragma once
 
 #include <cstdint>

@@ -77,6 +77,7 @@ ScenarioSpec random_spec(std::mt19937_64& rng) {
                                 : model::ServiceBasis::kInclusive;
   s.vcmux_basis = rng() % 2 == 0 ? model::ServiceBasis::kTransmission
                                  : model::ServiceBasis::kInclusive;
+  s.sim_threads = static_cast<int>(rng() % 5);  // 0 = hardware concurrency
   return s;
 }
 
@@ -127,6 +128,32 @@ TEST(ScenarioSpec, KeyIsStableAndCollisionFreeAcrossDistinctSpecs) {
   ScenarioSpec b;
   b.hotspot().fraction = 0.2000000001;
   EXPECT_NE(a.key(), b.key());
+}
+
+TEST(ScenarioSpec, KeyIgnoresExecutionKnobsButTextRoundTripsThem) {
+  // sim.threads is an execution knob: results are bit-identical for every
+  // value, so the cache/seed key must not move (replication seed streams and
+  // SweepEngine memo entries stay valid when a user turns on sharding) —
+  // while the canonical text still round-trips the field.
+  std::mt19937_64 rng(0x7113EAD5);
+  for (int i = 0; i < 50; ++i) {
+    ScenarioSpec s = random_spec(rng);
+    const std::uint64_t base_key = s.key();
+    for (const int threads : {0, 1, 2, 8}) {
+      s.sim_threads = threads;
+      EXPECT_EQ(s.key(), base_key) << "sim_threads=" << threads;
+      const ScenarioSpec parsed = parse_scenario(format_scenario(s));
+      EXPECT_EQ(parsed.sim_threads, threads);
+    }
+  }
+
+  // --set drives it like any other knob; negatives fail validation.
+  ScenarioSpec s;
+  apply_scenario_setting(s, "sim.threads", "6");
+  EXPECT_EQ(s.sim_threads, 6);
+  EXPECT_NO_THROW(s.validate());
+  s.sim_threads = -1;
+  EXPECT_THROW(s.validate(), std::invalid_argument);
 }
 
 TEST(ScenarioSpec, ParseRejectsMalformedInput) {
@@ -221,6 +248,7 @@ TEST(ScenarioSpec, ToSimConfigForwardsEveryField) {
   s.warmup_cycles = 111;
   s.target_messages = 222;
   s.max_cycles = 333333;
+  s.sim_threads = 4;
   const sim::SimConfig cfg = to_sim_config(s, 2.5e-4);
   EXPECT_EQ(cfg.k, 8);
   EXPECT_EQ(cfg.n, 3);
@@ -240,6 +268,7 @@ TEST(ScenarioSpec, ToSimConfigForwardsEveryField) {
   EXPECT_EQ(cfg.warmup_cycles, 111u);
   EXPECT_EQ(cfg.target_messages, 222u);
   EXPECT_EQ(cfg.max_cycles, 333333u);
+  EXPECT_EQ(cfg.sim_threads, 4);
   EXPECT_NO_THROW(cfg.validate());
 
   // Hypercube topology maps to the k = 2 n-cube simulator.

@@ -64,11 +64,12 @@ struct Golden {
 
 bool print_mode() { return std::getenv("KNCUBE_PRINT_GOLDEN") != nullptr; }
 
-/// Runs `cycles` cycles with measurement from cycle 0 and either prints or
-/// checks the recorded pin.
-void run_case(const char* name, const SimConfig& cfg, std::uint64_t cycles,
-              const Golden& want) {
-  Simulator sim(cfg);
+/// Runs `cycles` cycles with measurement from cycle 0 at the given thread
+/// count and returns the observed pin values.
+Golden run_once(const SimConfig& cfg, std::uint64_t cycles, int sim_threads) {
+  SimConfig tcfg = cfg;
+  tcfg.sim_threads = sim_threads;
+  Simulator sim(tcfg);
   sim.metrics().begin_measurement(0);
   sim.step_cycles(cycles);
 
@@ -81,26 +82,38 @@ void run_case(const char* name, const SimConfig& cfg, std::uint64_t cycles,
   got.checksum = channel_stats_checksum(sim.network());
   got.mean_latency = sim.metrics().latency().mean();
   got.mean_network_latency = sim.metrics().network_latency().mean();
+  return got;
+}
 
-  if (print_mode()) {
-    std::cout.precision(17);
-    std::cout << "  // " << name << "\n"
-              << std::hexfloat << "  {" << got.generated << "u, " << got.delivered
-              << "u, " << got.flits_delivered << "u, " << got.inflight << "u, "
-              << got.backlog << "u, 0x" << std::hex << got.checksum << std::dec
-              << "ULL, " << got.mean_latency << ", " << got.mean_network_latency
-              << "},\n"
-              << std::defaultfloat;
-    return;
+/// Sweeps sim_threads over {1, 2, 4} and either prints the pin (once, from
+/// the serial run) or checks *every* thread count against the same recorded
+/// values — the sharded engine's bit-identity contract is part of the pin.
+void run_case(const char* name, const SimConfig& cfg, std::uint64_t cycles,
+              const Golden& want) {
+  for (const int threads : {1, 2, 4}) {
+    const Golden got = run_once(cfg, cycles, threads);
+    if (print_mode()) {
+      if (threads != 1) continue;
+      std::cout.precision(17);
+      std::cout << "  // " << name << "\n"
+                << std::hexfloat << "  {" << got.generated << "u, " << got.delivered
+                << "u, " << got.flits_delivered << "u, " << got.inflight << "u, "
+                << got.backlog << "u, 0x" << std::hex << got.checksum << std::dec
+                << "ULL, " << got.mean_latency << ", " << got.mean_network_latency
+                << "},\n"
+                << std::defaultfloat;
+      continue;
+    }
+    EXPECT_EQ(got.generated, want.generated) << name << " T=" << threads;
+    EXPECT_EQ(got.delivered, want.delivered) << name << " T=" << threads;
+    EXPECT_EQ(got.flits_delivered, want.flits_delivered) << name << " T=" << threads;
+    EXPECT_EQ(got.inflight, want.inflight) << name << " T=" << threads;
+    EXPECT_EQ(got.backlog, want.backlog) << name << " T=" << threads;
+    EXPECT_EQ(got.checksum, want.checksum) << name << " T=" << threads;
+    EXPECT_EQ(got.mean_latency, want.mean_latency) << name << " T=" << threads;
+    EXPECT_EQ(got.mean_network_latency, want.mean_network_latency)
+        << name << " T=" << threads;
   }
-  EXPECT_EQ(got.generated, want.generated) << name;
-  EXPECT_EQ(got.delivered, want.delivered) << name;
-  EXPECT_EQ(got.flits_delivered, want.flits_delivered) << name;
-  EXPECT_EQ(got.inflight, want.inflight) << name;
-  EXPECT_EQ(got.backlog, want.backlog) << name;
-  EXPECT_EQ(got.checksum, want.checksum) << name;
-  EXPECT_EQ(got.mean_latency, want.mean_latency) << name;
-  EXPECT_EQ(got.mean_network_latency, want.mean_network_latency) << name;
 }
 
 TEST(DeterminismGolden, HotspotK8) {
@@ -254,6 +267,28 @@ TEST(DeterminismGolden, MeshK4N3Hotspot) {
   run_case("MeshK4N3Hotspot", cfg, 16000,
            {4049u, 4042u, 32348u, 44u, 0u, 0x9e1a02730f915509ULL,
             0x1.5b0c4977f4dacp+4, 0x1.44c61ca09e15fp+4});
+}
+
+TEST(DeterminismGolden, HotspotK32Sharded) {
+  // Large network (32x32 = 1024 routers): every sweep entry gets real shards
+  // (4 threads => 256 routers each), so the cross-shard staging, barrier and
+  // metric-replay machinery is pinned at scale, not just on the 64-node
+  // cases. Short run — the active-set scheduler keeps most of the 1024
+  // routers idle at this load.
+  SimConfig cfg;
+  cfg.k = 32;
+  cfg.n = 2;
+  cfg.bidirectional = false;
+  cfg.vcs = 2;
+  cfg.buffer_depth = 2;
+  cfg.message_length = 16;
+  cfg.pattern = Pattern::kHotspot;
+  cfg.hot_fraction = 0.1;
+  cfg.injection_rate = 4e-4;
+  cfg.seed = 0x5A4D32;
+  run_case("HotspotK32Sharded", cfg, 6000,
+           {2506u, 2482u, 39795u, 301u, 0u, 0x69fef3acc3f4fc88ULL,
+            0x1.c22804f36aa5cp+5, 0x1.ba78e216b0fe8p+5});
 }
 
 TEST(DeterminismGolden, MeshReplicationBitIdenticalAcrossThreadCountsAndRuns) {

@@ -116,6 +116,48 @@ TEST(ReplicationRunner, BitIdenticalAcrossThreadCounts) {
   }
 }
 
+TEST(ReplicationRunner, OuterWorkersComposeWithInnerSimThreads) {
+  // Replication-level parallelism (worker pool) nests with intra-simulation
+  // sharding (sim.threads): since sim.threads is excluded from the spec
+  // key(), per-replication seeds are unchanged, and sharded stepping is
+  // bit-identical, every (outer x inner) combination must reproduce the
+  // serial ReplicationPoint exactly. k = 8 so the inner knob gets real
+  // shards (64 routers -> 4 x 16).
+  core::ScenarioSpec spec = small_spec();
+  spec.torus().k = 8;
+  spec.target_messages = 200;
+  ASSERT_EQ(spec.key(), [&] {
+    core::ScenarioSpec t = spec;
+    t.sim_threads = 4;
+    return t.key();
+  }());
+
+  util::ThreadPool one(1);
+  util::ThreadPool many(3);
+  const ReplicationRunner serial(spec, 3, &one);
+  core::ScenarioSpec sharded_spec = spec;
+  sharded_spec.sim_threads = 4;
+  const ReplicationRunner sharded_serial_pool(sharded_spec, 3, &one);
+  const ReplicationRunner sharded_parallel_pool(sharded_spec, 3, &many);
+
+  const double lambda = 0.002;
+  const ReplicationPoint a = serial.run(lambda);
+  for (const ReplicationRunner* runner :
+       {&sharded_serial_pool, &sharded_parallel_pool}) {
+    const ReplicationPoint b = runner->run(lambda);
+    EXPECT_EQ(bits(a.latency.mean), bits(b.latency.mean));
+    EXPECT_EQ(bits(a.latency.half_width), bits(b.latency.half_width));
+    EXPECT_EQ(bits(a.network_latency.mean), bits(b.network_latency.mean));
+    EXPECT_EQ(bits(a.throughput.mean), bits(b.throughput.mean));
+    ASSERT_EQ(a.results.size(), b.results.size());
+    for (std::size_t r = 0; r < a.results.size(); ++r) {
+      EXPECT_EQ(bits(a.results[r].mean_latency), bits(b.results[r].mean_latency))
+          << "replication " << r;
+      EXPECT_EQ(a.results[r].cycles, b.results[r].cycles) << "replication " << r;
+    }
+  }
+}
+
 TEST(ReplicationRunner, SingleReplicationHasInfiniteHalfWidth) {
   // R = 1 degenerates to a point estimate: the CI must say so (infinite
   // half-width), not fake certainty.
