@@ -113,6 +113,13 @@ ModelDispatch hypercube_dispatch(const ScenarioSpec& spec) {
 
 ModelDispatch make_analytical_model(const ScenarioSpec& spec) {
   spec.validate();
+  if (!spec.failures.empty()) {
+    // Every analytical family assumes the pristine network: silently solving
+    // the pristine model for a degraded scenario would report latencies for
+    // a network that does not exist. Checked before any family dispatch so
+    // no faulty spec can slip through a family-specific branch.
+    return sim_only("fault-aware analytical model not yet implemented");
+  }
   if (spec.is_mmpp()) {
     // The models are Poisson-based; bursty arrivals are the paper's §5
     // stated future work and currently simulator-only.

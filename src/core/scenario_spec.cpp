@@ -103,6 +103,56 @@ std::string trim(const std::string& s) {
   return s.substr(b, e - b + 1);
 }
 
+/// Splits a comma-separated value list; the empty string is the empty list
+/// (`fault.routers=` round-trips an explicit-links-only failure set).
+std::vector<std::string> split_list(const std::string& value) {
+  std::vector<std::string> items;
+  std::size_t pos = 0;
+  while (pos <= value.size()) {
+    std::size_t comma = value.find(',', pos);
+    if (comma == std::string::npos) comma = value.size();
+    const std::string item = trim(value.substr(pos, comma - pos));
+    if (!item.empty()) items.push_back(item);
+    pos = comma + 1;
+  }
+  return items;
+}
+
+/// One failed-link entry in the canonical `node:dim:+|-` form.
+topo::FailedLink parse_failed_link(const std::string& key,
+                                   const std::string& entry) {
+  const std::size_t c1 = entry.find(':');
+  const std::size_t c2 = c1 == std::string::npos ? std::string::npos
+                                                 : entry.find(':', c1 + 1);
+  if (c1 == std::string::npos || c2 == std::string::npos) {
+    fail(key + ": expected node:dim:+|- entries, got '" + entry + "'");
+  }
+  topo::FailedLink l;
+  l.node = parse_int(key, entry.substr(0, c1));
+  l.dim = parse_int32(key, entry.substr(c1 + 1, c2 - c1 - 1));
+  const std::string dir = entry.substr(c2 + 1);
+  if (dir == "+") {
+    l.dir = topo::Direction::kPlus;
+  } else if (dir == "-") {
+    l.dir = topo::Direction::kMinus;
+  } else {
+    fail(key + ": link direction must be + or -, got '" + dir + "'");
+  }
+  return l;
+}
+
+std::string format_failed_links(const std::vector<topo::FailedLink>& links) {
+  std::string out;
+  for (std::size_t i = 0; i < links.size(); ++i) {
+    if (i) out += ',';
+    out += std::to_string(links[i].node);
+    out += ':';
+    out += std::to_string(links[i].dim);
+    out += links[i].dir == topo::Direction::kPlus ? ":+" : ":-";
+  }
+  return out;
+}
+
 }  // namespace
 
 std::uint64_t ScenarioSpec::node_count() const noexcept {
@@ -171,6 +221,87 @@ void ScenarioSpec::validate() const {
     }
     if (m.burst_multiplier < 1.0) fail("MMPP burst multiplier must be >= 1");
   }
+
+  if (!failures.empty()) {
+    // The simulator realises the hypercube as a k = 2 n-cube; resolve the
+    // effective (k, dims, wiring) once so the link checks below match the
+    // network that will actually be built.
+    const int eff_k = is_hypercube() ? 2 : (is_torus() ? torus().k : mesh().k);
+    const int eff_n =
+        is_hypercube() ? hypercube().dims : (is_torus() ? torus().n : mesh().n);
+    const bool minus_links_exist =
+        is_mesh() || (is_torus() && torus().bidirectional);
+
+    // The centre-node arithmetic of SimConfig::resolved_hot_node, so the
+    // hot-sink protection below agrees with what the simulator will resolve.
+    std::int64_t hot = -1;
+    if (is_hotspot()) {
+      hot = hotspot().hot_node;
+      if (hot < 0) {
+        hot = 0;
+        std::int64_t stride = 1;
+        for (int d = 0; d < eff_n; ++d) {
+          hot += (eff_k / 2) * stride;
+          stride *= eff_k;
+        }
+      }
+    }
+
+    std::int64_t last_router = -1;
+    for (const std::int64_t r : failures.routers) {
+      if (r < 0 || static_cast<std::uint64_t>(r) >= size) {
+        fail("fault.routers: router id " + std::to_string(r) +
+             " outside the network");
+      }
+      if (r <= last_router) {
+        fail("fault.routers must be strictly ascending (no duplicates)");
+      }
+      if (r == hot) {
+        fail("fault.routers: cannot fail the hot-spot node (the sink of "
+             "measurement traffic)");
+      }
+      last_router = r;
+    }
+    if (failures.routers.size() >= size) fail("cannot fail every router");
+
+    std::int64_t last_link_key = -1;
+    for (const topo::FailedLink& l : failures.links) {
+      if (l.node < 0 || static_cast<std::uint64_t>(l.node) >= size) {
+        fail("fault.links: node id " + std::to_string(l.node) +
+             " outside the network");
+      }
+      if (l.dim < 0 || l.dim >= eff_n) {
+        fail("fault.links: dimension " + std::to_string(l.dim) +
+             " out of range");
+      }
+      if (l.dir == topo::Direction::kMinus && !minus_links_exist) {
+        fail("fault.links: minus-direction links do not exist on a "
+             "unidirectional topology");
+      }
+      if (is_mesh()) {
+        std::int64_t stride = 1;
+        for (int d = 0; d < l.dim; ++d) stride *= eff_k;
+        const int c = static_cast<int>((l.node / stride) % eff_k);
+        const bool exists =
+            l.dir == topo::Direction::kPlus ? c < eff_k - 1 : c > 0;
+        if (!exists) {
+          fail("fault.links: link does not exist (mesh edge would wrap)");
+        }
+      }
+      const std::int64_t link_key =
+          (l.node << 5) | (static_cast<std::int64_t>(l.dim) << 1) |
+          (l.dir == topo::Direction::kMinus ? 1 : 0);
+      if (link_key <= last_link_key) {
+        fail("fault.links must be strictly ascending by (node, dim, dir) "
+             "(no duplicates)");
+      }
+      last_link_key = link_key;
+    }
+
+    if (failures.random_rate < 0.0 || failures.random_rate >= 1.0) {
+      fail("fault.rate must be in [0,1)");
+    }
+  }
 }
 
 std::string format_scenario(const ScenarioSpec& spec) {
@@ -217,6 +348,21 @@ std::string format_scenario(const ScenarioSpec& spec) {
       << "\n";
   out << "model.busy_basis=" << basis_name(spec.busy_basis) << "\n";
   out << "model.vcmux_basis=" << basis_name(spec.vcmux_basis) << "\n";
+  // Fault lines appear only for non-empty failure sets, and then always as
+  // the full block of four: a pristine spec's canonical text (hence key(),
+  // memo entries and replication seeds) is byte-identical to what it was
+  // before faults existed, while any non-empty set is fully result-defining.
+  if (!spec.failures.empty()) {
+    out << "fault.routers=";
+    for (std::size_t i = 0; i < spec.failures.routers.size(); ++i) {
+      if (i) out << ',';
+      out << spec.failures.routers[i];
+    }
+    out << "\n";
+    out << "fault.links=" << format_failed_links(spec.failures.links) << "\n";
+    out << "fault.rate=" << fmt_double(spec.failures.random_rate) << "\n";
+    out << "fault.seed=" << spec.failures.random_seed << "\n";
+  }
   // Execution knobs come last: key() drops `sim.`-prefixed lines wholesale,
   // so everything above is the result-defining prefix.
   out << "sim.threads=" << spec.sim_threads << "\n";
@@ -343,6 +489,20 @@ void apply_scenario_setting(ScenarioSpec& spec, const std::string& key,
     spec.busy_basis = parse_basis(key, value);
   } else if (key == "model.vcmux_basis") {
     spec.vcmux_basis = parse_basis(key, value);
+  } else if (key == "fault.routers") {
+    spec.failures.routers.clear();
+    for (const std::string& item : split_list(value)) {
+      spec.failures.routers.push_back(parse_int(key, item));
+    }
+  } else if (key == "fault.links") {
+    spec.failures.links.clear();
+    for (const std::string& item : split_list(value)) {
+      spec.failures.links.push_back(parse_failed_link(key, item));
+    }
+  } else if (key == "fault.rate") {
+    spec.failures.random_rate = parse_double(key, value);
+  } else if (key == "fault.seed") {
+    spec.failures.random_seed = parse_uint(key, value);
   } else if (key == "sim.threads") {
     spec.sim_threads = parse_int32(key, value);
   } else {
@@ -364,7 +524,13 @@ ScenarioSpec parse_scenario(const std::string& text) {
       fail("line " + std::to_string(line_no) + ": expected key=value, got '" + t +
            "'");
     }
-    apply_scenario_setting(spec, trim(t.substr(0, eq)), trim(t.substr(eq + 1)));
+    try {
+      apply_scenario_setting(spec, trim(t.substr(0, eq)), trim(t.substr(eq + 1)));
+    } catch (const std::invalid_argument& e) {
+      // Re-anchor value errors to the offending line of the input text.
+      throw std::invalid_argument("line " + std::to_string(line_no) + ": " +
+                                  e.what());
+    }
   }
   return spec;
 }
@@ -445,6 +611,11 @@ sim::SimConfig to_sim_config(const ScenarioSpec& spec, double lambda) {
   } else {
     cfg.arrivals = sim::Arrivals::kBernoulli;
   }
+
+  cfg.failed_routers = spec.failures.routers;
+  cfg.failed_links = spec.failures.links;
+  cfg.failure_rate = spec.failures.random_rate;
+  cfg.failure_seed = spec.failures.random_seed;
 
   cfg.seed = spec.seed;
   cfg.warmup_cycles = spec.warmup_cycles;

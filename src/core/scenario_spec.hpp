@@ -22,9 +22,11 @@
 #include <cstdint>
 #include <string>
 #include <variant>
+#include <vector>
 
 #include "model/engine/channel_class.hpp"  // BlockingVariant, ServiceBasis
 #include "sim/config.hpp"
+#include "topology/fault_set.hpp"  // topo::FailedLink
 
 namespace kncube::core {
 
@@ -83,12 +85,39 @@ struct MmppArrivals {
 
 using Arrivals = std::variant<BernoulliArrivals, MmppArrivals>;
 
+// ---------------------------------------------------------------- failures ---
+
+/// Degraded-operation description: explicitly failed routers and directed
+/// links plus a seed-derived random router-failure mode. The empty set is
+/// the pristine network; pristine specs emit no `fault.*` lines, so every
+/// pre-existing canonical text, key() and replication seed is unchanged.
+/// Non-empty sets participate fully in the canonical text and key() —
+/// memoization and the accuracy/reliability baselines see distinct faulty
+/// scenarios as distinct. `random_seed` affects results only when the set is
+/// non-empty (a pristine spec drops it from the text form entirely).
+struct FailureSet {
+  /// Failed router ids, strictly ascending (validate() enforces the
+  /// canonical order; it also rules out duplicates).
+  std::vector<std::int64_t> routers;
+  /// Failed directed links, strictly ascending by (node, dim, dir).
+  std::vector<topo::FailedLink> links;
+  /// Random mode: fail round(rate * N) additional routers drawn from
+  /// `random_seed` (hot-spot node protected). Must stay in [0, 1).
+  double random_rate = 0.0;
+  std::uint64_t random_seed = 1;
+
+  bool empty() const noexcept {
+    return routers.empty() && links.empty() && random_rate == 0.0;
+  }
+};
+
 // ------------------------------------------------------------------- spec ---
 
 struct ScenarioSpec {
   Topology topology = TorusTopology{};
   Traffic traffic = HotspotTraffic{};
   Arrivals arrivals = BernoulliArrivals{};
+  FailureSet failures{};  ///< empty = pristine network
 
   // --- router ---
   int vcs = 2;           ///< V virtual channels per physical channel

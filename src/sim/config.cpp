@@ -20,6 +20,21 @@ std::uint64_t replication_seed(std::uint64_t scenario_key, std::uint64_t base_se
   return member.next();
 }
 
+topo::FaultSet build_fault_set(const SimConfig& cfg, const topo::KAryNCube& net) {
+  if (!cfg.has_failures()) return {};
+  std::vector<topo::NodeId> routers;
+  routers.reserve(cfg.failed_routers.size());
+  for (const std::int64_t r : cfg.failed_routers) {
+    routers.push_back(static_cast<topo::NodeId>(r));
+  }
+  const std::int64_t protect =
+      cfg.pattern == Pattern::kHotspot
+          ? static_cast<std::int64_t>(cfg.resolved_hot_node())
+          : -1;
+  return topo::FaultSet::resolve(net, routers, cfg.failed_links,
+                                 cfg.failure_rate, cfg.failure_seed, protect);
+}
+
 void SimConfig::validate() const {
   auto fail = [](const std::string& msg) { throw std::invalid_argument("SimConfig: " + msg); };
   if (k < 2) fail("radix k must be >= 2");
@@ -59,6 +74,65 @@ void SimConfig::validate() const {
       fail("MMPP transition probabilities must be in (0,1]");
     }
     if (mmpp.burst_rate_multiplier < 1.0) fail("MMPP burst multiplier must be >= 1");
+  }
+  {
+    // Fault description: bounds and canonical strict ordering (which also
+    // rules out duplicates), and the hot node must survive so hot-spot
+    // measurement traffic keeps its sink. ScenarioSpec::validate applies the
+    // same rules with line-oriented messages; this is the last line of
+    // defence for directly-constructed configs.
+    std::uint64_t size = 1;
+    for (int d = 0; d < n; ++d) size *= static_cast<std::uint64_t>(k);
+    const std::int64_t hot =
+        pattern == Pattern::kHotspot
+            ? static_cast<std::int64_t>(resolved_hot_node())
+            : -1;
+    std::int64_t last_router = -1;
+    for (const std::int64_t r : failed_routers) {
+      if (r < 0 || static_cast<std::uint64_t>(r) >= size) {
+        fail("failed router id outside the network");
+      }
+      if (r <= last_router) {
+        fail("failed routers must be strictly ascending (no duplicates)");
+      }
+      if (r == hot) fail("cannot fail the hot-spot node");
+      last_router = r;
+    }
+    if (failed_routers.size() >= size) fail("cannot fail every router");
+    const topo::FailedLink* last_link = nullptr;
+    for (const topo::FailedLink& l : failed_links) {
+      if (l.node < 0 || static_cast<std::uint64_t>(l.node) >= size) {
+        fail("failed link node outside the network");
+      }
+      if (l.dim < 0 || l.dim >= n) fail("failed link dimension out of range");
+      if (l.dir == topo::Direction::kMinus && !mesh && !bidirectional) {
+        fail("minus-direction links do not exist on a unidirectional torus");
+      }
+      if (mesh) {
+        std::uint64_t stride = 1;
+        for (int d = 0; d < l.dim; ++d) stride *= static_cast<std::uint64_t>(k);
+        const int c = static_cast<int>(
+            (static_cast<std::uint64_t>(l.node) / stride) %
+            static_cast<std::uint64_t>(k));
+        const bool exists =
+            l.dir == topo::Direction::kPlus ? c < k - 1 : c > 0;
+        if (!exists) fail("failed link does not exist (mesh edge would wrap)");
+      }
+      if (last_link != nullptr) {
+        const auto key = [](const topo::FailedLink& x) {
+          return (static_cast<std::uint64_t>(x.node) << 5) |
+                 (static_cast<std::uint64_t>(x.dim) << 1) |
+                 (x.dir == topo::Direction::kMinus ? 1u : 0u);
+        };
+        if (key(l) <= key(*last_link)) {
+          fail("failed links must be strictly ascending (no duplicates)");
+        }
+      }
+      last_link = &l;
+    }
+    if (failure_rate < 0.0 || failure_rate >= 1.0) {
+      fail("failure rate must be in [0,1)");
+    }
   }
   if (sim_threads < 0) fail("sim threads must be >= 0 (0 = hardware concurrency)");
   if (batch_size == 0) fail("batch size must be positive");

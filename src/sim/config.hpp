@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "topology/fault_set.hpp"
 #include "topology/torus.hpp"
 
 namespace kncube::sim {
@@ -55,6 +57,24 @@ struct SimConfig {
   Arrivals arrivals = Arrivals::kBernoulli;
   MmppParams mmpp{};
 
+  // --- faults (degraded-operation scenarios; all empty = pristine) ---
+  /// Explicitly failed router ids (strictly ascending). A failed router
+  /// injects nothing, ejects nothing, and every link touching it is down.
+  std::vector<std::int64_t> failed_routers;
+  /// Explicitly failed directed links (strictly ascending by
+  /// (node, dim, dir)); both endpoint routers stay alive.
+  std::vector<topo::FailedLink> failed_links;
+  /// Random failure mode: fail round(rate * N) additional routers, drawn
+  /// from failure_seed (deterministic; the hot node is protected under
+  /// hot-spot traffic). 0 disables the mode. Must stay in [0, 1).
+  double failure_rate = 0.0;
+  std::uint64_t failure_seed = 1;
+
+  bool has_failures() const noexcept {
+    return !failed_routers.empty() || !failed_links.empty() ||
+           failure_rate != 0.0;
+  }
+
   // --- execution (cannot change any result bit) ---
   /// Worker threads sharding the router set inside Network::step. 1 runs the
   /// classic serial loop; 0 uses hardware_concurrency; N > 1 partitions the
@@ -101,5 +121,13 @@ struct SimConfig {
 /// directly, without the SplitMix64 mixing stage).
 std::uint64_t replication_seed(std::uint64_t scenario_key, std::uint64_t base_seed,
                                std::uint64_t replication);
+
+/// Resolves `cfg`'s failure description against `net` into the concrete
+/// fault overlay (explicit lists + seeded random draw, hot node protected
+/// under hot-spot traffic). The single resolution path shared by Network
+/// wiring, the reliability engine and the tests — so they can never disagree
+/// on which elements failed. Returns the empty overlay when cfg has no
+/// failures.
+topo::FaultSet build_fault_set(const SimConfig& cfg, const topo::KAryNCube& net);
 
 }  // namespace kncube::sim

@@ -19,6 +19,11 @@ void Metrics::on_generated(std::uint64_t gen_cycle) {
   if (measuring() && gen_cycle >= measure_start_) ++generated_measured_;
 }
 
+void Metrics::on_unreachable(std::uint64_t gen_cycle) {
+  ++unreachable_total_;
+  if (measuring() && gen_cycle >= measure_start_) ++unreachable_measured_;
+}
+
 void Metrics::on_injected(MessageId msg, std::uint64_t gen_cycle, std::uint64_t cycle) {
   ++injected_total_;
   if (!measuring() || gen_cycle < measure_start_) return;

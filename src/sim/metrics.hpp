@@ -65,6 +65,10 @@ class Metrics {
 
   // --- hooks called by the network ---
   void on_generated(std::uint64_t gen_cycle);
+  /// Generated message whose deterministic path crosses a fault: counted as
+  /// offered-but-undeliverable at injection time (after on_generated), never
+  /// enqueued. Pristine networks never call this.
+  void on_unreachable(std::uint64_t gen_cycle);
   /// Head flit left its source queue (acquired the first network channel).
   void on_injected(MessageId msg, std::uint64_t gen_cycle, std::uint64_t cycle);
   /// Tail flit consumed at the destination PE.
@@ -87,9 +91,14 @@ class Metrics {
   std::uint64_t generated_measured() const noexcept { return generated_measured_; }
   std::uint64_t delivered_measured() const noexcept { return delivered_measured_; }
   std::uint64_t flits_delivered() const noexcept { return flits_delivered_; }
-  /// Messages generated but whose head has not yet entered the network.
+  std::uint64_t unreachable_total() const noexcept { return unreachable_total_; }
+  std::uint64_t unreachable_measured() const noexcept {
+    return unreachable_measured_;
+  }
+  /// Messages generated but whose head has not yet entered the network
+  /// (unreachable messages never will: they are not backlog).
   std::uint64_t source_backlog() const noexcept {
-    return generated_total_ - injected_total_;
+    return generated_total_ - injected_total_ - unreachable_total_;
   }
 
   // --- statistics over measured messages ---
@@ -112,6 +121,8 @@ class Metrics {
   std::uint64_t generated_measured_ = 0;
   std::uint64_t delivered_measured_ = 0;
   std::uint64_t flits_delivered_ = 0;
+  std::uint64_t unreachable_total_ = 0;
+  std::uint64_t unreachable_measured_ = 0;
 
   std::int64_t hot_node_ = -1;
   util::RunningStats latency_;

@@ -30,6 +30,7 @@ Network::Network(const SimConfig& cfg)
     : topo_(cfg.k, cfg.n, cfg.bidirectional, cfg.mesh),
       message_length_(static_cast<std::uint32_t>(cfg.message_length)) {
   cfg.validate();
+  faults_ = build_fault_set(cfg, topo_);
   routers_.reserve(topo_.size());
   for (topo::NodeId id = 0; id < topo_.size(); ++id) {
     routers_.push_back(std::make_unique<Router>(
@@ -40,13 +41,17 @@ Network::Network(const SimConfig& cfg)
   // upstream output port for credit/release return. Mesh edge ports whose
   // link would wrap stay unconnected — dimension-order routing on a mesh
   // never selects a direction that runs off the line, so they are never
-  // routed to (channel statistics skip them too).
+  // routed to (channel statistics skip them too). The fault overlay extends
+  // the same mechanism: failed links and every link touching a failed router
+  // stay unwired, and the simulator only injects pairs whose deterministic
+  // path is fully usable (pair_reachable), so unwired ports are never routed
+  // to here either — faulty routers stay quiescent and hold no credits.
   for (topo::NodeId id = 0; id < topo_.size(); ++id) {
     Router& r = *routers_[id];
     for (int p = 0; p < r.network_ports(); ++p) {
       const int dim = r.port_dim(p);
       const topo::Direction dir = r.port_dir(p);
-      if (!topo_.link_exists(id, dim, dir)) continue;
+      if (!faults_.link_usable(topo_, id, dim, dir)) continue;
       const topo::NodeId down_id = topo_.neighbor(id, dim, dir);
       Router& down = *routers_[down_id];
       r.connect(p, &down, p);
@@ -147,6 +152,10 @@ void Network::step(std::uint64_t cycle, Metrics& metrics) {
 
 void Network::enqueue_message(const QueuedMessage& msg) {
   KNC_ASSERT(msg.src < topo_.size() && msg.dest < topo_.size());
+  // Unreachable pairs must be classified (and counted) at generation time —
+  // a message past this point is guaranteed deliverable, so nothing is ever
+  // dropped mid-network.
+  KNC_ASSERT(pair_reachable(msg.src, msg.dest));
   routers_[msg.src]->enqueue_message(msg, message_length_);
   ++backlog_;
 }
@@ -212,7 +221,10 @@ Network::ChannelSummary Network::channel_summary() const {
 double Network::channel_utilization(topo::NodeId node, int dim,
                                     topo::Direction dir) const {
   const Router& r = *routers_[node];
-  return r.output_port(r.out_port_for(dim, dir)).utilization();
+  const auto& op = r.output_port(r.out_port_for(dim, dir));
+  // A mesh edge port or a faulted-out link is not a physical channel.
+  if (op.down == nullptr) return 0.0;
+  return op.utilization();
 }
 
 }  // namespace kncube::sim

@@ -30,6 +30,7 @@
 #include "sim/config.hpp"
 #include "sim/metrics.hpp"
 #include "sim/router.hpp"
+#include "topology/fault_set.hpp"
 #include "topology/torus.hpp"
 #include "util/thread_pool.hpp"
 
@@ -40,6 +41,17 @@ class Network {
   explicit Network(const SimConfig& cfg);
 
   const topo::KAryNCube& topology() const noexcept { return topo_; }
+  /// The resolved fault overlay (empty when the config has no failures).
+  const topo::FaultSet& faults() const noexcept { return faults_; }
+  /// False for failed routers: they inject nothing and eject nothing.
+  bool node_alive(topo::NodeId id) const noexcept {
+    return !faults_.router_failed(id);
+  }
+  /// True when the deterministic route src -> dst crosses no failed element
+  /// (always true on a pristine network). O(1).
+  bool pair_reachable(topo::NodeId src, topo::NodeId dst) const noexcept {
+    return faults_.reachable(src, dst);
+  }
   Router& router(topo::NodeId id) { return *routers_[id]; }
   const Router& router(topo::NodeId id) const { return *routers_[id]; }
   topo::NodeId size() const noexcept { return topo_.size(); }
@@ -96,6 +108,7 @@ class Network {
   std::uint64_t scan_source_backlog() const;
 
   topo::KAryNCube topo_;
+  topo::FaultSet faults_;
   std::vector<std::unique_ptr<Router>> routers_;
   std::vector<Shard> shards_;
   std::unique_ptr<util::ThreadTeam> team_;      ///< only when shard_count() > 1

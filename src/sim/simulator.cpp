@@ -37,18 +37,38 @@ Simulator::Simulator(const SimConfig& cfg)
 
 void Simulator::tick() {
   // Traffic generation at the cycle boundary, deterministic node order.
+  // Per-node RNG streams keep this bitwise-deterministic under faults too:
+  // skipping a dead node leaves every other node's stream untouched.
   for (topo::NodeId id = 0; id < net_.size(); ++id) {
+    if (!net_.node_alive(id)) continue;  // dead routers inject nothing
     if (!arrivals_[id]->fire(rng_[id])) continue;
     QueuedMessage msg;
     msg.id = next_msg_id_++;
     msg.src = id;
     msg.dest = pattern_->pick_dest(id, rng_[id]);
     msg.gen_cycle = cycle_;
+    if (!net_.pair_reachable(msg.src, msg.dest)) {
+      // The deterministic path crosses a fault: the message counts as
+      // offered but undeliverable, classified here at injection time —
+      // nothing is ever dropped mid-network (DESIGN.md §10).
+      metrics_.on_generated(msg.gen_cycle);
+      metrics_.on_unreachable(msg.gen_cycle);
+      continue;
+    }
     net_.enqueue_message(msg);
     metrics_.on_generated(msg.gen_cycle);
   }
   net_.step(cycle_, metrics_);
   ++cycle_;
+}
+
+bool Simulator::drain(std::uint64_t max_cycles) {
+  for (std::uint64_t i = 0; i < max_cycles; ++i) {
+    if (net_.inflight_flits() == 0 && net_.source_backlog() == 0) return true;
+    net_.step(cycle_, metrics_);
+    ++cycle_;
+  }
+  return net_.inflight_flits() == 0 && net_.source_backlog() == 0;
 }
 
 void Simulator::step_cycles(std::uint64_t cycles) {
@@ -124,6 +144,36 @@ SimResult Simulator::finalize(std::uint64_t backlog_at_measure_start) const {
   res.accepted_load = static_cast<double>(res.measured_messages) / (nodes * mc);
 
   res.steady = metrics_.steady();
+
+  res.unreachable_messages = metrics_.unreachable_measured();
+  res.unreachable_messages_total = metrics_.unreachable_total();
+  if (metrics_.generated_measured() > 0) {
+    res.unreachable_fraction =
+        static_cast<double>(res.unreachable_messages) /
+        static_cast<double>(metrics_.generated_measured());
+  }
+  res.unreachable_pairs = net_.faults().unreachable_pairs();
+  res.reachable_pair_fraction = net_.faults().reachable_pair_fraction();
+  res.failed_routers = net_.faults().failed_router_count();
+  // Conservation over two independently maintained counter families:
+  // Metrics counts events, Network maintains incremental occupancy. The
+  // boundaries differ — Network occupancy moves when a message *refills*
+  // (materialises Lm flits from the source queue) while Metrics::injected
+  // fires when its head later acquires the first channel — so the identities
+  // are phrased at the refill boundary: every enqueued message is either
+  // still backlog or has exactly Lm flits split between delivered and
+  // in-flight.
+  const std::uint64_t lm = static_cast<std::uint64_t>(cfg_.message_length);
+  const std::uint64_t enqueued =
+      metrics_.generated_total() - metrics_.unreachable_total();
+  const bool backlog_sane = enqueued >= net_.source_backlog();
+  const std::uint64_t refilled =
+      backlog_sane ? enqueued - net_.source_backlog() : 0;
+  res.conservation_ok =
+      backlog_sane &&
+      refilled * lm == metrics_.flits_delivered() + net_.inflight_flits() &&
+      metrics_.delivered_total() <= metrics_.injected_total() &&
+      metrics_.injected_total() <= refilled;
   // Saturation: the aggregate source backlog grew steadily through the
   // measurement window. A stable network keeps queues near-empty (rho < 1),
   // so sustained growth beyond noise marks the saturated regime.

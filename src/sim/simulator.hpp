@@ -41,6 +41,24 @@ struct SimResult {
   bool steady = false;     ///< batch-means criterion satisfied
   bool saturated = false;  ///< source backlog grew without bound
 
+  // --- degraded operation (pristine networks: zeros / 1.0 / true) ---
+  /// Measured messages whose deterministic path crossed a fault — counted as
+  /// offered-but-undeliverable at injection, never enqueued.
+  std::uint64_t unreachable_messages = 0;
+  std::uint64_t unreachable_messages_total = 0;  ///< incl. warm-up
+  /// Measured unreachable / measured generated (0 when nothing generated).
+  double unreachable_fraction = 0.0;
+  /// Static property of the fault set: ordered (src != dst, src alive)
+  /// pairs whose deterministic route crosses a fault.
+  std::uint64_t unreachable_pairs = 0;
+  double reachable_pair_fraction = 1.0;
+  std::uint64_t failed_routers = 0;
+  /// Flit/message conservation cross-check over two independently maintained
+  /// counter families: generated == unreachable + injected + source backlog,
+  /// and injected * Lm == delivered flits + in-flight flits. Any false here
+  /// means the accounting lost or invented traffic.
+  bool conservation_ok = true;
+
   double mean_channel_utilization = 0.0;
   double max_channel_utilization = 0.0;
   double mean_vc_multiplexing = 1.0;
@@ -59,9 +77,19 @@ class Simulator {
   // --- fine-grained control for tests ---
   /// Advances exactly `cycles` cycles (with traffic generation).
   void step_cycles(std::uint64_t cycles);
+  /// Steps the network *without* traffic generation until every buffered
+  /// flit is delivered and every source queue is empty, or `max_cycles`
+  /// elapse. Returns true when fully drained — at which point
+  /// delivered == injected == generated - unreachable, the conservation
+  /// identity the fault property tests pin.
+  bool drain(std::uint64_t max_cycles);
   /// Enqueues one message immediately (bypasses the traffic pattern).
   MessageId inject_now(topo::NodeId src, topo::NodeId dest);
   std::uint64_t current_cycle() const noexcept { return cycle_; }
+  /// Extracts aggregate results at the current cut point (run() calls this
+  /// at protocol end; tests call it mid-stream to pin the conservation
+  /// identities at arbitrary cuts).
+  SimResult finalize(std::uint64_t backlog_at_measure_start) const;
 
   Network& network() noexcept { return net_; }
   const Network& network() const noexcept { return net_; }
@@ -70,7 +98,6 @@ class Simulator {
 
  private:
   void tick();
-  SimResult finalize(std::uint64_t backlog_at_measure_start) const;
 
   SimConfig cfg_;
   Network net_;

@@ -1,0 +1,122 @@
+#include "topology/fault_set.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+#include "util/rng.hpp"
+
+namespace kncube::topo {
+
+FaultSet FaultSet::resolve(const KAryNCube& net,
+                           const std::vector<NodeId>& failed_routers,
+                           const std::vector<FailedLink>& failed_links,
+                           double random_rate, std::uint64_t random_seed,
+                           std::int64_t protected_node) {
+  FaultSet f;
+  if (failed_routers.empty() && failed_links.empty() && random_rate == 0.0) {
+    return f;  // pristine: keep the zero-cost empty representation
+  }
+  f.empty_ = false;
+  f.size_ = net.size();
+  f.dims_ = net.dims();
+  f.router_failed_.assign(f.size_, 0);
+  f.link_failed_.assign(static_cast<std::size_t>(f.size_) *
+                            static_cast<std::size_t>(f.dims_) * 2,
+                        0);
+
+  for (const NodeId r : failed_routers) {
+    KNC_DEBUG_ASSERT(r < f.size_);
+    f.router_failed_[r] = 1;
+  }
+  for (const FailedLink& l : failed_links) {
+    KNC_DEBUG_ASSERT(l.node >= 0 && static_cast<NodeId>(l.node) < f.size_);
+    KNC_DEBUG_ASSERT(l.dim >= 0 && l.dim < f.dims_);
+    KNC_DEBUG_ASSERT(net.link_exists(static_cast<NodeId>(l.node), l.dim, l.dir));
+    f.link_failed_[f.link_index(static_cast<NodeId>(l.node), l.dim, l.dir)] = 1;
+    ++f.failed_link_count_;
+  }
+
+  // Random mode: round(rate * N) additional routers, chosen by a seeded
+  // partial Fisher-Yates over the still-alive, unprotected candidates. The
+  // draw depends only on (net shape, explicit failures, rate, seed,
+  // protected node) — never on thread count or timing.
+  if (random_rate > 0.0) {
+    const auto want = static_cast<std::uint64_t>(
+        random_rate * static_cast<double>(f.size_) + 0.5);
+    std::vector<NodeId> candidates;
+    candidates.reserve(f.size_);
+    for (NodeId id = 0; id < f.size_; ++id) {
+      if (f.router_failed_[id]) continue;
+      if (protected_node >= 0 && static_cast<std::int64_t>(id) == protected_node)
+        continue;
+      candidates.push_back(id);
+    }
+    const std::uint64_t count =
+        std::min<std::uint64_t>(want, candidates.size());
+    util::Xoshiro256 rng(random_seed);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint64_t j =
+          i + rng.uniform_below(candidates.size() - i);
+      std::swap(candidates[i], candidates[j]);
+      f.router_failed_[candidates[i]] = 1;
+    }
+  }
+
+  for (NodeId id = 0; id < f.size_; ++id) {
+    if (f.router_failed_[id]) f.failed_router_list_.push_back(id);
+  }
+  f.alive_routers_ = f.size_ - f.failed_router_list_.size();
+  f.precompute_reachability(net);
+  return f;
+}
+
+void FaultSet::precompute_reachability(const KAryNCube& net) {
+  const std::uint64_t n = size_;
+  reach_.assign((n * n + 63) / 64, 0);
+  unreachable_pairs_ = 0;
+  for (NodeId src = 0; src < n; ++src) {
+    if (router_failed_[src]) continue;  // dead sources generate nothing
+    for (NodeId dst = 0; dst < n; ++dst) {
+      bool ok;
+      if (src == dst) {
+        ok = true;  // self-delivery never enters the network
+      } else if (router_failed_[dst]) {
+        ok = false;
+      } else {
+        ok = true;
+        // Walk the unique deterministic path over the *pristine* topology:
+        // routing never deviates around faults, so the path shape is the
+        // pristine one and a single unusable hop makes the pair unreachable.
+        NodeId cur = src;
+        while (cur != dst) {
+          const int d = net.next_route_dim(cur, dst);
+          const Direction dir =
+              net.ring_direction(net.coord(cur, d), net.coord(dst, d));
+          if (!link_usable(net, cur, d, dir)) {
+            ok = false;
+            break;
+          }
+          cur = net.neighbor(cur, d, dir);
+        }
+      }
+      if (ok) {
+        const std::uint64_t bit = static_cast<std::uint64_t>(src) * n + dst;
+        reach_[bit >> 6] |= std::uint64_t{1} << (bit & 63);
+      } else if (src != dst) {
+        ++unreachable_pairs_;
+      }
+    }
+  }
+}
+
+double FaultSet::reachable_pair_fraction() const noexcept {
+  if (empty_) return 1.0;
+  const std::uint64_t pairs =
+      alive_routers_ * (static_cast<std::uint64_t>(size_) - 1);
+  if (pairs == 0) return 0.0;
+  return 1.0 -
+         static_cast<double>(unreachable_pairs_) / static_cast<double>(pairs);
+}
+
+}  // namespace kncube::topo

@@ -1,0 +1,131 @@
+// Fault overlay for a k-ary n-cube / n-mesh: failed routers and failed
+// directed links masking the pristine topology's `link_exists`.
+//
+// The overlay never changes routing. Dimension-order routing is
+// deterministic and fault-oblivious: every (src, dst) pair has exactly one
+// path, so whether the pair can communicate at all is a *static* property of
+// the fault set — the path either avoids every failed element or it does
+// not. `resolve` therefore precomputes the full reachability relation once
+// (walking the deterministic route of every ordered pair) and the simulator
+// classifies each generated message at injection time with a single bit
+// test; no packet is ever dropped mid-network.
+//
+// A failed router takes down the node entirely: it injects nothing, ejects
+// nothing, and every link touching it (in either direction) is unusable — so
+// the network wiring simply leaves it unconnected and it stays quiescent
+// forever. A failed link removes one directed channel while both endpoint
+// routers stay alive.
+//
+// The empty fault set is the pristine network and costs nothing: no masks
+// are allocated, every predicate short-circuits to the pristine answer, and
+// no reachability matrix is built.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "topology/torus.hpp"
+
+namespace kncube::topo {
+
+/// One failed directed link: the outgoing channel of `node` along
+/// (dim, dir). `node` is deliberately wider than NodeId so that scenario
+/// parsing can carry out-of-range values to validation instead of silently
+/// wrapping them.
+struct FailedLink {
+  std::int64_t node = 0;
+  int dim = 0;
+  Direction dir = Direction::kPlus;
+};
+
+class FaultSet {
+ public:
+  /// The empty (pristine) fault set.
+  FaultSet() = default;
+
+  /// Resolves an explicit failure list plus the seed-derived random mode
+  /// against `net`. The random mode fails round(random_rate * N) additional
+  /// routers, drawn without replacement (seeded partial Fisher-Yates over
+  /// Xoshiro256(random_seed)) from the routers not already failed and not
+  /// equal to `protected_node` (pass -1 to protect nothing; the simulator
+  /// protects the hot node so hot-spot measurement traffic keeps its sink).
+  /// Ids/dims must be in range and links must exist (callers validate first;
+  /// violations are debug-asserted here).
+  static FaultSet resolve(const KAryNCube& net,
+                          const std::vector<NodeId>& failed_routers,
+                          const std::vector<FailedLink>& failed_links,
+                          double random_rate, std::uint64_t random_seed,
+                          std::int64_t protected_node = -1);
+
+  /// True when nothing is failed: every predicate is pristine and O(1).
+  bool empty() const noexcept { return empty_; }
+
+  bool router_failed(NodeId node) const noexcept {
+    return !empty_ && router_failed_[node] != 0;
+  }
+
+  /// True when the directed link (node, dim, dir) itself was failed
+  /// (endpoint-router failures are separate; see link_usable).
+  bool link_failed(NodeId node, int dim, Direction dir) const noexcept {
+    return !empty_ && link_failed_[link_index(node, dim, dir)] != 0;
+  }
+
+  /// The wiring predicate: the link exists in `net`, was not failed, and
+  /// neither endpoint router is failed.
+  bool link_usable(const KAryNCube& net, NodeId node, int dim,
+                   Direction dir) const noexcept {
+    if (!net.link_exists(node, dim, dir)) return false;
+    if (empty_) return true;
+    if (router_failed(node) || link_failed(node, dim, dir)) return false;
+    return !router_failed(net.neighbor(node, dim, dir));
+  }
+
+  /// True when the deterministic route src -> dst crosses no failed element
+  /// (src == dst counts as reachable for an alive src). Precomputed by
+  /// resolve; O(1) bit test.
+  bool reachable(NodeId src, NodeId dst) const noexcept {
+    if (empty_) return true;
+    const std::uint64_t bit =
+        static_cast<std::uint64_t>(src) * size_ + dst;
+    return (reach_[bit >> 6] >> (bit & 63)) & 1u;
+  }
+
+  /// Ordered pairs (s, d), s != d, s alive, that cannot communicate.
+  std::uint64_t unreachable_pairs() const noexcept { return unreachable_pairs_; }
+  /// Fraction of ordered (s != d, s alive) pairs that remain reachable
+  /// (1.0 when pristine).
+  double reachable_pair_fraction() const noexcept;
+
+  /// All failed routers (explicit + random), ascending.
+  const std::vector<NodeId>& failed_routers() const noexcept {
+    return failed_router_list_;
+  }
+  std::uint64_t failed_router_count() const noexcept {
+    return failed_router_list_.size();
+  }
+  /// Explicitly failed links only (links implied by dead routers are not
+  /// enumerated; link_usable accounts for them).
+  std::uint64_t failed_link_count() const noexcept { return failed_link_count_; }
+
+ private:
+  std::size_t link_index(NodeId node, int dim, Direction dir) const noexcept {
+    return (static_cast<std::size_t>(node) * static_cast<std::size_t>(dims_) +
+            static_cast<std::size_t>(dim)) *
+               2 +
+           (dir == Direction::kMinus ? 1 : 0);
+  }
+  void precompute_reachability(const KAryNCube& net);
+
+  bool empty_ = true;
+  NodeId size_ = 0;
+  int dims_ = 0;
+  std::vector<std::uint8_t> router_failed_;  ///< per node
+  std::vector<std::uint8_t> link_failed_;    ///< per (node, dim, dir)
+  std::vector<std::uint64_t> reach_;         ///< N*N reachability bitset
+  std::uint64_t unreachable_pairs_ = 0;
+  std::uint64_t alive_routers_ = 0;
+  std::uint64_t failed_link_count_ = 0;
+  std::vector<NodeId> failed_router_list_;
+};
+
+}  // namespace kncube::topo

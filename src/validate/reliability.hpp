@@ -1,0 +1,123 @@
+// ReliabilityEngine: reliability-degradation measurement over the fault axis.
+//
+// Where the ValidationEngine asks "does the analytical model match the
+// simulator on pristine networks?", this engine asks "how gracefully does
+// the simulated network degrade as routers fail?". Each ReliabilityCase is a
+// pristine ScenarioSpec plus a sweep of failure counts: for every count f
+// the engine derives a faulty spec (seed-derived random mode at rate f/N, so
+// the resolved failure set is a deterministic function of the spec) and
+// measures it at each lambda fraction through ReplicationRunner, producing
+// latency-degradation and survivable-throughput curves relative to the
+// pristine (f = 0) baseline at the same load.
+//
+// Gates (ReliabilityReport::passed):
+//  - zero conservation violations: every replication of every point must
+//    satisfy SimResult::conservation_ok (offered = delivered + unreachable +
+//    in-flight, in both message and flit units);
+//  - thread invariance: for each case the most-degraded point re-runs at
+//    sim.threads in {1, 2, 4} and all results must be bit-identical.
+// Degradation *direction* is deliberately not gated: with few failures the
+// latency of the surviving pairs can legitimately drop (the unreachable
+// pairs were the longest routes), and gating on monotonicity would encode a
+// falsehood. The curves themselves are the committed RELIABILITY.json
+// trajectory, diffed structurally in CI like ACCURACY.json.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/scenario_spec.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace kncube::validate {
+
+/// One reliability scenario: a pristine spec swept over failure counts and
+/// load fractions of `base_rate` (the pristine model's saturation anchor).
+struct ReliabilityCase {
+  std::string name;
+  core::ScenarioSpec spec;           ///< pristine (failures must be empty)
+  std::vector<int> failure_counts;   ///< failed-router counts; must include 0
+  std::uint64_t failure_seed = 1;    ///< random-mode seed for every count
+  std::vector<double> lambda_fracs;  ///< fractions of base_rate
+  double base_rate = 0.0;            ///< lambda anchor (pristine saturation)
+};
+
+/// One (failure-config, lambda) measurement.
+struct ReliabilityPoint {
+  std::string scenario;
+  int failed_routers = 0;  ///< requested failure count f
+  std::uint64_t failure_seed = 0;
+  double lambda = 0.0;
+  double lambda_frac = 0.0;
+
+  // Static fault-set properties (identical across replications).
+  std::uint64_t unreachable_pairs = 0;
+  double reachable_pair_fraction = 1.0;
+
+  // Replication aggregates.
+  int replications = 0;
+  util::ConfidenceInterval latency;  ///< over surviving (delivered) traffic
+  double offered_load = 0.0;         ///< mean generated load, msgs/node/cycle
+  double delivered_load = 0.0;       ///< mean accepted load (survivable throughput)
+  double unreachable_fraction = 0.0; ///< mean unreachable / generated
+  bool saturated = false;            ///< majority vote across replications
+  std::uint64_t conservation_violations = 0;
+
+  // Degradation vs the pristine (f = 0) point at the same lambda fraction:
+  // NaN for the pristine points themselves and when either side saturated.
+  double latency_ratio = std::numeric_limits<double>::quiet_NaN();
+  double throughput_ratio = std::numeric_limits<double>::quiet_NaN();
+};
+
+struct ReliabilityConfig {
+  int replications = 3;
+  double confidence = 0.95;
+  /// Thread counts the bit-invariance check sweeps (the PR 6 determinism
+  /// contract, re-verified on faulty networks).
+  std::vector<int> thread_sweep = {1, 2, 4};
+};
+
+struct ReliabilityReport {
+  ReliabilityConfig config;
+  std::vector<ReliabilityPoint> points;
+  std::uint64_t conservation_violations = 0;
+  bool thread_invariant = true;
+
+  bool passed() const noexcept {
+    return conservation_violations == 0 && thread_invariant;
+  }
+};
+
+class ReliabilityEngine {
+ public:
+  explicit ReliabilityEngine(ReliabilityConfig cfg = {});
+
+  /// Derives the faulty spec for failure count `f` of `c` (f = 0 returns the
+  /// pristine spec unchanged). Exposed so tests and the report reader can
+  /// reproduce exactly which spec a point measured.
+  static core::ScenarioSpec faulty_spec(const ReliabilityCase& c, int f);
+
+  ReliabilityReport run(const std::vector<ReliabilityCase>& cases) const;
+
+ private:
+  ReliabilityConfig cfg_;
+};
+
+/// The committed reliability suite behind RELIABILITY.json: hot-spot torus
+/// and uniform mesh, failure counts {0, 1, 2, 4} x two load fractions.
+std::vector<ReliabilityCase> reliability_suite();
+/// Tier-1-sized subset (seconds): one faulty and one pristine config per
+/// topology family, single load fraction.
+std::vector<ReliabilityCase> reliability_quick_suite();
+
+/// Deterministic JSON (schema kncube-reliability-v1, no timestamps).
+std::string to_json(const ReliabilityReport& report);
+bool write_reliability_json(const ReliabilityReport& report,
+                            const std::string& path);
+util::Table reliability_table(const ReliabilityReport& report);
+std::string summary_line(const ReliabilityReport& report);
+
+}  // namespace kncube::validate

@@ -1,0 +1,161 @@
+// FailureSet participation in the ScenarioSpec text language and registry
+// dispatch: canonical-text round-trip, key() sensitivity, the key-stability
+// guarantee for pristine specs (no fault.* lines), and sim-only dispatch of
+// faulty specs across all three topology families.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/model_registry.hpp"
+#include "core/scenario_spec.hpp"
+
+namespace kncube::core {
+namespace {
+
+ScenarioSpec faulty_mesh_spec() {
+  ScenarioSpec spec;
+  spec.topology = MeshTopology{8, 2};
+  spec.traffic = UniformTraffic{};
+  spec.failures.routers = {3, 17};
+  spec.failures.links = {{5, 0, topo::Direction::kPlus},
+                         {12, 1, topo::Direction::kMinus}};
+  return spec;
+}
+
+TEST(FaultSpec, PristineTextHasNoFaultLines) {
+  // Key stability: every pre-existing canonical text, key() and derived
+  // replication seed must be byte-identical now that the fault block exists.
+  const ScenarioSpec spec;
+  const std::string text = format_scenario(spec);
+  EXPECT_EQ(text.find("fault."), std::string::npos) << text;
+}
+
+TEST(FaultSpec, FaultyTextRoundTripsAndIsAFixedPoint) {
+  const ScenarioSpec spec = faulty_mesh_spec();
+  const std::string text = format_scenario(spec);
+  EXPECT_NE(text.find("fault.routers=3,17\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("fault.links=5:0:+,12:1:-\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("fault.rate=0\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("fault.seed=1\n"), std::string::npos) << text;
+
+  const ScenarioSpec back = parse_scenario(text);
+  ASSERT_EQ(back.failures.routers.size(), 2u);
+  EXPECT_EQ(back.failures.routers[0], 3);
+  EXPECT_EQ(back.failures.routers[1], 17);
+  ASSERT_EQ(back.failures.links.size(), 2u);
+  EXPECT_EQ(back.failures.links[0].node, 5);
+  EXPECT_EQ(back.failures.links[0].dim, 0);
+  EXPECT_EQ(back.failures.links[0].dir, topo::Direction::kPlus);
+  EXPECT_EQ(back.failures.links[1].node, 12);
+  EXPECT_EQ(back.failures.links[1].dim, 1);
+  EXPECT_EQ(back.failures.links[1].dir, topo::Direction::kMinus);
+  EXPECT_EQ(format_scenario(back), text);
+  EXPECT_EQ(back.key(), spec.key());
+}
+
+TEST(FaultSpec, RandomModeRoundTrips) {
+  ScenarioSpec spec;
+  spec.failures.random_rate = 0.0625;
+  spec.failures.random_seed = 99;
+  const std::string text = format_scenario(spec);
+  EXPECT_NE(text.find("fault.routers=\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("fault.rate=0.0625\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("fault.seed=99\n"), std::string::npos) << text;
+  const ScenarioSpec back = parse_scenario(text);
+  EXPECT_TRUE(back.failures.routers.empty());
+  EXPECT_EQ(back.failures.random_rate, 0.0625);
+  EXPECT_EQ(back.failures.random_seed, 99u);
+  EXPECT_EQ(format_scenario(back), text);
+}
+
+TEST(FaultSpec, FailuresAreResultDefiningInTheKey) {
+  // Distinct fault sets must hash to distinct keys (memoization and the
+  // accuracy/reliability baselines treat them as distinct scenarios) —
+  // unlike sim.threads, which the key deliberately ignores.
+  const ScenarioSpec pristine;
+  ScenarioSpec faulty = pristine;
+  faulty.failures.routers = {5};
+  EXPECT_NE(pristine.key(), faulty.key());
+
+  ScenarioSpec other = pristine;
+  other.failures.routers = {6};
+  EXPECT_NE(faulty.key(), other.key());
+
+  ScenarioSpec seeded = pristine;
+  seeded.failures.random_rate = 0.05;
+  seeded.failures.random_seed = 1;
+  ScenarioSpec reseeded = seeded;
+  reseeded.failures.random_seed = 2;
+  EXPECT_NE(seeded.key(), reseeded.key());
+
+  ScenarioSpec threads = faulty;
+  threads.sim_threads = 4;
+  EXPECT_EQ(faulty.key(), threads.key());
+}
+
+TEST(FaultSpec, ApplySettingRebuildsTheLists) {
+  ScenarioSpec spec;
+  apply_scenario_setting(spec, "fault.routers", "4,9");
+  apply_scenario_setting(spec, "fault.links", "2:1:+");
+  apply_scenario_setting(spec, "fault.rate", "0.05");
+  apply_scenario_setting(spec, "fault.seed", "17");
+  EXPECT_EQ(spec.failures.routers, (std::vector<std::int64_t>{4, 9}));
+  ASSERT_EQ(spec.failures.links.size(), 1u);
+  EXPECT_EQ(spec.failures.random_rate, 0.05);
+  EXPECT_EQ(spec.failures.random_seed, 17u);
+  // Re-applying replaces rather than appends.
+  apply_scenario_setting(spec, "fault.routers", "1");
+  EXPECT_EQ(spec.failures.routers, (std::vector<std::int64_t>{1}));
+  apply_scenario_setting(spec, "fault.routers", "");
+  EXPECT_TRUE(spec.failures.routers.empty());
+}
+
+TEST(FaultSpec, ToSimConfigCarriesTheFailureSet) {
+  const ScenarioSpec spec = faulty_mesh_spec();
+  const sim::SimConfig cfg = to_sim_config(spec, 1e-3);
+  EXPECT_EQ(cfg.failed_routers, (std::vector<std::int64_t>{3, 17}));
+  ASSERT_EQ(cfg.failed_links.size(), 2u);
+  EXPECT_TRUE(cfg.has_failures());
+  const sim::SimConfig pristine = to_sim_config(ScenarioSpec{}, 1e-3);
+  EXPECT_FALSE(pristine.has_failures());
+}
+
+TEST(FaultSpec, RegistryDispatchesFaultySpecsSimOnly) {
+  // Every topology family that has an analytical model loses it under
+  // faults: the paper's models assume the pristine network.
+  const auto faulty = [](Topology topo, Traffic traffic) {
+    ScenarioSpec spec;
+    spec.topology = topo;
+    spec.traffic = traffic;
+    spec.failures.routers = {0};
+    return spec;
+  };
+  const ScenarioSpec specs[] = {
+      faulty(TorusTopology{8, 2, false}, HotspotTraffic{}),
+      faulty(MeshTopology{8, 2}, UniformTraffic{}),
+      faulty(HypercubeTopology{6}, HotspotTraffic{}),
+  };
+  for (const ScenarioSpec& spec : specs) {
+    // The pristine counterpart has a model...
+    ScenarioSpec pristine = spec;
+    pristine.failures = FailureSet{};
+    EXPECT_TRUE(make_analytical_model(pristine).has_model());
+    // ...the faulty one is sim-only with the documented reason.
+    const ModelDispatch d = make_analytical_model(spec);
+    EXPECT_FALSE(d.has_model());
+    EXPECT_EQ(d.sim_only_reason,
+              "fault-aware analytical model not yet implemented");
+  }
+}
+
+TEST(FaultSpec, RandomOnlyFailureSetIsAlsoSimOnly) {
+  ScenarioSpec spec;
+  spec.failures.random_rate = 0.03;
+  const ModelDispatch d = make_analytical_model(spec);
+  EXPECT_FALSE(d.has_model());
+  EXPECT_EQ(d.sim_only_reason,
+            "fault-aware analytical model not yet implemented");
+}
+
+}  // namespace
+}  // namespace kncube::core

@@ -194,6 +194,121 @@ TEST(ScenarioErrors, ValidateBoundsHotNodeAgainstResolvedTopology) {
   }
 }
 
+TEST(ScenarioErrors, MalformedFailureSetValues) {
+  // Syntax errors fire at apply/parse time...
+  expect_throws("fault.links", "1:0");      // missing direction field
+  expect_throws("fault.links", "1:0:x");    // direction must be + or -
+  expect_throws("fault.links", "1:+");      // missing dimension
+  expect_throws("fault.routers", "3,two");
+  expect_throws("fault.rate", "lots");
+  expect_throws("fault.seed", "-1");
+  // ...and report line numbers like every other key.
+  try {
+    parse_scenario("topology.kind=torus\nfault.links=9:9\n");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ScenarioErrors, ValidateRejectsMalformedFailureSets) {
+  const auto with = [](auto&& mutate) {
+    ScenarioSpec spec;  // unidirectional 8x8 torus (64 nodes), hot-spot
+    spec.topology = TorusTopology{8, 2, false};
+    mutate(spec);
+    return spec;
+  };
+  // Well-formed failure sets pass.
+  EXPECT_NO_THROW(with([](ScenarioSpec& s) {
+                    s.failures.routers = {0, 5};
+                    s.failures.links = {{3, 0, topo::Direction::kPlus}};
+                    s.failures.random_rate = 0.05;
+                  }).validate());
+  // Router id out of range (64 nodes) or negative.
+  EXPECT_THROW(
+      with([](ScenarioSpec& s) { s.failures.routers = {64}; }).validate(),
+      std::invalid_argument);
+  EXPECT_THROW(
+      with([](ScenarioSpec& s) { s.failures.routers = {-1}; }).validate(),
+      std::invalid_argument);
+  // Duplicates / non-ascending order.
+  EXPECT_THROW(
+      with([](ScenarioSpec& s) { s.failures.routers = {5, 5}; }).validate(),
+      std::invalid_argument);
+  EXPECT_THROW(
+      with([](ScenarioSpec& s) { s.failures.routers = {9, 5}; }).validate(),
+      std::invalid_argument);
+  // The hot-spot node is the sink of measurement traffic: failing it (here
+  // the resolved centre of the default 8x8 torus) is rejected.
+  EXPECT_THROW(with([](ScenarioSpec& s) {
+                 s.failures.routers = {36};  // centre (4, 4)
+               }).validate(),
+               std::invalid_argument);
+  // ...but only under hot-spot traffic.
+  EXPECT_NO_THROW(with([](ScenarioSpec& s) {
+                    s.traffic = UniformTraffic{};
+                    s.failures.routers = {36};
+                  }).validate());
+  // Link node / dimension out of range.
+  EXPECT_THROW(with([](ScenarioSpec& s) {
+                 s.failures.links = {{64, 0, topo::Direction::kPlus}};
+               }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(with([](ScenarioSpec& s) {
+                 s.failures.links = {{0, 2, topo::Direction::kPlus}};
+               }).validate(),
+               std::invalid_argument);
+  // Minus-direction links do not exist on the unidirectional torus...
+  EXPECT_THROW(with([](ScenarioSpec& s) {
+                 s.failures.links = {{0, 0, topo::Direction::kMinus}};
+               }).validate(),
+               std::invalid_argument);
+  // ...but do on the bidirectional torus and on the mesh (interior node).
+  EXPECT_NO_THROW(with([](ScenarioSpec& s) {
+                    s.topology = TorusTopology{8, 2, true};
+                    s.failures.links = {{0, 0, topo::Direction::kMinus}};
+                  }).validate());
+  EXPECT_NO_THROW(with([](ScenarioSpec& s) {
+                    s.topology = MeshTopology{8, 2};
+                    s.traffic = UniformTraffic{};
+                    s.failures.links = {{1, 0, topo::Direction::kMinus}};
+                  }).validate());
+  // A mesh edge position whose link would wrap does not exist: x = 0 going
+  // minus, x = k-1 going plus.
+  EXPECT_THROW(with([](ScenarioSpec& s) {
+                 s.topology = MeshTopology{8, 2};
+                 s.traffic = UniformTraffic{};
+                 s.failures.links = {{0, 0, topo::Direction::kMinus}};
+               }).validate(),
+               std::invalid_argument);
+  EXPECT_THROW(with([](ScenarioSpec& s) {
+                 s.topology = MeshTopology{8, 2};
+                 s.traffic = UniformTraffic{};
+                 s.failures.links = {{7, 0, topo::Direction::kPlus}};
+               }).validate(),
+               std::invalid_argument);
+  // Links must be strictly ascending by (node, dim, dir).
+  EXPECT_THROW(with([](ScenarioSpec& s) {
+                 s.failures.links = {{3, 0, topo::Direction::kPlus},
+                                     {3, 0, topo::Direction::kPlus}};
+               }).validate(),
+               std::invalid_argument);
+  // Failing every router leaves nothing to simulate.
+  EXPECT_THROW(with([](ScenarioSpec& s) {
+                 s.traffic = UniformTraffic{};
+                 for (int i = 0; i < 64; ++i) s.failures.routers.push_back(i);
+               }).validate(),
+               std::invalid_argument);
+  // Random rate is a probability below 1.
+  EXPECT_THROW(
+      with([](ScenarioSpec& s) { s.failures.random_rate = 1.0; }).validate(),
+      std::invalid_argument);
+  EXPECT_THROW(
+      with([](ScenarioSpec& s) { s.failures.random_rate = -0.1; }).validate(),
+      std::invalid_argument);
+}
+
 TEST(ScenarioErrors, MeshRoundTripsThroughTextForm) {
   // The mesh variant participates in the canonical text form like any
   // other: format -> parse -> format is a fixed point and the key is stable.

@@ -269,6 +269,50 @@ TEST(DeterminismGolden, MeshK4N3Hotspot) {
             0x1.5b0c4977f4dacp+4, 0x1.44c61ca09e15fp+4});
 }
 
+TEST(DeterminismGolden, FaultyMeshK8N2) {
+  // Degraded 8x8 mesh: two dead routers plus one failed directed link (the
+  // faulty_mesh.spec shape). Pins the fault-masked wiring, the unreachable-
+  // at-injection classification and the sharded engine's bit-identity on a
+  // faulty network — generated here counts unreachable traffic too.
+  SimConfig cfg;
+  cfg.k = 8;
+  cfg.n = 2;
+  cfg.mesh = true;
+  cfg.vcs = 2;
+  cfg.buffer_depth = 2;
+  cfg.message_length = 16;
+  cfg.pattern = Pattern::kUniform;
+  cfg.injection_rate = 8e-3;
+  cfg.seed = 0x4D455348;  // same seed as MeshK8N2Uniform: only faults differ
+  cfg.failed_routers = {9, 27};
+  cfg.failed_links = {{36, 0, topo::Direction::kPlus}};
+  run_case("FaultyMeshK8N2", cfg, 20000,
+           {9763u, 7488u, 119867u, 101u, 0u, 0x701403dc6ad38a0aULL,
+            0x1.aecf50f50f511p+4, 0x1.a79c71c71c713p+4});
+}
+
+TEST(DeterminismGolden, FaultyTorusK8N2) {
+  // Degraded unidirectional 8x8 torus under hot-spot traffic with seed-
+  // derived random failures (rate 2/64: exactly two routers, hot node
+  // protected). Pins the random-mode resolution path end-to-end.
+  SimConfig cfg;
+  cfg.k = 8;
+  cfg.n = 2;
+  cfg.bidirectional = false;
+  cfg.vcs = 2;
+  cfg.buffer_depth = 2;
+  cfg.message_length = 16;
+  cfg.pattern = Pattern::kHotspot;
+  cfg.hot_fraction = 0.2;
+  cfg.injection_rate = 2e-3;
+  cfg.seed = 0xDE7E12;  // same seed as HotspotK8: only faults differ
+  cfg.failure_rate = 2.0 / 64.0;
+  cfg.failure_seed = 7;
+  run_case("FaultyTorusK8N2", cfg, 20000,
+           {2426u, 1963u, 31439u, 33u, 0u, 0x51031869d82f97a7ULL,
+            0x1.adb9d6875e499p+4, 0x1.9ffbd3a8e264fp+4});
+}
+
 TEST(DeterminismGolden, HotspotK32Sharded) {
   // Large network (32x32 = 1024 routers): every sweep entry gets real shards
   // (4 threads => 256 routers each), so the cross-shard staging, barrier and

@@ -1,0 +1,207 @@
+// FaultSet overlay unit tests (DESIGN.md §10): mask predicates, the
+// precomputed reachability relation checked against a manual route walk,
+// and the seed-derived random failure mode (determinism, exact count,
+// protected-node exclusion, no overlap with explicit failures).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "topology/fault_set.hpp"
+#include "topology/torus.hpp"
+
+namespace kncube::topo {
+namespace {
+
+/// Oracle: walk the deterministic route hop by hop over the pristine
+/// topology and ask the fault set about every link it would use.
+bool route_survives(const KAryNCube& net, const FaultSet& faults, NodeId src,
+                    NodeId dst) {
+  if (faults.router_failed(src) || faults.router_failed(dst)) return false;
+  for (const Hop& hop : net.route(src, dst)) {
+    if (!faults.link_usable(net, hop.from, hop.dim, hop.dir)) return false;
+  }
+  return true;
+}
+
+void expect_reachability_matches_oracle(const KAryNCube& net,
+                                        const FaultSet& faults) {
+  std::uint64_t unreachable = 0;
+  for (NodeId s = 0; s < net.size(); ++s) {
+    for (NodeId d = 0; d < net.size(); ++d) {
+      const bool want = s == d ? !faults.router_failed(s)
+                               : route_survives(net, faults, s, d);
+      EXPECT_EQ(faults.reachable(s, d), want) << "pair " << s << "->" << d;
+      if (s != d && !faults.router_failed(s) && !want) ++unreachable;
+    }
+  }
+  EXPECT_EQ(faults.unreachable_pairs(), unreachable);
+}
+
+TEST(FaultSet, EmptySetIsPristine) {
+  const KAryNCube net(4, 2);
+  const FaultSet faults;  // default-constructed == pristine
+  EXPECT_TRUE(faults.empty());
+  EXPECT_EQ(faults.failed_router_count(), 0u);
+  EXPECT_EQ(faults.failed_link_count(), 0u);
+  EXPECT_EQ(faults.unreachable_pairs(), 0u);
+  EXPECT_EQ(faults.reachable_pair_fraction(), 1.0);
+  for (NodeId id = 0; id < net.size(); ++id) {
+    EXPECT_FALSE(faults.router_failed(id));
+    for (int dim = 0; dim < net.dims(); ++dim) {
+      EXPECT_EQ(faults.link_usable(net, id, dim, Direction::kPlus),
+                net.link_exists(id, dim, Direction::kPlus));
+    }
+  }
+  EXPECT_TRUE(faults.reachable(0, net.size() - 1));
+}
+
+TEST(FaultSet, ResolveWithNothingFailedStaysEmpty) {
+  const KAryNCube net(4, 2);
+  const FaultSet faults = FaultSet::resolve(net, {}, {}, 0.0, 1);
+  EXPECT_TRUE(faults.empty());
+  EXPECT_EQ(faults.reachable_pair_fraction(), 1.0);
+}
+
+TEST(FaultSet, FailedRouterMasksEveryTouchingLink) {
+  const KAryNCube net(4, 2, /*bidirectional=*/true);
+  const NodeId dead = 5;  // (1, 1): interior, touches 4 neighbours
+  const FaultSet faults = FaultSet::resolve(net, {dead}, {}, 0.0, 1);
+  ASSERT_FALSE(faults.empty());
+  EXPECT_TRUE(faults.router_failed(dead));
+  EXPECT_EQ(faults.failed_router_count(), 1u);
+  EXPECT_EQ(faults.failed_routers(), std::vector<NodeId>{dead});
+
+  for (int dim = 0; dim < net.dims(); ++dim) {
+    for (const Direction dir : {Direction::kPlus, Direction::kMinus}) {
+      // Outgoing links of the dead router...
+      EXPECT_FALSE(faults.link_usable(net, dead, dim, dir));
+      // ...and the neighbour's link back into it.
+      const NodeId nb = net.neighbor(dead, dim, dir);
+      const Direction back =
+          dir == Direction::kPlus ? Direction::kMinus : Direction::kPlus;
+      EXPECT_FALSE(faults.link_usable(net, nb, dim, back));
+      // The individual links were not *explicitly* failed.
+      EXPECT_FALSE(faults.link_failed(dead, dim, dir));
+    }
+  }
+  // A dead router is unreachable even from itself.
+  EXPECT_FALSE(faults.reachable(dead, dead));
+  EXPECT_FALSE(faults.reachable(0, dead));
+  EXPECT_FALSE(faults.reachable(dead, 0));
+  expect_reachability_matches_oracle(net, faults);
+}
+
+TEST(FaultSet, FailedLinkIsDirectional) {
+  const KAryNCube net(4, 2, /*bidirectional=*/true);
+  const FailedLink link{/*node=*/1, /*dim=*/0, Direction::kPlus};
+  const FaultSet faults = FaultSet::resolve(net, {}, {link}, 0.0, 1);
+  ASSERT_FALSE(faults.empty());
+  EXPECT_EQ(faults.failed_link_count(), 1u);
+  EXPECT_EQ(faults.failed_router_count(), 0u);
+
+  EXPECT_TRUE(faults.link_failed(1, 0, Direction::kPlus));
+  EXPECT_FALSE(faults.link_usable(net, 1, 0, Direction::kPlus));
+  // The opposite channel of the same physical hop stays usable: 2 -> 1.
+  EXPECT_TRUE(faults.link_usable(net, 2, 0, Direction::kMinus));
+  // Both endpoints are alive.
+  EXPECT_FALSE(faults.router_failed(1));
+  EXPECT_TRUE(faults.reachable(1, 1));
+
+  // 1 -> 2 routes over the failed channel; 2 -> 1 does not.
+  EXPECT_FALSE(faults.reachable(1, 2));
+  EXPECT_TRUE(faults.reachable(2, 1));
+  expect_reachability_matches_oracle(net, faults);
+}
+
+TEST(FaultSet, ReachabilityMatchesRouteWalkOnEveryFamily) {
+  // Mixed router + link failures across the three topology families the
+  // spec language exposes (hypercube == k = 2 n-cube).
+  struct Case {
+    KAryNCube net;
+    std::vector<NodeId> routers;
+    std::vector<FailedLink> links;
+  };
+  const Case cases[] = {
+      {KAryNCube(4, 2), {3, 9}, {{5, 1, Direction::kPlus}}},
+      {KAryNCube(4, 2, true), {0, 7}, {{10, 0, Direction::kMinus}}},
+      {KAryNCube(4, 2, false, /*mesh=*/true), {5}, {{6, 1, Direction::kPlus}}},
+      {KAryNCube(2, 4), {2, 11}, {{4, 3, Direction::kPlus}}},
+  };
+  for (const Case& c : cases) {
+    const FaultSet faults =
+        FaultSet::resolve(c.net, c.routers, c.links, 0.0, 1);
+    expect_reachability_matches_oracle(c.net, faults);
+  }
+}
+
+TEST(FaultSet, UnreachablePairFractionCountsAliveSourcesOnly) {
+  // On a 4x4 unidirectional torus, failing one router kills all 2*(N-1)
+  // pairs touching it plus every surviving pair whose unique route transits
+  // it; the fraction denominator only counts pairs with an alive source.
+  const KAryNCube net(4, 2);
+  const FaultSet faults = FaultSet::resolve(net, {6}, {}, 0.0, 1);
+  const std::uint64_t alive = net.size() - 1;
+  const std::uint64_t denom = alive * (net.size() - 1);  // s alive, d != s
+  std::uint64_t reachable = 0;
+  for (NodeId s = 0; s < net.size(); ++s) {
+    if (faults.router_failed(s)) continue;
+    for (NodeId d = 0; d < net.size(); ++d) {
+      if (d != s && faults.reachable(s, d)) ++reachable;
+    }
+  }
+  EXPECT_EQ(faults.unreachable_pairs(), denom - reachable);
+  EXPECT_DOUBLE_EQ(faults.reachable_pair_fraction(),
+                   static_cast<double>(reachable) / static_cast<double>(denom));
+  EXPECT_LT(faults.reachable_pair_fraction(), 1.0);
+}
+
+TEST(FaultSet, RandomModeIsDeterministicInTheSeed) {
+  const KAryNCube net(8, 2);
+  const FaultSet a = FaultSet::resolve(net, {}, {}, 4.0 / 64.0, 42);
+  const FaultSet b = FaultSet::resolve(net, {}, {}, 4.0 / 64.0, 42);
+  EXPECT_EQ(a.failed_routers(), b.failed_routers());
+  EXPECT_EQ(a.unreachable_pairs(), b.unreachable_pairs());
+
+  // rate = f/N with round-half-up resolves to exactly f routers.
+  EXPECT_EQ(a.failed_router_count(), 4u);
+
+  const FaultSet c = FaultSet::resolve(net, {}, {}, 4.0 / 64.0, 43);
+  EXPECT_EQ(c.failed_router_count(), 4u);
+  EXPECT_NE(a.failed_routers(), c.failed_routers())
+      << "distinct seeds drew identical failure sets (possible but ~1e-5)";
+}
+
+TEST(FaultSet, RandomModeProtectsTheProtectedNode) {
+  const KAryNCube net(4, 2);
+  const NodeId hot = 10;
+  // Fail everything the random mode is allowed to: all 15 candidates minus
+  // the protected node still leaves the hot node alive at rate ~ 0.9.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    const FaultSet faults =
+        FaultSet::resolve(net, {}, {}, 0.9, seed, /*protected_node=*/hot);
+    EXPECT_FALSE(faults.router_failed(hot)) << "seed " << seed;
+    EXPECT_TRUE(faults.reachable(hot, hot)) << "seed " << seed;
+  }
+}
+
+TEST(FaultSet, RandomModeExcludesExplicitFailures) {
+  // Explicit failures never double-count: total = explicit + random draw,
+  // all distinct, list sorted ascending.
+  const KAryNCube net(8, 2);
+  const std::vector<NodeId> explicit_failed = {3, 17, 40};
+  const FaultSet faults =
+      FaultSet::resolve(net, explicit_failed, {}, 3.0 / 64.0, 7);
+  EXPECT_EQ(faults.failed_router_count(), 6u);
+  const auto& list = faults.failed_routers();
+  const std::set<NodeId> uniq(list.begin(), list.end());
+  EXPECT_EQ(uniq.size(), list.size()) << "duplicate failed routers";
+  EXPECT_TRUE(std::is_sorted(list.begin(), list.end()));
+  for (const NodeId id : explicit_failed) {
+    EXPECT_TRUE(faults.router_failed(id));
+  }
+}
+
+}  // namespace
+}  // namespace kncube::topo

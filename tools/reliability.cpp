@@ -1,0 +1,73 @@
+// kncube_reliability: rebuilds the reliability-degradation baseline.
+//
+// Runs the reliability suite (failure-count sweeps measured with
+// R-replication confidence intervals — src/validate/reliability.*), prints
+// the degradation table, writes the JSON report, and exits non-zero when the
+// report fails (any conservation violation, or faulty-sim results that are
+// not bit-identical across sim.threads) — the CI reliability gate.
+//
+// Usage:
+//   kncube_reliability                    # full suite -> RELIABILITY.json
+//   kncube_reliability --quick            # tier-1-sized subset, seconds;
+//                                         # gate only — writes no file unless
+//                                         # --out is given explicitly
+//   kncube_reliability --out path.json    # write elsewhere (empty: no file)
+//   kncube_reliability --replications 5 --confidence 0.99
+//
+// Regenerating the committed baseline (from the repo root):
+//   ./build/tools/kncube_reliability --out RELIABILITY.json
+#include <iostream>
+#include <string>
+
+#include "util/cli.hpp"
+#include "validate/reliability.hpp"
+
+int main(int argc, char** argv) {
+  using namespace kncube;
+
+  util::Args args(argc, argv);
+  const auto unknown =
+      args.unknown_keys({"quick", "out", "replications", "confidence"});
+  if (!unknown.empty()) {
+    std::cerr << "kncube_reliability: unknown option --" << unknown.front()
+              << "\n";
+    return EXIT_FAILURE;
+  }
+
+  const bool quick = args.get_bool("quick", false);
+  // A quick run is a gate, not a baseline: never clobber the committed
+  // RELIABILITY.json with subset data unless --out says so explicitly.
+  const std::string out_path =
+      args.get_string("out", quick ? "" : "RELIABILITY.json");
+
+  validate::ReliabilityConfig cfg;
+  cfg.replications =
+      static_cast<int>(args.get_int("replications", quick ? 2 : 3));
+  cfg.confidence = args.get_double("confidence", 0.95);
+
+  try {
+    const validate::ReliabilityEngine engine(cfg);
+    const auto suite = quick ? validate::reliability_quick_suite()
+                             : validate::reliability_suite();
+    std::cout << (quick ? "quick" : "full") << " suite: " << suite.size()
+              << " scenarios, " << cfg.replications
+              << " replications/point, confidence " << cfg.confidence << "\n\n";
+
+    const validate::ReliabilityReport report = engine.run(suite);
+
+    validate::reliability_table(report).print(std::cout);
+    std::cout << "\n" << validate::summary_line(report) << "\n";
+
+    if (!out_path.empty()) {
+      if (!validate::write_reliability_json(report, out_path)) {
+        std::cerr << "kncube_reliability: cannot write '" << out_path << "'\n";
+        return EXIT_FAILURE;
+      }
+      std::cout << "wrote " << out_path << "\n";
+    }
+    return report.passed() ? EXIT_SUCCESS : EXIT_FAILURE;
+  } catch (const std::exception& e) {
+    std::cerr << "kncube_reliability: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+}
