@@ -53,6 +53,35 @@ echo "== perf_model -> BENCH_model.json"
   --benchmark_out="$repo_root/BENCH_model.json" \
   --benchmark_out_format=json "$@"
 
+# Host metadata: stamp the machine shape and the *kncube* build type into
+# each baseline's context block. google-benchmark records its own num_cpus
+# and library build type, but not the project's CMAKE_BUILD_TYPE — and a
+# baseline is only comparable against runs with the same core count and
+# optimisation level, so record both explicitly where perf diffs look first.
+kncube_build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:STRING=//p' \
+  "$build_dir/CMakeCache.txt" 2>/dev/null || true)"
+for f in "$repo_root/BENCH_sim.json" "$repo_root/BENCH_model.json"; do
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$f" "${kncube_build_type:-unknown}" <<'PY'
+import json, os, sys
+
+path, build_type = sys.argv[1], sys.argv[2]
+with open(path) as f:
+    doc = json.load(f)
+ctx = doc.setdefault("context", {})
+ctx["host"] = {
+    "hardware_concurrency": os.cpu_count() or 0,
+    "kncube_build_type": build_type,
+}
+with open(path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+PY
+  else
+    echo "warning: python3 not found; $(basename "$f") lacks host metadata" >&2
+  fi
+done
+
 # The distro's libbenchmark can itself be a debug flavour; it stamps the
 # context block, so surface it — the numbers are still comparable between
 # runs on the same library, but note it when reading absolute values.

@@ -8,6 +8,9 @@
 //   kncube_run --set topology.k=32 --set sim.threads=4   # sharded stepping,
 //                                  # bit-identical results (DESIGN.md §9)
 //   kncube_run spec.txt --print-spec             # echo the resolved spec
+//   kncube_run --connect /tmp/kncube.sock spec.txt   # ask a kncube_serve
+//                                  # daemon instead of computing locally;
+//                                  # answers are bit-identical either way
 //
 // Sweep controls:
 //   --points N      operating points (default 8; KNCUBE_QUICK=1 halves it)
@@ -17,6 +20,9 @@
 //                   for sim-only specs (no model to anchor the sweep at)
 //   --sim 0|1       run the simulator alongside the model (default 1)
 //   --csv name      export the table via KNCUBE_OUT (see bench/common.hpp)
+//   --verbose       print the cache-stats line (entries/hits/solves); in
+//                   --connect mode the server's per-request stats line is
+//                   always shown
 //
 // The spec grammar is the canonical `key=value` form of
 // core/scenario_spec.hpp; see examples/specs/ for committed examples.
@@ -29,6 +35,7 @@
 #include <vector>
 
 #include "core/kncube.hpp"
+#include "service/client.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -40,12 +47,30 @@ bool quick_mode() {
   return env && *env && std::string(env) != "0";
 }
 
+void print_table(const std::vector<core::PointResult>& pts,
+                 const util::Args& args) {
+  util::Table table = core::figure_table("kncube_run", pts);
+  table.print(std::cout);
+  const std::string csv_name = args.get_string("csv", "");
+  if (!csv_name.empty()) {
+    const std::string csv = core::export_csv(table, csv_name);
+    if (!csv.empty()) std::cout << "csv: " << csv << "\n";
+  }
+
+  // Summary table: the one-line roll-up CI smoke-checks for.
+  std::vector<std::pair<std::string, core::PanelSummary>> summaries;
+  summaries.emplace_back("kncube_run", core::summarize_panel(pts));
+  std::cout << "\n";
+  core::summary_table("summary", summaries).print(std::cout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::Args args(argc, argv);
-  const auto unknown = args.unknown_keys(
-      {"set", "points", "lo", "hi", "max-rate", "sim", "csv", "print-spec"});
+  const auto unknown =
+      args.unknown_keys({"set", "points", "lo", "hi", "max-rate", "sim", "csv",
+                         "print-spec", "connect", "verbose"});
   if (!unknown.empty()) {
     std::cerr << "kncube_run: unknown option --" << unknown.front() << "\n";
     return EXIT_FAILURE;
@@ -93,17 +118,56 @@ int main(int argc, char** argv) {
             << core::format_scenario(spec) << "\n";
   if (args.get_bool("print-spec", false)) return EXIT_SUCCESS;
 
-  core::SweepEngine engine(spec);
   const int points = static_cast<int>(
       args.get_int("points", quick_mode() ? 4 : 8));
   const double lo = args.get_double("lo", 0.1);
   const double hi = args.get_double("hi", 0.95);
   const bool with_sim = args.get_bool("sim", true);
   const double max_rate = args.get_double("max-rate", 0.0);
+  const bool verbose = args.get_bool("verbose", false);
   if (points < 2 || !(lo > 0.0) || !(hi > lo)) {
     std::cerr << "kncube_run: need --points >= 2 and 0 < --lo < --hi\n";
     return EXIT_FAILURE;
   }
+
+  // ------------------------------------------------------------- connect ---
+  // Client mode: ship the spec to a kncube_serve daemon and print its
+  // (bit-identical) answers; the daemon's store makes repeats instant.
+  const std::string socket_path = args.get_string("connect", "");
+  if (!socket_path.empty()) {
+    try {
+      service::Client client(socket_path);
+      service::Request request;
+      request.points = points;
+      request.lo = lo;
+      request.hi = hi;
+      request.max_rate = max_rate;
+      request.with_sim = with_sim;
+      const service::Client::SweepOutcome outcome = client.run(spec, request);
+      if (!outcome.begin.model_name.empty()) {
+        std::cout << "analytical model: " << outcome.begin.model_name << "\n";
+      } else {
+        std::cout << "analytical model: none — " << outcome.begin.reason
+                  << " (simulator only)\n";
+      }
+      if (outcome.has_sweep) {
+        std::cout << "model saturation rate: " << outcome.sweep.saturation
+                  << " messages/node/cycle (" << outcome.sweep.probes
+                  << " probes)\n";
+      }
+      std::cout << "\n";
+      print_table(outcome.points, args);
+      std::cout << "\nserver stats: "
+                << core::format_cache_stats(outcome.stats.stats) << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "kncube_run: " << e.what() << "\n";
+      return EXIT_FAILURE;
+    }
+    return EXIT_SUCCESS;
+  }
+
+  // --------------------------------------------------------------- local ---
+  core::SweepEngine engine(spec);
 
   // Sweep anchor: the model's bisected saturation boundary when the
   // registry dispatched a model, else the explicit --max-rate ceiling.
@@ -132,18 +196,10 @@ int main(int argc, char** argv) {
   }
 
   const auto pts = engine.run(lambdas, with_sim);
-  util::Table table = core::figure_table("kncube_run", pts);
-  table.print(std::cout);
-  const std::string csv_name = args.get_string("csv", "");
-  if (!csv_name.empty()) {
-    const std::string csv = core::export_csv(table, csv_name);
-    if (!csv.empty()) std::cout << "csv: " << csv << "\n";
+  print_table(pts, args);
+  if (verbose) {
+    std::cout << "\ncache stats: "
+              << core::format_cache_stats(engine.cache_stats()) << "\n";
   }
-
-  // Summary table: the one-line roll-up CI smoke-checks for.
-  std::vector<std::pair<std::string, core::PanelSummary>> summaries;
-  summaries.emplace_back("kncube_run", core::summarize_panel(pts));
-  std::cout << "\n";
-  core::summary_table("summary", summaries).print(std::cout);
   return EXIT_SUCCESS;
 }

@@ -17,10 +17,13 @@ std::uint64_t lambda_key(double lambda) {
 
 }  // namespace
 
-SweepEngine::SweepEngine(ScenarioSpec spec) : spec_(std::move(spec)) {
+SweepEngine::SweepEngine(ScenarioSpec spec, std::shared_ptr<ResultStore> store)
+    : spec_(std::move(spec)), store_(std::move(store)) {
   ModelDispatch dispatch = make_analytical_model(spec_);  // validates spec_
   model_ = std::move(dispatch.model);
   sim_only_reason_ = std::move(dispatch.sim_only_reason);
+  spec_key_ = spec_.key();
+  if (!store_) store_ = std::make_shared<MemoryResultStore>();
 }
 
 SweepEngine::SweepEngine(const Scenario& scenario)
@@ -40,57 +43,109 @@ std::uint64_t SweepEngine::point_seed(std::size_t index) const noexcept {
   return spec_.seed ^ (0x9e3779b97f4a7c15ULL * (index + 1));
 }
 
-// Memoization is check-then-act: the lock is dropped during the solve, so
-// two threads missing on the same key concurrently both compute it and the
-// second emplace is ignored. That duplicate work is deliberate — it only
-// arises when one batch repeats a lambda (model side; sims use per-index
-// seeds), and an in-flight-future scheme isn't worth the machinery for it.
+// Memoization with in-flight dedup: a miss registers itself as the key's
+// owner before solving, so concurrent callers of the same key find the
+// registration and wait for the owner's result instead of recomputing —
+// exactly one solve per distinct key, no matter how many clients race on
+// it. The owner publishes to the store *before* deregistering, so a caller
+// always sees either the store entry or the in-flight registration, never a
+// gap. Waiting never deadlocks the thread pool: the owner runs the solve
+// synchronously on its own thread (it is never parked in the queue), so
+// every waiter has a running producer.
 model::ModelResult SweepEngine::model_point(double lambda) {
   const model::AnalyticalModel& model = analytical_model();
   const std::uint64_t key = lambda_key(lambda);
-  // Warm-start source: the nearest cached stable solve at or below lambda.
-  // The IEEE-754 bit pattern of a non-negative double is monotone in its
-  // value, so the cache's key order is ascending lambda and the predecessor
-  // lookup is one upper_bound. Whatever state the lookup races to see, the
-  // result is the same bits (warm starts are bit-exact accelerators).
+  std::shared_ptr<Inflight<ModelEntry>> inflight;
+  bool owner = false;
+  // Warm-start source: the nearest cached stable solve at or below lambda
+  // (the IEEE-754 bit pattern of a non-negative double is monotone in its
+  // value, so the store's key order is ascending lambda). Whatever state the
+  // lookup races to see, the result is the same bits (warm starts are
+  // bit-exact accelerators).
   std::vector<double> warm;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (auto it = model_cache_.find(key); it != model_cache_.end()) {
+    ModelEntry cached;
+    if (store_->load_model(spec_key_, key, &cached)) {
       ++model_hits_;
-      return it->second.result;
+      return cached.result;
     }
-    if (warm_start_) {
-      auto it = model_cache_.upper_bound(key);
-      while (it != model_cache_.begin()) {
-        --it;
-        if (!it->second.state.empty()) {
-          warm = it->second.state;
-          break;
-        }
-      }
+    if (auto it = inflight_model_.find(key); it != inflight_model_.end()) {
+      ++inflight_waits_;
+      inflight = it->second;
+    } else {
+      inflight = std::make_shared<Inflight<ModelEntry>>();
+      inflight_model_.emplace(key, inflight);
+      owner = true;
+      if (warm_start_) store_->warm_state_at_or_below(spec_key_, key, &warm);
     }
   }
+  if (!owner) return inflight->wait().result;
+
   ModelEntry entry;
-  entry.result = model.solve_at(lambda, warm.empty() ? nullptr : &warm, &entry.state);
-  std::lock_guard<std::mutex> lock(mutex_);
-  return model_cache_.emplace(key, std::move(entry)).first->second.result;
+  try {
+    entry.result =
+        model.solve_at(lambda, warm.empty() ? nullptr : &warm, &entry.state);
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      inflight_model_.erase(key);
+    }
+    inflight->fail(e.what());
+    throw;
+  }
+  store_->store_model(spec_key_, key, entry);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++model_solves_;
+    inflight_model_.erase(key);
+  }
+  inflight->fulfill(entry);
+  return entry.result;
 }
 
 sim::SimResult SweepEngine::sim_point(double lambda, std::uint64_t seed) {
   const auto key = std::make_pair(lambda_key(lambda), seed);
+  std::shared_ptr<Inflight<sim::SimResult>> inflight;
+  bool owner = false;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (auto it = sim_cache_.find(key); it != sim_cache_.end()) {
+    sim::SimResult cached;
+    if (store_->load_sim(spec_key_, key.first, key.second, &cached)) {
       ++sim_hits_;
-      return it->second;
+      return cached;
+    }
+    if (auto it = inflight_sim_.find(key); it != inflight_sim_.end()) {
+      ++inflight_waits_;
+      inflight = it->second;
+    } else {
+      inflight = std::make_shared<Inflight<sim::SimResult>>();
+      inflight_sim_.emplace(key, inflight);
+      owner = true;
     }
   }
-  sim::SimConfig cfg = to_sim_config(spec_, lambda);
-  cfg.seed = seed;
-  const sim::SimResult r = sim::simulate(cfg);
-  std::lock_guard<std::mutex> lock(mutex_);
-  sim_cache_.emplace(key, r);
+  if (!owner) return inflight->wait();
+
+  sim::SimResult r;
+  try {
+    sim::SimConfig cfg = to_sim_config(spec_, lambda);
+    cfg.seed = seed;
+    r = sim::simulate(cfg);
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      inflight_sim_.erase(key);
+    }
+    inflight->fail(e.what());
+    throw;
+  }
+  store_->store_sim(spec_key_, key.first, key.second, r);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++sim_runs_;
+    inflight_sim_.erase(key);
+  }
+  inflight->fulfill(r);
   return r;
 }
 
@@ -117,15 +172,18 @@ SaturationResult SweepEngine::saturation_rate(double rel_tol) {
   const std::uint64_t key = lambda_key(rel_tol);
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (auto it = saturation_cache_.find(key); it != saturation_cache_.end()) {
-      return it->second;
+    SaturationResult cached;
+    if (store_->load_saturation(spec_key_, key, &cached)) {
+      ++saturation_hits_;
+      return cached;
     }
   }
+  // Concurrent first-time callers may both bisect; the probes dedup through
+  // model_point, so the duplicate work is a handful of store hits.
   const double guess = model.estimated_saturation_rate();
   const SaturationResult res = bisect_saturation(
       guess, rel_tol, [this](double rate) { return !model_point(rate).saturated; });
-  std::lock_guard<std::mutex> lock(mutex_);
-  saturation_cache_.emplace(key, res);
+  store_->store_saturation(spec_key_, key, res);
   return res;
 }
 
@@ -143,14 +201,33 @@ std::vector<double> SweepEngine::lambda_sweep(int points, double lo_frac,
   return out;
 }
 
-std::size_t SweepEngine::model_cache_size() const {
+CacheStats SweepEngine::cache_stats() const {
+  const StoreSizes sizes = store_->sizes();
   std::lock_guard<std::mutex> lock(mutex_);
-  return model_cache_.size();
+  CacheStats s;
+  s.model_entries = sizes.model;
+  s.sim_entries = sizes.sim;
+  s.saturation_entries = sizes.saturation;
+  s.model_hits = model_hits_;
+  s.sim_hits = sim_hits_;
+  s.saturation_hits = saturation_hits_;
+  s.model_solves = model_solves_;
+  s.sim_runs = sim_runs_;
+  s.inflight_waits = inflight_waits_;
+  return s;
+}
+
+std::size_t SweepEngine::inflight_solves() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return inflight_model_.size() + inflight_sim_.size();
+}
+
+std::size_t SweepEngine::model_cache_size() const {
+  return static_cast<std::size_t>(store_->sizes().model);
 }
 
 std::size_t SweepEngine::sim_cache_size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return sim_cache_.size();
+  return static_cast<std::size_t>(store_->sizes().sim);
 }
 
 std::uint64_t SweepEngine::model_cache_hits() const {
@@ -164,12 +241,14 @@ std::uint64_t SweepEngine::sim_cache_hits() const {
 }
 
 void SweepEngine::clear_cache() {
+  store_->clear();
   std::lock_guard<std::mutex> lock(mutex_);
-  model_cache_.clear();
-  sim_cache_.clear();
-  saturation_cache_.clear();
   model_hits_ = 0;
   sim_hits_ = 0;
+  saturation_hits_ = 0;
+  model_solves_ = 0;
+  sim_runs_ = 0;
+  inflight_waits_ = 0;
 }
 
 }  // namespace kncube::core

@@ -1,26 +1,40 @@
 // SweepEngine: batched evaluation of operating points for one scenario.
 //
 // Every consumer of the library — benches, examples, the saturation search,
-// parameter studies — ultimately evaluates (scenario, lambda) points. The
-// engine centralises that loop for *any* valid ScenarioSpec: the model
-// registry (core/model_registry.hpp) dispatches the spec to its analytical
-// model family (hot-spot torus, uniform torus, hot-spot hypercube) at
-// construction, and every model_point goes through that polymorphic
-// interface; sim-only specs (permutation patterns, MMPP arrivals,
-// bidirectional links, n ≠ 2 tori) still run simulations through the same
-// engine with the model side reported absent. Points are batched across the
-// global thread pool (util/thread_pool, KNCUBE_THREADS), simulator seeds are
-// derived per-point so series are reproducible regardless of scheduling, and
-// repeated points are memoized:
+// parameter studies, the capacity-planning daemon — ultimately evaluates
+// (scenario, lambda) points. The engine centralises that loop for *any*
+// valid ScenarioSpec: the model registry (core/model_registry.hpp)
+// dispatches the spec to its analytical model family (hot-spot torus,
+// uniform torus, hot-spot hypercube, uniform mesh) at construction, and
+// every model_point goes through that polymorphic interface; sim-only specs
+// (permutation patterns, MMPP arrivals, bidirectional links, n ≠ 2 tori,
+// faulty networks) still run simulations through the same engine with the
+// model side reported absent. Points are batched across the global thread
+// pool (util/thread_pool, KNCUBE_THREADS), simulator seeds are derived
+// per-point so series are reproducible regardless of scheduling, and
+// repeated points are memoized through a pluggable ResultStore
+// (core/result_store.hpp):
 //
-//  * model solves are deterministic in (scenario, lambda), so the model
-//    cache is keyed by lambda alone — overlapping sweeps (e.g. a saturation
-//    bisection followed by a figure sweep, or two panels sharing a grid)
-//    pay for each fixed point once;
-//  * simulator runs are only deterministic given a seed, so the sim cache is
-//    keyed by (lambda, seed). Identical lambdas at *different* point indices
-//    derive different seeds on purpose: they are independent replicates, not
-//    cache hits.
+//  * model solves are deterministic in (scenario, lambda), so model entries
+//    are keyed by (spec key, lambda bits) — overlapping sweeps (e.g. a
+//    saturation bisection followed by a figure sweep, or two panels sharing
+//    a grid) pay for each fixed point once;
+//  * simulator runs are only deterministic given a seed, so sim entries are
+//    keyed by (spec key, lambda bits, seed). Identical lambdas at
+//    *different* point indices derive different seeds on purpose: they are
+//    independent replicates, not cache hits.
+//
+// The default store is a private in-memory map (the engine behaves exactly
+// as it always did); passing a shared store — in particular the disk-backed
+// service::DiskResultStore — makes cached answers outlive the engine and
+// the process. Stored results are returned bit-identical to the cold
+// computation, so a store hit is indistinguishable from solving again.
+//
+// Concurrent identical requests are deduplicated in flight: when a point
+// misses the store but another thread is already computing that exact key,
+// the caller waits for that solve instead of recomputing — N clients asking
+// for the same (spec, lambda) pay one fixed point. The dedup counter is
+// part of CacheStats and pinned by tests/core/sweep_engine_test.
 //
 // Model solves are additionally *warm-started* (continuation): each solve
 // seeds its fixed-point iteration with the converged channel-class state of
@@ -29,26 +43,30 @@
 // stable bracket end. The solver falls back to the zero-load start whenever
 // a warm start fails, and converged iterates are polished to the map's exact
 // stationary point (model/solver.hpp), so any solve that converges returns
-// the same bits no matter where it started or which cached state seeded it.
-// One caveat keeps this empirical rather than by-construction: a point whose
-// cold iteration would exhaust its budget without diverging could in
-// principle still converge from a warm seed (warm starting can only *add*
-// converged points, never lose or alter one); no such budget-marginal point
-// has been observed in this model family, and tests/model/warm_start_test
-// pins warm-on/warm-off equivalence across sweeps including the knee.
+// the same bits no matter where it started or which cached state seeded it —
+// including states loaded from a previous process's disk store. One caveat
+// keeps this empirical rather than by-construction: a point whose cold
+// iteration would exhaust its budget without diverging could in principle
+// still converge from a warm seed (warm starting can only *add* converged
+// points, never lose or alter one); no such budget-marginal point has been
+// observed in this model family, and tests/model/warm_start_test pins
+// warm-on/warm-off equivalence across sweeps including the knee.
 #pragma once
 
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/experiment.hpp"
 #include "core/model_registry.hpp"
+#include "core/result_store.hpp"
 #include "core/saturation.hpp"
 
 namespace kncube::core {
@@ -56,12 +74,18 @@ namespace kncube::core {
 class SweepEngine {
  public:
   /// Dispatches `spec` through the model registry; throws
-  /// std::invalid_argument when the spec is invalid.
-  explicit SweepEngine(ScenarioSpec spec);
+  /// std::invalid_argument when the spec is invalid. `store` (optional)
+  /// backs the memoization — pass a shared store to persist results beyond
+  /// this engine; the default is a private in-memory store.
+  explicit SweepEngine(ScenarioSpec spec,
+                       std::shared_ptr<ResultStore> store = nullptr);
   /// DEPRECATED shim: accepts the legacy flat Scenario via to_spec.
   explicit SweepEngine(const Scenario& scenario);
 
   const ScenarioSpec& spec() const noexcept { return spec_; }
+  /// The spec's canonical key — the store's scenario dimension.
+  std::uint64_t spec_key() const noexcept { return spec_key_; }
+  const std::shared_ptr<ResultStore>& store() const noexcept { return store_; }
 
   /// True when the registry dispatched an analytical model for this spec.
   bool has_model() const noexcept { return model_ != nullptr; }
@@ -76,11 +100,12 @@ class SweepEngine {
   std::vector<PointResult> run(const std::vector<double>& lambdas,
                                bool run_sim = true);
 
-  /// One model evaluation, memoized on lambda. Throws std::logic_error for
+  /// One model evaluation, memoized through the store and deduplicated
+  /// against identical in-flight solves. Throws std::logic_error for
   /// sim-only specs.
   model::ModelResult model_point(double lambda);
 
-  /// One simulation, memoized on (lambda, seed).
+  /// One simulation, memoized on (lambda, seed) and deduplicated in flight.
   sim::SimResult sim_point(double lambda, std::uint64_t seed);
 
   /// The model's saturation boundary, bisected through the memoized
@@ -98,11 +123,21 @@ class SweepEngine {
   /// across runs and scheduling.
   std::uint64_t point_seed(std::size_t index) const noexcept;
 
-  // --- memoization introspection (tests, diagnostics) ---
+  // --- memoization introspection (tests, stats lines, diagnostics) ---
+
+  /// Entry counts (from the store — global across specs when the store is
+  /// shared) plus this engine's hit/solve/dedup counters.
+  CacheStats cache_stats() const;
+  /// Solves this engine currently has in flight (owner threads running).
+  std::size_t inflight_solves() const;
+
+  // Narrow legacy accessors, kept for existing call sites; equivalent to
+  // the matching cache_stats() fields.
   std::size_t model_cache_size() const;
   std::size_t sim_cache_size() const;
   std::uint64_t model_cache_hits() const;
   std::uint64_t sim_cache_hits() const;
+  /// Clears the backing store (every spec, when shared) and the counters.
   void clear_cache();
 
   /// Disables/enables warm-started model solves (default on). Results are
@@ -112,24 +147,61 @@ class SweepEngine {
   bool warm_start() const noexcept { return warm_start_; }
 
  private:
-  /// Cached model solve: the result plus the converged channel-class state
-  /// (empty when saturated) used to warm-start nearby solves.
-  struct ModelEntry {
-    model::ModelResult result;
-    std::vector<double> state;
+  /// Rendezvous for threads that asked for a key another thread is already
+  /// computing: the owner fulfills (or fails) it once, waiters block on the
+  /// condition variable. Failure rethrows in every waiter.
+  template <typename T>
+  struct Inflight {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    bool failed = false;
+    std::string error;
+    T value{};
+
+    void fulfill(const T& v) {
+      {
+        std::lock_guard<std::mutex> lock(m);
+        value = v;
+        done = true;
+      }
+      cv.notify_all();
+    }
+    void fail(const std::string& why) {
+      {
+        std::lock_guard<std::mutex> lock(m);
+        failed = true;
+        error = why;
+        done = true;
+      }
+      cv.notify_all();
+    }
+    T wait() {
+      std::unique_lock<std::mutex> lock(m);
+      cv.wait(lock, [this] { return done; });
+      if (failed) throw std::runtime_error(error);
+      return value;
+    }
   };
 
   ScenarioSpec spec_;
+  std::uint64_t spec_key_ = 0;
+  std::shared_ptr<ResultStore> store_;
   std::unique_ptr<model::AnalyticalModel> model_;  ///< null for sim-only specs
   std::string sim_only_reason_;
   bool warm_start_ = true;
 
-  mutable std::mutex mutex_;
-  std::map<std::uint64_t, ModelEntry> model_cache_;
-  std::map<std::pair<std::uint64_t, std::uint64_t>, sim::SimResult> sim_cache_;
-  std::map<std::uint64_t, SaturationResult> saturation_cache_;  ///< by rel_tol bits
+  mutable std::mutex mutex_;  ///< counters + in-flight maps
+  std::map<std::uint64_t, std::shared_ptr<Inflight<ModelEntry>>> inflight_model_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>,
+           std::shared_ptr<Inflight<sim::SimResult>>>
+      inflight_sim_;
   std::uint64_t model_hits_ = 0;
   std::uint64_t sim_hits_ = 0;
+  std::uint64_t saturation_hits_ = 0;
+  std::uint64_t model_solves_ = 0;
+  std::uint64_t sim_runs_ = 0;
+  std::uint64_t inflight_waits_ = 0;
 };
 
 }  // namespace kncube::core

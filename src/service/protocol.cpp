@@ -1,0 +1,371 @@
+#include "service/protocol.hpp"
+
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+
+namespace kncube::service {
+
+namespace {
+
+[[noreturn]] void fail_line(int line_no, const std::string& what) {
+  throw std::invalid_argument("line " + std::to_string(line_no) + ": " + what);
+}
+
+std::vector<std::string> split_ws(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string t;
+  while (is >> t) tokens.push_back(t);
+  return tokens;
+}
+
+/// Value of the first `key=`-prefixed token; false when absent.
+bool token_value(const std::vector<std::string>& tokens, const std::string& key,
+                 std::string* out) {
+  const std::string prefix = key + "=";
+  for (const std::string& t : tokens) {
+    if (t.rfind(prefix, 0) == 0) {
+      *out = t.substr(prefix.size());
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Rest of `line` after the `key=` marker (captures spaces to end of line);
+/// false when the marker is absent.
+bool rest_after(const std::string& line, const std::string& key,
+                std::string* out) {
+  const std::string marker = " " + key + "=";
+  const std::size_t pos = line.find(marker);
+  if (pos == std::string::npos) return false;
+  *out = line.substr(pos + marker.size());
+  return true;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t* out, int base = 10) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s.c_str(), &end, base);
+  if (errno != 0 || end != s.c_str() + s.size()) return false;
+  *out = static_cast<std::uint64_t>(v);
+  return true;
+}
+
+bool parse_bits_token(const std::string& s, double* out) {
+  if (s.rfind("0x", 0) != 0 && s.rfind("0X", 0) != 0) return false;
+  std::uint64_t bits = 0;
+  if (!parse_u64(s.substr(2), &bits, 16)) return false;
+  *out = std::bit_cast<double>(bits);
+  return true;
+}
+
+bool token_u64(const std::vector<std::string>& tokens, const std::string& key,
+               std::uint64_t* out) {
+  std::string v;
+  if (!token_value(tokens, key, &v)) return false;
+  if (v.rfind("0x", 0) == 0 || v.rfind("0X", 0) == 0)
+    return parse_u64(v.substr(2), out, 16);
+  return parse_u64(v, out);
+}
+
+bool token_bits(const std::vector<std::string>& tokens, const std::string& key,
+                double* out) {
+  std::string v;
+  return token_value(tokens, key, &v) && parse_bits_token(v, out);
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace
+
+// --------------------------------------------------------- value encodings ---
+
+std::string format_bits(double value) {
+  return hex16(std::bit_cast<std::uint64_t>(value));
+}
+
+bool parse_rate(const std::string& token, double* out) {
+  if (parse_bits_token(token, out)) return true;
+  if (token.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(token.c_str(), &end);
+  if (errno != 0 || end != token.c_str() + token.size()) return false;
+  *out = v;
+  return true;
+}
+
+std::string encode_hex(const void* data, std::size_t size) {
+  static const char* kDigits = "0123456789abcdef";
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::string out;
+  out.reserve(size * 2);
+  for (std::size_t i = 0; i < size; ++i) {
+    out.push_back(kDigits[bytes[i] >> 4]);
+    out.push_back(kDigits[bytes[i] & 0xF]);
+  }
+  return out;
+}
+
+namespace {
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+bool decode_hex(const std::string& hex, void* out, std::size_t size) {
+  if (hex.size() != size * 2) return false;
+  auto* bytes = static_cast<unsigned char*>(out);
+  for (std::size_t i = 0; i < size; ++i) {
+    const int hi = hex_nibble(hex[2 * i]);
+    const int lo = hex_nibble(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    bytes[i] = static_cast<unsigned char>((hi << 4) | lo);
+  }
+  return true;
+}
+
+// ----------------------------------------------------------------- request ---
+
+Request parse_request_body(const std::string& id,
+                           const std::vector<std::string>& lines) {
+  Request req;
+  req.id = id;
+  std::ostringstream spec;
+  int line_no = 0;
+  for (const std::string& raw : lines) {
+    ++line_no;
+    // Leading whitespace tolerated, same as the spec grammar.
+    const std::size_t start = raw.find_first_not_of(" \t");
+    const bool is_param =
+        start != std::string::npos && raw.compare(start, 8, "request.") == 0;
+    if (!is_param) {
+      spec << raw << "\n";
+      continue;
+    }
+    spec << "\n";  // keep spec line numbers aligned with the frame body
+    const std::string t = raw.substr(start + 8);
+    const std::size_t eq = t.find('=');
+    if (eq == std::string::npos)
+      fail_line(line_no, "expected request.key=value, got 'request." + t + "'");
+    const std::string key = t.substr(0, eq);
+    const std::string value = t.substr(eq + 1);
+    if (key == "lambdas") {
+      req.lambdas.clear();
+      std::istringstream vs(value);
+      std::string item;
+      while (std::getline(vs, item, ',')) {
+        double rate = 0.0;
+        if (!parse_rate(item, &rate) || !(rate > 0.0))
+          fail_line(line_no, "request.lambdas: bad rate '" + item + "'");
+        req.lambdas.push_back(rate);
+      }
+      if (req.lambdas.empty())
+        fail_line(line_no, "request.lambdas: expected at least one rate");
+    } else if (key == "points") {
+      std::uint64_t n = 0;
+      if (!parse_u64(value, &n) || n < 2 || n > 100000)
+        fail_line(line_no, "request.points: expected an integer >= 2, got '" +
+                               value + "'");
+      req.points = static_cast<int>(n);
+    } else if (key == "lo" || key == "hi" || key == "max_rate") {
+      double v = 0.0;
+      if (!parse_rate(value, &v) || !(v >= 0.0))
+        fail_line(line_no, "request." + key + ": bad value '" + value + "'");
+      (key == "lo" ? req.lo : key == "hi" ? req.hi : req.max_rate) = v;
+    } else if (key == "sim") {
+      if (value == "0" || value == "false") {
+        req.with_sim = false;
+      } else if (value == "1" || value == "true") {
+        req.with_sim = true;
+      } else {
+        fail_line(line_no, "request.sim: expected 0|1, got '" + value + "'");
+      }
+    } else {
+      fail_line(line_no, "unknown request parameter 'request." + key + "'");
+    }
+  }
+  req.spec_text = spec.str();
+  return req;
+}
+
+std::vector<std::string> format_request_body(const Request& request) {
+  std::vector<std::string> lines;
+  std::istringstream spec(request.spec_text);
+  std::string line;
+  while (std::getline(spec, line)) lines.push_back(line);
+  lines.push_back(std::string("request.sim=") + (request.with_sim ? "1" : "0"));
+  if (!request.lambdas.empty()) {
+    std::string l = "request.lambdas=";
+    for (std::size_t i = 0; i < request.lambdas.size(); ++i) {
+      if (i > 0) l += ',';
+      l += format_bits(request.lambdas[i]);
+    }
+    lines.push_back(l);
+  } else {
+    lines.push_back("request.points=" + std::to_string(request.points));
+    lines.push_back("request.lo=" + format_bits(request.lo));
+    lines.push_back("request.hi=" + format_bits(request.hi));
+    if (request.max_rate > 0.0)
+      lines.push_back("request.max_rate=" + format_bits(request.max_rate));
+  }
+  return lines;
+}
+
+// ---------------------------------------------------------------- messages ---
+
+std::string format_hello(std::uint64_t version) {
+  return "KNCUBE-SERVE " + std::to_string(kProtocolVersion) +
+         " version=" + hex16(version);
+}
+
+bool parse_hello(const std::string& line, Hello* out) {
+  const auto tokens = split_ws(line);
+  if (tokens.size() < 3 || tokens[0] != "KNCUBE-SERVE") return false;
+  std::uint64_t protocol = 0;
+  if (!parse_u64(tokens[1], &protocol)) return false;
+  out->protocol = static_cast<int>(protocol);
+  return token_u64(tokens, "version", &out->version);
+}
+
+std::string format_begin(const BeginMsg& msg) {
+  std::string line = "BEGIN id=" + msg.id + " key=" + hex16(msg.spec_key) +
+                     " model=" +
+                     (msg.model_name.empty() ? "-" : msg.model_name);
+  if (!msg.reason.empty()) line += " reason=" + msg.reason;
+  return line;
+}
+
+bool parse_begin(const std::string& line, BeginMsg* out) {
+  const auto tokens = split_ws(line);
+  if (tokens.empty() || tokens[0] != "BEGIN") return false;
+  std::string model;
+  if (!token_value(tokens, "id", &out->id) ||
+      !token_u64(tokens, "key", &out->spec_key) ||
+      !token_value(tokens, "model", &model))
+    return false;
+  out->model_name = model == "-" ? "" : model;
+  rest_after(line, "reason", &out->reason);
+  return true;
+}
+
+std::string format_sweep(const SweepMsg& msg) {
+  return "SWEEP id=" + msg.id + " saturation=" + format_bits(msg.saturation) +
+         " probes=" + std::to_string(msg.probes);
+}
+
+bool parse_sweep(const std::string& line, SweepMsg* out) {
+  const auto tokens = split_ws(line);
+  if (tokens.empty() || tokens[0] != "SWEEP") return false;
+  std::uint64_t probes = 0;
+  if (!token_value(tokens, "id", &out->id) ||
+      !token_bits(tokens, "saturation", &out->saturation) ||
+      !token_u64(tokens, "probes", &probes))
+    return false;
+  out->probes = static_cast<int>(probes);
+  return true;
+}
+
+std::string format_point(const PointMsg& msg) {
+  return "POINT id=" + msg.id + " index=" + std::to_string(msg.index) +
+         " lambda=" + format_bits(msg.point.lambda) + " model=" +
+         (msg.point.has_model ? encode_struct(msg.point.model) : "-") +
+         " sim=" + (msg.point.has_sim ? encode_struct(msg.point.sim) : "-");
+}
+
+bool parse_point(const std::string& line, PointMsg* out) {
+  const auto tokens = split_ws(line);
+  if (tokens.empty() || tokens[0] != "POINT") return false;
+  std::string model, sim;
+  if (!token_value(tokens, "id", &out->id) ||
+      !token_u64(tokens, "index", &out->index) ||
+      !token_bits(tokens, "lambda", &out->point.lambda) ||
+      !token_value(tokens, "model", &model) ||
+      !token_value(tokens, "sim", &sim))
+    return false;
+  out->point.has_model = model != "-";
+  if (out->point.has_model && !decode_struct(model, &out->point.model))
+    return false;
+  out->point.has_sim = sim != "-";
+  if (out->point.has_sim && !decode_struct(sim, &out->point.sim)) return false;
+  return true;
+}
+
+std::string format_stats(const StatsMsg& msg) {
+  std::string line = "STATS id=" + msg.id;
+  if (!msg.store_kind.empty()) {
+    line += " engines=" + std::to_string(msg.engines) +
+            " store=" + msg.store_kind;
+  }
+  return line + " " + core::format_cache_stats(msg.stats);
+}
+
+bool parse_stats(const std::string& line, StatsMsg* out) {
+  const auto tokens = split_ws(line);
+  if (tokens.empty() || tokens[0] != "STATS") return false;
+  if (!token_value(tokens, "id", &out->id)) return false;
+  token_u64(tokens, "engines", &out->engines);
+  token_value(tokens, "store", &out->store_kind);
+  core::CacheStats& s = out->stats;
+  token_u64(tokens, "model_entries", &s.model_entries);
+  token_u64(tokens, "sim_entries", &s.sim_entries);
+  token_u64(tokens, "saturation_entries", &s.saturation_entries);
+  token_u64(tokens, "model_hits", &s.model_hits);
+  token_u64(tokens, "sim_hits", &s.sim_hits);
+  token_u64(tokens, "saturation_hits", &s.saturation_hits);
+  token_u64(tokens, "model_solves", &s.model_solves);
+  token_u64(tokens, "sim_runs", &s.sim_runs);
+  token_u64(tokens, "inflight_waits", &s.inflight_waits);
+  return true;
+}
+
+std::string format_done(const DoneMsg& msg) {
+  return "DONE id=" + msg.id + " points=" + std::to_string(msg.points);
+}
+
+bool parse_done(const std::string& line, DoneMsg* out) {
+  const auto tokens = split_ws(line);
+  if (tokens.empty() || tokens[0] != "DONE") return false;
+  return token_value(tokens, "id", &out->id) &&
+         token_u64(tokens, "points", &out->points);
+}
+
+std::string format_error(const std::string& id, const std::string& message) {
+  std::string flat;
+  flat.reserve(message.size());
+  for (std::size_t i = 0; i < message.size(); ++i) {
+    if (message[i] == '\n') {
+      if (i + 1 < message.size()) flat += "; ";
+    } else if (message[i] != '\r') {
+      flat += message[i];
+    }
+  }
+  return "ERROR id=" + (id.empty() ? "-" : id) + " " + flat;
+}
+
+bool parse_error(const std::string& line, ErrorMsg* out) {
+  if (line.rfind("ERROR ", 0) != 0) return false;
+  const std::string rest = line.substr(6);
+  if (rest.rfind("id=", 0) != 0) return false;
+  const std::size_t space = rest.find(' ');
+  out->id = rest.substr(3, space == std::string::npos ? std::string::npos
+                                                      : space - 3);
+  out->message = space == std::string::npos ? "" : rest.substr(space + 1);
+  return true;
+}
+
+}  // namespace kncube::service

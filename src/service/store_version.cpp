@@ -1,0 +1,9 @@
+#include "service/store_version.hpp"
+
+#include "kncube/store_version_gen.hpp"
+
+namespace kncube::service {
+
+std::uint64_t store_version() noexcept { return generated::kStoreVersion; }
+
+}  // namespace kncube::service

@@ -1,0 +1,15 @@
+// The persistent-result-store version: a 64-bit hash over every
+// result-producing source file (model, simulator, topology, core), computed
+// by CMake at configure time. DiskResultStore stamps it into every store
+// file's header and discards stores written under a different version, so a
+// model-code change can never serve stale cached fixed points (DESIGN.md
+// §11). Tests inject explicit versions to exercise the invalidation path.
+#pragma once
+
+#include <cstdint>
+
+namespace kncube::service {
+
+std::uint64_t store_version() noexcept;
+
+}  // namespace kncube::service

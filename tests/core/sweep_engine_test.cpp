@@ -2,7 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <chrono>
 #include <cmath>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 namespace kncube::core {
 namespace {
@@ -128,6 +135,176 @@ TEST(SweepEngine, ScenarioBasisKnobsReachTheModel) {
   ASSERT_FALSE(rm.saturated);
   EXPECT_NE(ri.latency, rb.latency);
   EXPECT_NE(rm.latency, rb.latency);
+}
+
+// A ResultStore whose writes block until the test releases them: while the
+// owning thread is stuck inside store_model/store_sim (outside the engine's
+// lock, before the in-flight entry is removed), every concurrent caller of
+// the same key must park on the in-flight registration. That makes the
+// dedup path deterministic to assert: wait until all N-1 waiters have
+// registered, open the gate, and exactly one solve must have happened.
+class GatedStore final : public ResultStore {
+ public:
+  bool load_model(std::uint64_t spec_key, std::uint64_t lambda_bits,
+                  ModelEntry* out) override {
+    return mem_.load_model(spec_key, lambda_bits, out);
+  }
+  void store_model(std::uint64_t spec_key, std::uint64_t lambda_bits,
+                   const ModelEntry& entry) override {
+    wait_open();
+    mem_.store_model(spec_key, lambda_bits, entry);
+  }
+  bool warm_state_at_or_below(std::uint64_t spec_key, std::uint64_t lambda_bits,
+                              std::vector<double>* state) override {
+    return mem_.warm_state_at_or_below(spec_key, lambda_bits, state);
+  }
+  bool load_sim(std::uint64_t spec_key, std::uint64_t lambda_bits,
+                std::uint64_t seed, sim::SimResult* out) override {
+    return mem_.load_sim(spec_key, lambda_bits, seed, out);
+  }
+  void store_sim(std::uint64_t spec_key, std::uint64_t lambda_bits,
+                 std::uint64_t seed, const sim::SimResult& result) override {
+    wait_open();
+    mem_.store_sim(spec_key, lambda_bits, seed, result);
+  }
+  bool load_saturation(std::uint64_t spec_key, std::uint64_t tol_bits,
+                       SaturationResult* out) override {
+    return mem_.load_saturation(spec_key, tol_bits, out);
+  }
+  void store_saturation(std::uint64_t spec_key, std::uint64_t tol_bits,
+                        const SaturationResult& result) override {
+    mem_.store_saturation(spec_key, tol_bits, result);
+  }
+  StoreSizes sizes() const override { return mem_.sizes(); }
+  void clear() override { mem_.clear(); }
+  const char* kind() const noexcept override { return "gated"; }
+
+  void release() {
+    {
+      std::lock_guard<std::mutex> lock(m_);
+      open_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  void wait_open() {
+    std::unique_lock<std::mutex> lock(m_);
+    cv_.wait(lock, [this] { return open_; });
+  }
+
+  MemoryResultStore mem_;
+  std::mutex m_;
+  std::condition_variable cv_;
+  bool open_ = false;
+};
+
+// Polls the engine's dedup counter until `expected` waiters are parked.
+void await_inflight_waits(const SweepEngine& engine, std::uint64_t expected) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(60);
+  while (engine.cache_stats().inflight_waits < expected) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "dedup waiters never registered";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(SweepEngine, ConcurrentIdenticalModelPointsPayExactlyOneSolve) {
+  auto store = std::make_shared<GatedStore>();
+  SweepEngine engine(to_spec(small_scenario()), store);
+  constexpr int kCallers = 4;
+  const double lambda = 2e-4;
+
+  std::vector<model::ModelResult> results(kCallers);
+  std::vector<std::thread> threads;
+  threads.reserve(kCallers);
+  for (int i = 0; i < kCallers; ++i) {
+    threads.emplace_back([&, i] { results[i] = engine.model_point(lambda); });
+  }
+  // The owner is blocked publishing; everyone else must end up waiting on
+  // its in-flight entry rather than solving.
+  await_inflight_waits(engine, kCallers - 1);
+  store->release();
+  for (auto& t : threads) t.join();
+
+  const CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.model_solves, 1u);
+  EXPECT_EQ(stats.inflight_waits, static_cast<std::uint64_t>(kCallers - 1));
+  EXPECT_EQ(stats.model_hits, 0u);
+  EXPECT_EQ(engine.inflight_solves(), 0u);
+  for (int i = 1; i < kCallers; ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(results[i].latency),
+              std::bit_cast<std::uint64_t>(results[0].latency));
+    EXPECT_EQ(results[i].iterations, results[0].iterations);
+  }
+}
+
+TEST(SweepEngine, ConcurrentIdenticalSimPointsPayExactlyOneRun) {
+  auto store = std::make_shared<GatedStore>();
+  SweepEngine engine(to_spec(small_scenario()), store);
+  constexpr int kCallers = 3;
+  const double lambda = 5e-4;
+  const std::uint64_t seed = 42;
+
+  std::vector<sim::SimResult> results(kCallers);
+  std::vector<std::thread> threads;
+  threads.reserve(kCallers);
+  for (int i = 0; i < kCallers; ++i) {
+    threads.emplace_back(
+        [&, i] { results[i] = engine.sim_point(lambda, seed); });
+  }
+  await_inflight_waits(engine, kCallers - 1);
+  store->release();
+  for (auto& t : threads) t.join();
+
+  const CacheStats stats = engine.cache_stats();
+  EXPECT_EQ(stats.sim_runs, 1u);
+  EXPECT_EQ(stats.inflight_waits, static_cast<std::uint64_t>(kCallers - 1));
+  EXPECT_EQ(engine.inflight_solves(), 0u);
+  for (int i = 1; i < kCallers; ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(results[i].mean_latency),
+              std::bit_cast<std::uint64_t>(results[0].mean_latency));
+    EXPECT_EQ(results[i].measured_messages, results[0].measured_messages);
+  }
+}
+
+TEST(SweepEngine, SharedStoreServesASecondEngineWithoutResolving) {
+  auto store = std::make_shared<MemoryResultStore>();
+  const ScenarioSpec spec = to_spec(small_scenario());
+  const double lambda = 3e-4;
+
+  model::ModelResult cold;
+  {
+    SweepEngine first(spec, store);
+    cold = first.model_point(lambda);
+    EXPECT_EQ(first.cache_stats().model_solves, 1u);
+  }
+  // The first engine is gone; the store carries its solve to the next one.
+  SweepEngine second(spec, store);
+  const model::ModelResult warm = second.model_point(lambda);
+  const CacheStats stats = second.cache_stats();
+  EXPECT_EQ(stats.model_solves, 0u);
+  EXPECT_EQ(stats.model_hits, 1u);
+  EXPECT_EQ(std::bit_cast<std::uint64_t>(warm.latency),
+            std::bit_cast<std::uint64_t>(cold.latency));
+}
+
+TEST(CacheStats, FormatsEveryCounterInCanonicalOrder) {
+  CacheStats s;
+  s.model_entries = 1;
+  s.sim_entries = 2;
+  s.saturation_entries = 3;
+  s.model_hits = 4;
+  s.sim_hits = 5;
+  s.saturation_hits = 6;
+  s.model_solves = 7;
+  s.sim_runs = 8;
+  s.inflight_waits = 9;
+  EXPECT_EQ(format_cache_stats(s),
+            "model_entries=1 sim_entries=2 saturation_entries=3 model_hits=4 "
+            "sim_hits=5 saturation_hits=6 model_solves=7 sim_runs=8 "
+            "inflight_waits=9");
 }
 
 TEST(SweepEngine, RelativeErrorIsNanOnDegenerateSim) {

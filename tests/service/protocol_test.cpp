@@ -1,0 +1,270 @@
+// Wire-protocol unit tests: value encodings are bit-exact, every message
+// formats/parses back field-for-field, and malformed request frames produce
+// line-anchored errors that line up with the frame body the client sent
+// (the satellite-6 contract).
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/scenario_spec.hpp"
+
+namespace kncube::service {
+namespace {
+
+std::uint64_t bits(double d) { return std::bit_cast<std::uint64_t>(d); }
+
+TEST(ProtocolValues, BitFormIsExactForAwkwardDoubles) {
+  for (const double v : {0.1, 1.0 / 3.0, 2.3e-4, 6.02214076e23, 5e-324}) {
+    double back = 0.0;
+    ASSERT_TRUE(parse_rate(format_bits(v), &back)) << v;
+    EXPECT_EQ(bits(back), bits(v));
+  }
+}
+
+TEST(ProtocolValues, ParseRateAcceptsPlainDecimals) {
+  double v = 0.0;
+  EXPECT_TRUE(parse_rate("0.25", &v));
+  EXPECT_EQ(v, 0.25);
+  EXPECT_TRUE(parse_rate("2e-4", &v));
+  EXPECT_EQ(v, 2e-4);
+  EXPECT_FALSE(parse_rate("", &v));
+  EXPECT_FALSE(parse_rate("fast", &v));
+  EXPECT_FALSE(parse_rate("0.25x", &v));
+}
+
+TEST(ProtocolValues, HexStructRoundTripIsByteExact) {
+  struct Blob {
+    double a;
+    std::uint64_t b;
+    bool c;
+  };
+  Blob in{1.0 / 7.0, 0xDEADBEEFCAFEF00DULL, true};
+  Blob out{};
+  ASSERT_TRUE(decode_struct(encode_struct(in), &out));
+  EXPECT_EQ(bits(out.a), bits(in.a));
+  EXPECT_EQ(out.b, in.b);
+  EXPECT_EQ(out.c, in.c);
+
+  EXPECT_FALSE(decode_struct(encode_struct(in) + "00", &out));  // wrong size
+  std::string bad = encode_struct(in);
+  bad[3] = 'g';  // not a hex digit
+  EXPECT_FALSE(decode_struct(bad, &out));
+}
+
+TEST(ProtocolRequest, ExplicitLambdasRoundTripBitExact) {
+  Request in;
+  in.id = "r7";
+  in.spec_text = "topology.k=8\n";
+  in.lambdas = {1.0 / 3.0, 2e-4};
+  in.with_sim = false;
+  const Request out = parse_request_body("r7", format_request_body(in));
+  EXPECT_EQ(out.id, "r7");
+  ASSERT_EQ(out.lambdas.size(), 2u);
+  EXPECT_EQ(bits(out.lambdas[0]), bits(in.lambdas[0]));
+  EXPECT_EQ(bits(out.lambdas[1]), bits(in.lambdas[1]));
+  EXPECT_FALSE(out.with_sim);
+  // The spec text survives with request.* lines blanked, not removed.
+  EXPECT_NE(out.spec_text.find("topology.k=8"), std::string::npos);
+}
+
+TEST(ProtocolRequest, SweepParametersRoundTripBitExact) {
+  Request in;
+  in.spec_text = "topology.k=8\n";
+  in.points = 5;
+  in.lo = 0.15;
+  in.hi = 0.9;
+  in.max_rate = 1.0 / 7.0;
+  const Request out = parse_request_body("s", format_request_body(in));
+  EXPECT_TRUE(out.lambdas.empty());
+  EXPECT_EQ(out.points, 5);
+  EXPECT_EQ(bits(out.lo), bits(in.lo));
+  EXPECT_EQ(bits(out.hi), bits(in.hi));
+  EXPECT_EQ(bits(out.max_rate), bits(in.max_rate));
+  EXPECT_TRUE(out.with_sim);
+}
+
+TEST(ProtocolRequest, BlankedParamLinesKeepSpecLineNumbersAligned) {
+  // Frame body as the client sent it: the spec error is on body line 3, and
+  // the request.* line in the middle must not shift it.
+  const std::vector<std::string> body = {
+      "topology.kind=torus",        // line 1
+      "request.sim=1",              // line 2 (blanked in the spec text)
+      "topology.k=potato",          // line 3: malformed spec value
+  };
+  const Request req = parse_request_body("x", body);
+  try {
+    core::parse_scenario(req.spec_text);
+    FAIL() << "expected parse_scenario to reject line 3";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ProtocolRequest, MalformedParametersAreLineAnchored) {
+  const auto expect_line = [](const std::vector<std::string>& body,
+                              const std::string& anchor) {
+    try {
+      parse_request_body("x", body);
+      FAIL() << "expected invalid_argument for " << body.back();
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(anchor), std::string::npos)
+          << e.what();
+    }
+  };
+  expect_line({"topology.k=8", "request.points=zero"}, "line 2");
+  expect_line({"request.lambdas=0.1,-0.5"}, "line 1");
+  expect_line({"request.lambdas="}, "line 1");
+  expect_line({"topology.k=8", "", "request.sim=maybe"}, "line 3");
+  expect_line({"request.burst=9"}, "unknown request parameter");
+  expect_line({"request.points"}, "expected request.key=value");
+}
+
+TEST(ProtocolMessages, HelloRoundTrips) {
+  Hello h;
+  ASSERT_TRUE(parse_hello(format_hello(0xABCDEF0123456789ULL), &h));
+  EXPECT_EQ(h.protocol, kProtocolVersion);
+  EXPECT_EQ(h.version, 0xABCDEF0123456789ULL);
+  EXPECT_FALSE(parse_hello("HTTP/1.1 200 OK", &h));
+}
+
+TEST(ProtocolMessages, BeginRoundTripsWithAndWithoutReason) {
+  BeginMsg in;
+  in.id = "r1";
+  in.spec_key = 0x1234;
+  in.model_name = "hotspot-torus";
+  BeginMsg out;
+  ASSERT_TRUE(parse_begin(format_begin(in), &out));
+  EXPECT_EQ(out.id, "r1");
+  EXPECT_EQ(out.spec_key, 0x1234u);
+  EXPECT_EQ(out.model_name, "hotspot-torus");
+  EXPECT_TRUE(out.reason.empty());
+
+  BeginMsg sim_only;
+  sim_only.id = "r2";
+  sim_only.spec_key = 9;
+  sim_only.reason = "no analytical model for n = 3 tori";
+  BeginMsg out2;
+  ASSERT_TRUE(parse_begin(format_begin(sim_only), &out2));
+  EXPECT_TRUE(out2.model_name.empty());
+  EXPECT_EQ(out2.reason, "no analytical model for n = 3 tori");
+}
+
+TEST(ProtocolMessages, SweepRoundTripsBitExact) {
+  SweepMsg in;
+  in.id = "r1";
+  in.saturation = 0.00217983;
+  in.probes = 12;
+  SweepMsg out;
+  ASSERT_TRUE(parse_sweep(format_sweep(in), &out));
+  EXPECT_EQ(bits(out.saturation), bits(in.saturation));
+  EXPECT_EQ(out.probes, 12);
+}
+
+TEST(ProtocolMessages, PointRoundTripsResultStructsBitExact) {
+  PointMsg in;
+  in.id = "r1";
+  in.index = 3;
+  in.point.lambda = 1.0 / 3.0;
+  in.point.has_model = true;
+  in.point.model.latency = 40.622e0 / 7.0;
+  in.point.model.saturated = false;
+  in.point.model.iterations = 13;
+  in.point.has_sim = true;
+  in.point.sim.mean_latency = 56.252 / 3.0;
+  in.point.sim.measured_messages = 4321;
+  in.point.sim.steady = true;
+
+  PointMsg out;
+  ASSERT_TRUE(parse_point(format_point(in), &out));
+  EXPECT_EQ(out.index, 3u);
+  EXPECT_EQ(bits(out.point.lambda), bits(in.point.lambda));
+  ASSERT_TRUE(out.point.has_model);
+  EXPECT_EQ(bits(out.point.model.latency), bits(in.point.model.latency));
+  EXPECT_EQ(out.point.model.iterations, 13);
+  ASSERT_TRUE(out.point.has_sim);
+  EXPECT_EQ(bits(out.point.sim.mean_latency), bits(in.point.sim.mean_latency));
+  EXPECT_EQ(out.point.sim.measured_messages, 4321u);
+  EXPECT_TRUE(out.point.sim.steady);
+}
+
+TEST(ProtocolMessages, PointCarriesAbsentSidesAsDashes) {
+  PointMsg in;
+  in.id = "r1";
+  in.index = 0;
+  in.point.lambda = 2e-4;
+  in.point.has_model = false;
+  in.point.has_sim = false;
+  PointMsg out;
+  ASSERT_TRUE(parse_point(format_point(in), &out));
+  EXPECT_FALSE(out.point.has_model);
+  EXPECT_FALSE(out.point.has_sim);
+}
+
+TEST(ProtocolMessages, StatsRoundTripsBothShapes) {
+  StatsMsg per_request;
+  per_request.id = "r1";
+  per_request.stats.model_hits = 4;
+  per_request.stats.model_solves = 2;
+  per_request.stats.inflight_waits = 1;
+  StatsMsg out;
+  ASSERT_TRUE(parse_stats(format_stats(per_request), &out));
+  EXPECT_EQ(out.id, "r1");
+  EXPECT_EQ(out.stats.model_hits, 4u);
+  EXPECT_EQ(out.stats.model_solves, 2u);
+  EXPECT_EQ(out.stats.inflight_waits, 1u);
+  EXPECT_TRUE(out.store_kind.empty());
+
+  StatsMsg server_wide;
+  server_wide.id = "-";
+  server_wide.engines = 3;
+  server_wide.store_kind = "disk";
+  server_wide.stats.sim_runs = 8;
+  StatsMsg out2;
+  ASSERT_TRUE(parse_stats(format_stats(server_wide), &out2));
+  EXPECT_EQ(out2.engines, 3u);
+  EXPECT_EQ(out2.store_kind, "disk");
+  EXPECT_EQ(out2.stats.sim_runs, 8u);
+}
+
+TEST(ProtocolMessages, DoneAndErrorRoundTrip) {
+  DoneMsg done;
+  ASSERT_TRUE(parse_done(format_done({"r9", 17}), &done));
+  EXPECT_EQ(done.id, "r9");
+  EXPECT_EQ(done.points, 17u);
+
+  ErrorMsg err;
+  ASSERT_TRUE(parse_error(format_error("r2", "line 3: bad value\ntry again"),
+                          &err));
+  EXPECT_EQ(err.id, "r2");
+  EXPECT_EQ(err.message, "line 3: bad value; try again");
+  // Untied errors get the "-" id.
+  ASSERT_TRUE(parse_error(format_error("", "unknown command 'BOGUS'"), &err));
+  EXPECT_EQ(err.id, "-");
+}
+
+TEST(ProtocolMessages, ParsersRejectForeignLines) {
+  BeginMsg b;
+  SweepMsg s;
+  PointMsg p;
+  StatsMsg st;
+  DoneMsg d;
+  ErrorMsg e;
+  const std::string point = format_point(PointMsg{});
+  EXPECT_FALSE(parse_begin(point, &b));
+  EXPECT_FALSE(parse_sweep(point, &s));
+  EXPECT_FALSE(parse_stats(point, &st));
+  EXPECT_FALSE(parse_done(point, &d));
+  EXPECT_FALSE(parse_error(point, &e));
+  EXPECT_FALSE(parse_point("POINT id=x index=0", &p));  // missing fields
+  EXPECT_FALSE(parse_point("", &p));
+}
+
+}  // namespace
+}  // namespace kncube::service

@@ -1,0 +1,284 @@
+// Daemon end-to-end tests over a real Unix socket: a Server running on a
+// background thread, the library Client for well-formed traffic, and a raw
+// socket for malformed frames (the structured-ERROR satellite).
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <bit>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/sweep_engine.hpp"
+#include "service/client.hpp"
+#include "service/protocol.hpp"
+
+namespace kncube::service {
+namespace {
+
+std::uint64_t bits(double d) { return std::bit_cast<std::uint64_t>(d); }
+
+core::ScenarioSpec quick_spec() {
+  core::ScenarioSpec spec;
+  spec.torus().k = 8;
+  spec.message_length = 8;
+  spec.hotspot().fraction = 0.3;
+  spec.target_messages = 500;
+  spec.warmup_cycles = 2000;
+  spec.max_cycles = 300000;
+  return spec;
+}
+
+/// Bare-socket peer for sending frames the Client cannot produce.
+class RawConnection {
+ public:
+  explicit RawConnection(const std::string& path) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ADD_FAILURE() << "raw connect failed";
+    }
+    read_line();  // consume the hello
+  }
+  ~RawConnection() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send_line(const std::string& line) {
+    const std::string out = line + "\n";
+    ASSERT_EQ(::send(fd_, out.data(), out.size(), 0),
+              static_cast<ssize_t>(out.size()));
+  }
+
+  std::string read_line() {
+    for (;;) {
+      const std::size_t nl = buffer_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buffer_.substr(0, nl);
+        buffer_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return "";
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    socket_path_ =
+        std::string("server_test_") +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+        ".sock";
+    std::filesystem::remove(socket_path_);
+    ServerOptions options;
+    options.socket_path = socket_path_;
+    server_ = std::make_unique<Server>(std::move(options));
+    server_->bind();
+    thread_ = std::thread([this] { server_->run(); });
+  }
+
+  void TearDown() override {
+    server_->stop();
+    thread_.join();
+    EXPECT_FALSE(std::filesystem::exists(socket_path_))
+        << "drained shutdown must remove the socket file";
+    server_.reset();
+  }
+
+  std::string socket_path_;
+  std::unique_ptr<Server> server_;
+  std::thread thread_;
+};
+
+TEST_F(ServerTest, PingAndServerWideStats) {
+  Client client(socket_path_);
+  client.ping();
+  const StatsMsg stats = client.server_stats();
+  EXPECT_EQ(stats.id, "-");
+  EXPECT_EQ(stats.engines, 0u);
+  EXPECT_EQ(stats.store_kind, "memory");
+}
+
+TEST_F(ServerTest, ExplicitLambdasMatchALocalEngineBitwise) {
+  const core::ScenarioSpec spec = quick_spec();
+  const std::vector<double> lambdas = {2e-4, 3e-4};
+
+  Client client(socket_path_);
+  Request params;
+  params.lambdas = lambdas;
+  params.with_sim = false;
+  const Client::SweepOutcome outcome = client.run(spec, params);
+
+  EXPECT_EQ(outcome.begin.spec_key, spec.key());
+  EXPECT_FALSE(outcome.begin.model_name.empty());
+  ASSERT_EQ(outcome.points.size(), 2u);
+
+  core::SweepEngine local(spec);
+  for (std::size_t i = 0; i < lambdas.size(); ++i) {
+    ASSERT_TRUE(outcome.points[i].has_model);
+    EXPECT_FALSE(outcome.points[i].has_sim);
+    EXPECT_EQ(bits(outcome.points[i].lambda), bits(lambdas[i]));
+    const model::ModelResult reference = local.model_point(lambdas[i]);
+    EXPECT_EQ(bits(outcome.points[i].model.latency), bits(reference.latency));
+    EXPECT_EQ(outcome.points[i].model.iterations, reference.iterations);
+  }
+  EXPECT_EQ(outcome.stats.stats.model_solves, 2u);
+}
+
+TEST_F(ServerTest, RepeatedRequestsAnswerFromTheStore) {
+  const core::ScenarioSpec spec = quick_spec();
+  Client client(socket_path_);
+  Request params;
+  params.lambdas = {2e-4};
+  params.with_sim = false;
+
+  const auto first = client.run(spec, params);
+  EXPECT_EQ(first.stats.stats.model_solves, 1u);
+  EXPECT_EQ(first.stats.stats.model_hits, 0u);
+
+  // Engine-cumulative stats: the repeat adds a hit, not a solve.
+  const auto second = client.run(spec, params);
+  EXPECT_EQ(second.stats.stats.model_solves, 1u);
+  EXPECT_EQ(second.stats.stats.model_hits, 1u);
+  ASSERT_EQ(second.points.size(), 1u);
+  EXPECT_EQ(bits(second.points[0].model.latency),
+            bits(first.points[0].model.latency));
+
+  // One engine serves both connections of the same spec.
+  EXPECT_EQ(server_->engine_count(), 1u);
+  EXPECT_EQ(server_->requests_served(), 2u);
+}
+
+TEST_F(ServerTest, SweepRequestStreamsSaturationAndOrderedPoints) {
+  Client client(socket_path_);
+  Request params;
+  params.points = 3;
+  params.lo = 0.2;
+  params.hi = 0.8;
+  params.with_sim = false;
+  const Client::SweepOutcome outcome = client.run(quick_spec(), params);
+
+  ASSERT_TRUE(outcome.has_sweep);
+  EXPECT_GT(outcome.sweep.saturation, 0.0);
+  EXPECT_GT(outcome.sweep.probes, 0);
+  ASSERT_EQ(outcome.points.size(), 3u);
+  for (std::size_t i = 1; i < outcome.points.size(); ++i) {
+    EXPECT_GT(outcome.points[i].lambda, outcome.points[i - 1].lambda);
+  }
+}
+
+TEST_F(ServerTest, SimOnlySpecWithoutAnchorGetsAStructuredError) {
+  core::ScenarioSpec spec = quick_spec();
+  spec.torus().n = 3;  // no analytical model for n = 3 tori
+  Client client(socket_path_);
+  Request params;
+  params.with_sim = false;
+  try {
+    client.run(spec, params);
+    FAIL() << "expected a server error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("request.max_rate"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(ServerTest, MalformedFramesGetLineAnchoredErrorsWithoutDisconnect) {
+  RawConnection raw(socket_path_);
+
+  // Malformed spec value: parse_scenario's line anchor passes through, and
+  // the request.* line above it still counts (blanked, not removed).
+  raw.send_line("REQUEST r1");
+  raw.send_line("request.sim=0");
+  raw.send_line("topology.kind=torus");
+  raw.send_line("topology.k=potato");
+  raw.send_line("END");
+  ErrorMsg err;
+  ASSERT_TRUE(parse_error(raw.read_line(), &err));
+  EXPECT_EQ(err.id, "r1");
+  EXPECT_NE(err.message.find("line 3"), std::string::npos) << err.message;
+
+  // Malformed request parameter, anchored to its own body line.
+  raw.send_line("REQUEST r2");
+  raw.send_line("request.points=zero");
+  raw.send_line("END");
+  ASSERT_TRUE(parse_error(raw.read_line(), &err));
+  EXPECT_EQ(err.id, "r2");
+  EXPECT_NE(err.message.find("line 1"), std::string::npos) << err.message;
+
+  // Unknown commands and bare REQUEST lines answer with untied errors.
+  raw.send_line("BOGUS");
+  ASSERT_TRUE(parse_error(raw.read_line(), &err));
+  EXPECT_EQ(err.id, "-");
+  EXPECT_NE(err.message.find("unknown command"), std::string::npos);
+  raw.send_line("REQUEST");
+  ASSERT_TRUE(parse_error(raw.read_line(), &err));
+  EXPECT_NE(err.message.find("id"), std::string::npos);
+
+  // The connection survived all of it: a well-formed request still works.
+  raw.send_line("PING");
+  EXPECT_EQ(raw.read_line(), "PONG");
+}
+
+TEST_F(ServerTest, StaleSocketFileIsReplacedOnBind) {
+  // A dead daemon leaves its socket file behind; a new bind must reclaim
+  // the path instead of failing. (The fixture's server owns socket_path_,
+  // so exercise a second path.)
+  const std::string stale = socket_path_ + ".stale";
+  std::filesystem::remove(stale);
+  {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, stale.c_str(), stale.size() + 1);
+    ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    ::close(fd);  // closes without unlink: the file is now stale
+  }
+  ASSERT_TRUE(std::filesystem::exists(stale));
+
+  ServerOptions options;
+  options.socket_path = stale;
+  Server second(std::move(options));
+  EXPECT_NO_THROW(second.bind());
+  std::thread t([&second] { second.run(); });
+  {
+    Client client(stale);
+    client.ping();
+  }
+  second.stop();
+  t.join();
+  EXPECT_FALSE(std::filesystem::exists(stale));
+}
+
+TEST_F(ServerTest, BindRefusesALiveDaemonsSocket) {
+  ServerOptions options;
+  options.socket_path = socket_path_;  // the fixture's daemon is listening
+  Server second(std::move(options));
+  EXPECT_THROW(second.bind(), std::runtime_error);
+  // The live daemon is unharmed.
+  Client client(socket_path_);
+  client.ping();
+}
+
+}  // namespace
+}  // namespace kncube::service
