@@ -2,6 +2,9 @@
 // delivered flit throughput so changes to the hot loop are measurable.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <thread>
+
 #include "sim/simulator.hpp"
 
 namespace {
@@ -28,6 +31,13 @@ sim::SimConfig bench_config(int k, int lm, double frac_of_capacity,
 /// Args: {k, load%, sim_threads}. The threads axis measures the sharded
 /// cycle engine; results are bit-identical across it by contract, so the
 /// flits_delivered counter doubles as a cross-check between rows.
+///
+/// Honesty counters: a T-thread row only measures T-way parallelism when the
+/// host actually has T cores — on a smaller machine the shards time-slice
+/// and the row measures oversubscription overhead instead of scaling. Each
+/// row therefore stamps the cores it effectively ran on and an
+/// `oversubscribed` flag; never read a flagged row as a scaling number
+/// (run_benchmarks.sh mirrors the flag into the committed JSON baselines).
 void BM_SimulatorCycles(benchmark::State& state) {
   const int k = static_cast<int>(state.range(0));
   const auto load = static_cast<double>(state.range(1)) / 100.0;
@@ -46,6 +56,10 @@ void BM_SimulatorCycles(benchmark::State& state) {
   state.counters["flits_delivered"] =
       static_cast<double>(sim.metrics().flits_delivered());
   state.counters["shards"] = static_cast<double>(sim.network().shard_count());
+  const auto cores =
+      static_cast<double>(std::max(1u, std::thread::hardware_concurrency()));
+  state.counters["effective_cores"] = std::min(static_cast<double>(threads), cores);
+  state.counters["oversubscribed"] = static_cast<double>(threads) > cores ? 1.0 : 0.0;
 }
 BENCHMARK(BM_SimulatorCycles)
     ->ArgsProduct({{8, 16, 32, 64}, {30, 80}, {1}})

@@ -58,6 +58,12 @@ echo "== perf_model -> BENCH_model.json"
 # and library build type, but not the project's CMAKE_BUILD_TYPE — and a
 # baseline is only comparable against runs with the same core count and
 # optimisation level, so record both explicitly where perf diffs look first.
+#
+# Thread-axis rows additionally get per-row honesty keys: a T-thread row run
+# on a host with fewer than T cores measures time-slicing overhead, not
+# scaling, so each such row is stamped `"oversubscribed": true` together
+# with the cores it effectively ran on. Perf diffs must never compare a
+# flagged row against an unflagged one.
 kncube_build_type="$(sed -n 's/^CMAKE_BUILD_TYPE:STRING=//p' \
   "$build_dir/CMakeCache.txt" 2>/dev/null || true)"
 for f in "$repo_root/BENCH_sim.json" "$repo_root/BENCH_model.json"; do
@@ -68,11 +74,25 @@ import json, os, sys
 path, build_type = sys.argv[1], sys.argv[2]
 with open(path) as f:
     doc = json.load(f)
+ncpu = os.cpu_count() or 1
 ctx = doc.setdefault("context", {})
 ctx["host"] = {
-    "hardware_concurrency": os.cpu_count() or 0,
+    "hardware_concurrency": ncpu,
     "kncube_build_type": build_type,
 }
+# Per-row thread-axis annotation. BM_SimulatorCycles rows are named
+# BM_SimulatorCycles/<k>/<load%>/<sim_threads>; rows asking for more shards
+# than the host has cores did not measure parallel stepping.
+for row in doc.get("benchmarks", []):
+    parts = row.get("name", "").split("/")
+    if parts[0] != "BM_SimulatorCycles" or len(parts) < 4:
+        continue
+    try:
+        threads = int(parts[3])
+    except ValueError:
+        continue
+    row["effective_cores"] = min(threads, ncpu)
+    row["oversubscribed"] = threads > ncpu
 with open(path, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")

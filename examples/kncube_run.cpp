@@ -200,6 +200,18 @@ int main(int argc, char** argv) {
   if (verbose) {
     std::cout << "\ncache stats: "
               << core::format_cache_stats(engine.cache_stats()) << "\n";
+    // Surface the shard resolution: sim.threads is clamped so every shard
+    // keeps enough routers, and a silent clamp reads as a perf mystery.
+    for (const auto& p : pts) {
+      if (!p.has_sim) continue;
+      std::cout << "sim shards: " << p.sim.sim_shards << " ("
+                << p.sim.sim_shards_requested << " requested";
+      if (p.sim.sim_shards < p.sim.sim_shards_requested) {
+        std::cout << ", clamped by network size";
+      }
+      std::cout << ")\n";
+      break;
+    }
   }
   return EXIT_SUCCESS;
 }

@@ -1,5 +1,6 @@
 #include "service/client.hpp"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -19,6 +20,33 @@ namespace {
   throw std::runtime_error(what + ": " + std::strerror(errno));
 }
 
+/// connect(2) with EINTR handling. A signal can interrupt connect, but the
+/// kernel keeps establishing the connection in the background (POSIX leaves
+/// the request in progress) — re-calling connect would yield EALREADY, so
+/// the correct recovery is to wait for writability and read SO_ERROR.
+/// Returns 0 on success; -1 with errno set on failure.
+int connect_eintr(int fd, const sockaddr* addr, socklen_t len) {
+  if (::connect(fd, addr, len) == 0) return 0;
+  if (errno != EINTR) return -1;
+  pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = POLLOUT;
+  for (;;) {
+    const int pr = ::poll(&pfd, 1, -1);
+    if (pr > 0) break;
+    if (pr < 0 && errno == EINTR) continue;
+    return -1;
+  }
+  int err = 0;
+  socklen_t err_len = sizeof(err);
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0) return -1;
+  if (err != 0) {
+    errno = err;
+    return -1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 Client::Client(const std::string& socket_path) {
@@ -30,8 +58,8 @@ Client::Client(const std::string& socket_path) {
   std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
   fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd_ < 0) throw_errno("Client: socket");
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
+  if (connect_eintr(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)) != 0) {
     const int err = errno;
     ::close(fd_);
     fd_ = -1;
@@ -85,8 +113,13 @@ std::string Client::read_line() {
     }
     char chunk[4096];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) {
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // A real I/O error is not the orderly shutdown the message below
+      // suggests; surface errno so mid-sweep failures are diagnosable.
+      throw_errno("Client: recv");
+    }
+    if (n == 0) {
       throw std::runtime_error("Client: server closed the connection");
     }
     buffer_.append(chunk, static_cast<std::size_t>(n));

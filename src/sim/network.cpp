@@ -14,10 +14,15 @@ namespace {
 /// its phase barriers — tiny networks run serial no matter the knob. Pure
 /// function of (knob, hardware, size): never of timing, so the partition is
 /// process-deterministic; and results are partition-independent anyway.
-std::size_t resolve_shards(int sim_threads, topo::NodeId size) {
+/// `requested` receives the pre-clamp count (the knob resolved against
+/// hardware) so callers can surface the clamp instead of silently running
+/// narrower than asked.
+std::size_t resolve_shards(int sim_threads, topo::NodeId size,
+                           std::size_t* requested) {
   std::size_t want = sim_threads == 0
                          ? std::max(1u, std::thread::hardware_concurrency())
                          : static_cast<std::size_t>(sim_threads);
+  *requested = want;
   constexpr topo::NodeId kMinRoutersPerShard = 16;
   const std::size_t cap =
       std::max<std::size_t>(1, static_cast<std::size_t>(size / kMinRoutersPerShard));
@@ -31,10 +36,14 @@ Network::Network(const SimConfig& cfg)
       message_length_(static_cast<std::uint32_t>(cfg.message_length)) {
   cfg.validate();
   faults_ = build_fault_set(cfg, topo_);
+  soa_.init(topo_.size(), topo_.channels_per_node(), cfg.vcs, cfg.buffer_depth,
+            message_length_);
+  // Routers live contiguously (reserve guarantees stable addresses for the
+  // down/up wiring pointers taken below).
   routers_.reserve(topo_.size());
   for (topo::NodeId id = 0; id < topo_.size(); ++id) {
-    routers_.push_back(std::make_unique<Router>(
-        topo_, id, cfg.vcs, cfg.buffer_depth, message_length_));
+    routers_.emplace_back(topo_, id, cfg.vcs, cfg.buffer_depth,
+                          message_length_, &soa_);
   }
   // Wire links: output port p of node r feeds input port p of the neighbour
   // in that port's (dim, dir); the input port keeps a reference back to the
@@ -47,13 +56,13 @@ Network::Network(const SimConfig& cfg)
   // path is fully usable (pair_reachable), so unwired ports are never routed
   // to here either — faulty routers stay quiescent and hold no credits.
   for (topo::NodeId id = 0; id < topo_.size(); ++id) {
-    Router& r = *routers_[id];
+    Router& r = routers_[id];
     for (int p = 0; p < r.network_ports(); ++p) {
       const int dim = r.port_dim(p);
       const topo::Direction dir = r.port_dir(p);
       if (!faults_.link_usable(topo_, id, dim, dir)) continue;
       const topo::NodeId down_id = topo_.neighbor(id, dim, dir);
-      Router& down = *routers_[down_id];
+      Router& down = routers_[down_id];
       r.connect(p, &down, p);
       down.connect_upstream(p, &r, p);
     }
@@ -62,7 +71,8 @@ Network::Network(const SimConfig& cfg)
   // Contiguous equal-ish shards over the router-id range. Contiguity keeps
   // the concatenation of per-shard orders equal to global router-id order,
   // which the metric replay and commit pass rely on.
-  const std::size_t shard_count = resolve_shards(cfg.sim_threads, topo_.size());
+  const std::size_t shard_count =
+      resolve_shards(cfg.sim_threads, topo_.size(), &requested_shards_);
   shards_.resize(shard_count);
   for (std::size_t s = 0; s < shard_count; ++s) {
     Shard& sh = shards_[s];
@@ -84,12 +94,16 @@ void Network::step_shard(std::size_t s) {
   // enters the stage that could observe their side effects.
   Shard& sh = shards_[s];
   sh.active.clear();
-  for (topo::NodeId id = sh.begin; id < sh.end; ++id) {
-    Router* r = routers_[id].get();
-    if (r->quiescent()) {
-      r->note_idle_cycle();
-    } else {
-      sh.active.push_back(r);
+  // The activity scan reads only the two contiguous scheduling arrays — no
+  // router object is touched for quiescent ids, so an idle network costs a
+  // pair of streaming array reads per router per cycle.
+  {
+    const std::uint64_t* work = soa_.work.data();
+    const std::atomic<std::uint32_t>* wake = soa_.wake.get();
+    for (topo::NodeId id = sh.begin; id < sh.end; ++id) {
+      if ((work[id] | wake[id].load(std::memory_order_relaxed)) != 0) {
+        sh.active.push_back(&routers_[id]);
+      }
     }
   }
   // The build above reads each router's committed occupancy, which the
@@ -113,12 +127,14 @@ void Network::step_shard(std::size_t s) {
   // (full commit is unnecessary: it has no signals, and its idle cycle is
   // already accounted). Commit itself touches only the owning router.
   std::size_t next_active = 0;
+  const std::atomic<std::uint32_t>* wake = soa_.wake.get();
   for (topo::NodeId id = sh.begin; id < sh.end; ++id) {
-    Router* r = routers_[id].get();
+    Router* r = &routers_[id];
     if (next_active < sh.active.size() && sh.active[next_active] == r) {
       r->commit();
       ++next_active;
-    } else if (r->has_staged_arrivals()) {
+    } else if ((wake[id].load(std::memory_order_relaxed) &
+                Router::kWakeArrivalMask) != 0) {
       r->commit_arrivals();
     }
   }
@@ -148,6 +164,9 @@ void Network::step(std::uint64_t cycle, Metrics& metrics) {
   inflight_ -= flits_out;
   backlog_ -= refilled;
   for (Shard& sh : shards_) sh.delta.clear();
+  // Every router's per-port stat_cycles advances exactly once per cycle
+  // whether it was active or idle — it is one global counter (router.hpp).
+  ++soa_.stat_cycles;
 }
 
 void Network::enqueue_message(const QueuedMessage& msg) {
@@ -156,19 +175,19 @@ void Network::enqueue_message(const QueuedMessage& msg) {
   // a message past this point is guaranteed deliverable, so nothing is ever
   // dropped mid-network.
   KNC_ASSERT(pair_reachable(msg.src, msg.dest));
-  routers_[msg.src]->enqueue_message(msg, message_length_);
+  routers_[msg.src].enqueue_message(msg, message_length_);
   ++backlog_;
 }
 
 std::uint64_t Network::scan_inflight_flits() const {
   std::uint64_t total = 0;
-  for (const auto& r : routers_) total += r->buffered_flits();
+  for (const auto& r : routers_) total += r.buffered_flits();
   return total;
 }
 
 std::uint64_t Network::scan_source_backlog() const {
   std::uint64_t total = 0;
-  for (const auto& r : routers_) total += r->source_queue_length();
+  for (const auto& r : routers_) total += r.source_queue_length();
   return total;
 }
 
@@ -183,11 +202,11 @@ std::uint64_t Network::source_backlog() const {
 }
 
 void Network::reset_channel_stats() {
-  for (auto& r : routers_) {
-    for (int p = 0; p < r->network_ports(); ++p) {
-      r->output_port_mutable(p).reset_stats();
-    }
-  }
+  std::fill(soa_.flits_sent.begin(), soa_.flits_sent.end(), 0);
+  std::fill(soa_.busy_vc_cycles.begin(), soa_.busy_vc_cycles.end(), 0);
+  std::fill(soa_.busy_vc_sq_cycles.begin(), soa_.busy_vc_sq_cycles.end(), 0);
+  std::fill(soa_.busy_cycles.begin(), soa_.busy_cycles.end(), 0);
+  soa_.stat_cycles = 0;
 }
 
 Network::ChannelSummary Network::channel_summary() const {
@@ -197,8 +216,8 @@ Network::ChannelSummary Network::channel_summary() const {
   double vm_weighted = 0.0;
   double vm_weight = 0.0;
   for (const auto& r : routers_) {
-    for (int p = 0; p < r->network_ports(); ++p) {
-      const auto& op = r->output_port(p);
+    for (int p = 0; p < r.network_ports(); ++p) {
+      const auto& op = r.output_port(p);
       // Unconnected mesh edge ports are not physical channels; counting
       // their permanent zeros would dilute the mean utilisation.
       if (op.down == nullptr) continue;
@@ -220,7 +239,7 @@ Network::ChannelSummary Network::channel_summary() const {
 
 double Network::channel_utilization(topo::NodeId node, int dim,
                                     topo::Direction dir) const {
-  const Router& r = *routers_[node];
+  const Router& r = routers_[node];
   const auto& op = r.output_port(r.out_port_for(dim, dir));
   // A mesh edge port or a faulted-out link is not a physical channel.
   if (op.down == nullptr) return 0.0;

@@ -4,14 +4,16 @@
 // transfers and credit returns staged during a cycle become visible at the
 // next one (Router::commit).
 //
-// Scheduling: step() rebuilds an active-router list each cycle from the
-// routers' O(1) quiescence predicate and runs the five phases only over that
-// list — a quiescent router (nothing buffered or staged, empty source
-// queues, no busy output VCs, no pending credit signals) provably performs
-// no work in any phase, so skipping it is bit-identical to running it. Its
-// only bookkeeping, the per-port stat_cycles advance, is folded in lazily
-// (Router::note_idle_cycle / flush). Routers that receive a flit mid-cycle
-// still commit their staged arrivals at the cycle boundary.
+// Scheduling: step() rebuilds an active-router list each cycle by scanning
+// the arena's two contiguous per-router scheduling words (RouterSoA::work /
+// ::wake — see router.hpp) and runs the five phases only over that list — a
+// quiescent router (nothing buffered or staged, empty source queues, no busy
+// output VCs, no pending credit signals) provably performs no work in any
+// phase, so skipping it is bit-identical to running it. Per-port stat_cycles
+// is a single network-global counter advanced once per step (it is uniform
+// across ports by construction). Routers that receive a flit mid-cycle still
+// commit their staged arrivals at the cycle boundary, detected from the wake
+// word's arrival half without touching the router object.
 //
 // Sharding (DESIGN.md §9): with SimConfig::sim_threads > 1 the router-id
 // range splits into contiguous shards, one ThreadTeam member each, and every
@@ -52,13 +54,19 @@ class Network {
   bool pair_reachable(topo::NodeId src, topo::NodeId dst) const noexcept {
     return faults_.reachable(src, dst);
   }
-  Router& router(topo::NodeId id) { return *routers_[id]; }
-  const Router& router(topo::NodeId id) const { return *routers_[id]; }
+  Router& router(topo::NodeId id) { return routers_[id]; }
+  const Router& router(topo::NodeId id) const { return routers_[id]; }
   topo::NodeId size() const noexcept { return topo_.size(); }
 
   /// Router shards actually stepping in parallel (1 = serial loop): the
   /// configured sim_threads resolved against hardware and network size.
   std::size_t shard_count() const noexcept { return shards_.size(); }
+  /// Shards the sim_threads knob asked for (hardware concurrency when 0),
+  /// *before* the network-size clamp. shard_count() < requested_shard_count()
+  /// means the network was too small to honour the request.
+  std::size_t requested_shard_count() const noexcept {
+    return requested_shards_;
+  }
 
   /// Advances the whole network by one cycle.
   void step(std::uint64_t cycle, Metrics& metrics);
@@ -109,7 +117,8 @@ class Network {
 
   topo::KAryNCube topo_;
   topo::FaultSet faults_;
-  std::vector<std::unique_ptr<Router>> routers_;
+  RouterSoA soa_;  ///< the arena every router's mutable state lives in
+  std::vector<Router> routers_;  ///< contiguous; reserved up front, never reallocated
   std::vector<Shard> shards_;
   std::unique_ptr<util::ThreadTeam> team_;      ///< only when shard_count() > 1
   std::unique_ptr<util::SpinBarrier> barrier_;  ///< ditto
@@ -120,6 +129,7 @@ class Network {
   // ejected flit leaves flight; switch transfers are flight-neutral.
   std::uint64_t inflight_ = 0;
   std::uint64_t backlog_ = 0;
+  std::size_t requested_shards_ = 1;  ///< pre-clamp sim_threads resolution
 };
 
 }  // namespace kncube::sim

@@ -15,43 +15,116 @@ std::uint32_t pow2_ceil(std::uint32_t v) {
 
 }  // namespace
 
+void RouterSoA::init(topo::NodeId routers, int ports_, int vcs_,
+                     int buffer_depth, std::uint32_t message_length) {
+  KNC_ASSERT(vcs_ >= 1 && buffer_depth >= 1 && message_length >= 1);
+  ports = ports_;
+  vcs = vcs_;
+  in_lanes = (ports + 1) * vcs;
+  out_lanes = ports * vcs;
+
+  // Ring capacities: network VCs hold at most buffer_depth flits (credit
+  // flow control); injection VCs hold one fully-materialised message. The
+  // lane geometry is identical for every router, so one base/mask table
+  // serves them all.
+  const std::uint32_t cap_net =
+      pow2_ceil(static_cast<std::uint32_t>(buffer_depth));
+  const std::uint32_t cap_inj = pow2_ceil(message_length);
+  lane_base.resize(static_cast<std::size_t>(in_lanes));
+  lane_mask.resize(static_cast<std::size_t>(in_lanes));
+  std::uint32_t base = 0;
+  for (int p = 0; p <= ports; ++p) {
+    const std::uint32_t cap = p == ports ? cap_inj : cap_net;
+    for (int v = 0; v < vcs; ++v) {
+      lane_base[static_cast<std::size_t>(p * vcs + v)] = base;
+      lane_mask[static_cast<std::size_t>(p * vcs + v)] = cap - 1;
+      base += cap;
+    }
+  }
+  slab_stride = base;
+
+  const auto n = static_cast<std::size_t>(routers);
+  const std::size_t n_in = n * static_cast<std::size_t>(in_lanes);
+  const std::size_t n_out = n * static_cast<std::size_t>(out_lanes);
+  const std::size_t n_ports = n * static_cast<std::size_t>(ports);
+
+  vc_head.assign(n_in, 0);
+  vc_count.assign(n_in, 0);
+  vc_route.assign(n_in, -1);
+  vc_outvc.assign(n_in, -1);
+  vc_active.assign(n_in, 0);
+  slab.assign(n * slab_stride, Flit{});
+
+  out_busy.assign(n_out, 0);
+  out_credits.assign(n_out, static_cast<std::int32_t>(buffer_depth));
+  staged_credits.assign(n_out, 0);
+  staged_release.assign(n_out, 0);
+
+  rr_vc.assign(n_ports, 0);
+  rr_sw.assign(n_ports, 0);
+  busy_now.assign(n_ports, 0);
+  flits_sent.assign(n_ports, 0);
+  busy_vc_cycles.assign(n_ports, 0);
+  busy_vc_sq_cycles.assign(n_ports, 0);
+  busy_cycles.assign(n_ports, 0);
+  req.assign(n_ports * static_cast<std::size_t>(in_lanes), 0);
+  req_count.assign(n_ports, 0);
+
+  staged_flit.assign(n_ports, Flit{});
+  staged_vc.assign(n_ports, -1);
+
+  work.assign(n, 0);
+  wake = std::make_unique<std::atomic<std::uint32_t>[]>(n);  // zero-init
+  stat_cycles = 0;
+}
+
 Router::Router(const topo::KAryNCube& net, topo::NodeId id, int vcs,
-               int buffer_depth, std::uint32_t message_length)
+               int buffer_depth, std::uint32_t message_length, RouterSoA* soa)
     : net_(net),
+      soa_(soa),
       id_(id),
       vcs_(vcs),
       buffer_depth_(buffer_depth),
       net_ports_(net.channels_per_node()),
+      in_lanes_((net.channels_per_node() + 1) * vcs),
       message_length_(message_length) {
-  KNC_ASSERT(vcs >= 1 && buffer_depth >= 1 && message_length >= 1);
-  in_vcs_.resize(static_cast<std::size_t>((net_ports_ + 1) * vcs_));
+  KNC_ASSERT(soa_ != nullptr && soa_->vcs == vcs_ &&
+             soa_->ports == net_ports_ && soa_->in_lanes == in_lanes_);
+  const auto r = static_cast<std::size_t>(id_);
+  const std::size_t in0 = r * static_cast<std::size_t>(soa_->in_lanes);
+  const std::size_t out0 = r * static_cast<std::size_t>(soa_->out_lanes);
+  const std::size_t p0 = r * static_cast<std::size_t>(soa_->ports);
 
-  // Ring capacities: network VCs hold at most buffer_depth flits (credit
-  // flow control); injection VCs hold one fully-materialised message.
-  const std::uint32_t cap_net = pow2_ceil(static_cast<std::uint32_t>(buffer_depth));
-  const std::uint32_t cap_inj = pow2_ceil(message_length);
-  std::uint32_t base = 0;
-  for (int p = 0; p <= net_ports_; ++p) {
-    const std::uint32_t cap = p == net_ports_ ? cap_inj : cap_net;
-    for (int v = 0; v < vcs_; ++v) {
-      InputVc& in = ivc(p, v);
-      in.base = base;
-      in.mask = cap - 1;
-      base += cap;
-    }
-  }
-  slab_.resize(base);
+  head_ = soa_->vc_head.data() + in0;
+  count_ = soa_->vc_count.data() + in0;
+  route_ = soa_->vc_route.data() + in0;
+  outvc_ = soa_->vc_outvc.data() + in0;
+  active_ = soa_->vc_active.data() + in0;
+  lane_base_ = soa_->lane_base.data();
+  lane_mask_ = soa_->lane_mask.data();
+  slab_ = soa_->slab.data() + r * soa_->slab_stride;
+  out_busy_ = soa_->out_busy.data() + out0;
+  out_credits_ = soa_->out_credits.data() + out0;
+  staged_credits_ = soa_->staged_credits.data() + out0;
+  staged_release_ = soa_->staged_release.data() + out0;
+  rr_vc_ = soa_->rr_vc.data() + p0;
+  rr_sw_ = soa_->rr_sw.data() + p0;
+  busy_now_ = soa_->busy_now.data() + p0;
+  flits_sent_ = soa_->flits_sent.data() + p0;
+  busy_vc_cycles_ = soa_->busy_vc_cycles.data() + p0;
+  busy_vc_sq_cycles_ = soa_->busy_vc_sq_cycles.data() + p0;
+  busy_cycles_ = soa_->busy_cycles.data() + p0;
+  req_ = soa_->req.data() + p0 * static_cast<std::size_t>(in_lanes_);
+  req_count_ = soa_->req_count.data() + p0;
+  staged_flit_ = soa_->staged_flit.data() + p0;
+  staged_vc_ = soa_->staged_vc.data() + p0;
+  work_ = soa_->work.data() + r;
+  wake_ = soa_->wake.get() + r;
 
-  out_.resize(static_cast<std::size_t>(net_ports_));
-  for (auto& op : out_) {
-    op.vcs.assign(static_cast<std::size_t>(vcs_), OutputVc{false, buffer_depth_});
-    op.staged_credits.assign(static_cast<std::size_t>(vcs_), 0);
-    op.staged_release.assign(static_cast<std::size_t>(vcs_), 0);
-    op.requesters.reserve(static_cast<std::size_t>(vcs_) * 2);
-  }
+  down_.assign(static_cast<std::size_t>(net_ports_), nullptr);
+  down_port_.assign(static_cast<std::size_t>(net_ports_), -1);
   up_router_.assign(static_cast<std::size_t>(net_ports_), nullptr);
   up_port_.assign(static_cast<std::size_t>(net_ports_), -1);
-  staged_in_.resize(static_cast<std::size_t>(net_ports_));
   source_q_.resize(static_cast<std::size_t>(vcs_));
 }
 
@@ -69,9 +142,8 @@ topo::Direction Router::port_dir(int port) const noexcept {
 }
 
 void Router::connect(int out_port, Router* down, int down_port) {
-  auto& op = out_[static_cast<std::size_t>(out_port)];
-  op.down = down;
-  op.down_port = down_port;
+  down_[static_cast<std::size_t>(out_port)] = down;
+  down_port_[static_cast<std::size_t>(out_port)] = down_port;
 }
 
 void Router::connect_upstream(int in_port, Router* up, int up_port) {
@@ -79,16 +151,23 @@ void Router::connect_upstream(int in_port, Router* up, int up_port) {
   up_port_[static_cast<std::size_t>(in_port)] = up_port;
 }
 
-void Router::requesters_insert(OutputPort& op, std::int32_t index) {
-  auto it = std::lower_bound(op.requesters.begin(), op.requesters.end(), index);
-  KNC_DEBUG_ASSERT(it == op.requesters.end() || *it != index);
-  op.requesters.insert(it, index);
+void Router::requesters_insert(int port, std::int32_t index) {
+  std::int32_t* seg = req_ + static_cast<std::size_t>(port) * in_lanes_;
+  std::int32_t& n = req_count_[port];
+  std::int32_t* it = std::lower_bound(seg, seg + n, index);
+  KNC_DEBUG_ASSERT(it == seg + n || *it != index);
+  std::copy_backward(it, seg + n, seg + n + 1);
+  *it = index;
+  ++n;
 }
 
-void Router::requesters_erase(OutputPort& op, std::int32_t index) {
-  auto it = std::lower_bound(op.requesters.begin(), op.requesters.end(), index);
-  KNC_DEBUG_ASSERT(it != op.requesters.end() && *it == index);
-  op.requesters.erase(it);
+void Router::requesters_erase(int port, std::int32_t index) {
+  std::int32_t* seg = req_ + static_cast<std::size_t>(port) * in_lanes_;
+  std::int32_t& n = req_count_[port];
+  std::int32_t* it = std::lower_bound(seg, seg + n, index);
+  KNC_DEBUG_ASSERT(it != seg + n && *it == index);
+  std::copy(it + 1, seg + n, it);
+  --n;
 }
 
 int Router::class_vc_begin(int cls) const noexcept {
@@ -119,33 +198,34 @@ int Router::vc_class_for(const Flit& head, int dim, topo::Direction dir) const n
 }
 
 Flit Router::pop_and_credit(int port, int vc) {
-  InputVc& in = ivc(port, vc);
-  KNC_DEBUG_ASSERT(in.count != 0);
-  const Flit f = ring_pop(in);
+  const int lane = in_lane(port, vc);
+  KNC_DEBUG_ASSERT(count_[lane] != 0);
+  const Flit f = ring_pop(lane);
   if (port < net_ports_) {
     Router* up = up_router_[static_cast<std::size_t>(port)];
     KNC_DEBUG_ASSERT(up != nullptr);
-    OutputPort& up_op = up->out_[static_cast<std::size_t>(up_port_[static_cast<std::size_t>(port)])];
-    ++up_op.staged_credits[static_cast<std::size_t>(vc)];
-    up->pending_signals_.fetch_add(1, std::memory_order_relaxed);
+    const int up_lane = up_port_[static_cast<std::size_t>(port)] * vcs_ + vc;
+    ++up->staged_credits_[up_lane];
+    up->wake_->fetch_add(kWakeSignalUnit, std::memory_order_relaxed);
     if (f.tail) {
-      KNC_DEBUG_ASSERT(in.count == 0);  // tail is the last flit
-      up_op.staged_release[static_cast<std::size_t>(vc)] = 1;
-      in.active = false;
+      KNC_DEBUG_ASSERT(count_[lane] == 0);  // tail is the last flit
+      up->staged_release_[up_lane] = 1;
+      active_[lane] = 0;
     }
   }
   return f;
 }
 
 void Router::refill_injection(StepDelta& delta) {
-  const int inj = injection_port();
+  const int lane0 = injection_port() * vcs_;
   for (int v = 0; v < vcs_; ++v) {
-    InputVc& in = ivc(inj, v);
+    const int lane = lane0 + v;
     auto& q = source_q_[static_cast<std::size_t>(v)];
-    if (in.count != 0 || in.route_out != -1 || q.empty()) continue;
+    if (count_[lane] != 0 || route_[lane] != -1 || q.empty()) continue;
     const QueuedMessage msg = q.front();
     q.pop_front();
     --source_total_;
+    --*work_;
     ++delta.messages_refilled;
     for (std::uint32_t seq = 0; seq < message_length_; ++seq) {
       Flit f;
@@ -156,7 +236,7 @@ void Router::refill_injection(StepDelta& delta) {
       f.gen_cycle = msg.gen_cycle;
       f.head = seq == 0;
       f.tail = seq + 1 == message_length_;
-      ring_push(in, f);
+      ring_push(lane, f);
     }
   }
 }
@@ -165,35 +245,31 @@ void Router::phase_eject(StepDelta& delta) {
   // Unlimited ejection bandwidth (assumption iv): drain every destined flit
   // at a buffer head this cycle. Flits of one message arrive in order on a
   // single VC, so draining per-VC preserves message ordering.
-  for (int p = 0; p < net_ports_; ++p) {
-    for (int v = 0; v < vcs_; ++v) {
-      InputVc& in = ivc(p, v);
-      while (in.count != 0 && ring_front(in).dest == id_) {
-        const Flit f = pop_and_credit(p, v);
-        ++delta.flits_delivered;
-        if (f.tail) delta.delivered.push_back({f.msg, f.gen_cycle, f.dest});
-      }
+  const int net_lanes = net_ports_ * vcs_;
+  for (int lane = 0; lane < net_lanes; ++lane) {
+    while (count_[lane] != 0 && ring_front(lane).dest == id_) {
+      const Flit f = pop_and_credit(lane / vcs_, lane % vcs_);
+      ++delta.flits_delivered;
+      if (f.tail) delta.delivered.push_back({f.msg, f.gen_cycle, f.dest});
     }
   }
 }
 
 void Router::phase_route() {
-  const int total_ports = net_ports_ + 1;
-  for (int p = 0; p < total_ports; ++p) {
-    for (int v = 0; v < vcs_; ++v) {
-      InputVc& in = ivc(p, v);
-      if (in.route_out != -1 || in.count == 0) continue;
-      const Flit& f = ring_front(in);
-      if (!f.head) continue;  // cannot happen for well-formed streams
-      KNC_DEBUG_ASSERT(f.dest != id_);  // destined flits were ejected already
-      const int dim = net_.next_route_dim(id_, f.dest);
-      KNC_DEBUG_ASSERT(dim >= 0);
-      const topo::Direction dir =
-          net_.ring_direction(net_.coord(id_, dim), net_.coord(f.dest, dim));
-      in.route_out = out_port_for(dim, dir);
-      requesters_insert(out_[static_cast<std::size_t>(in.route_out)],
-                        static_cast<std::int32_t>(p * vcs_ + v));
-    }
+  // Batch candidate scan over the contiguous lane arrays (integer predicate,
+  // auto-vectorizable); the routing computation itself runs per candidate in
+  // ascending lane order, which is exactly the original visit order.
+  for (int lane = 0; lane < in_lanes_; ++lane) {
+    if (route_[lane] != -1 || count_[lane] == 0) continue;
+    const Flit& f = ring_front(lane);
+    if (!f.head) continue;  // cannot happen for well-formed streams
+    KNC_DEBUG_ASSERT(f.dest != id_);  // destined flits were ejected already
+    const int dim = net_.next_route_dim(id_, f.dest);
+    KNC_DEBUG_ASSERT(dim >= 0);
+    const topo::Direction dir =
+        net_.ring_direction(net_.coord(id_, dim), net_.coord(f.dest, dim));
+    route_[lane] = out_port_for(dim, dir);
+    requesters_insert(route_[lane], static_cast<std::int32_t>(lane));
   }
 }
 
@@ -205,40 +281,41 @@ void Router::phase_vc_alloc() {
   // next visit to i + off + 2). Non-requesters can never be granted, so the
   // walk below jumps between requesters (sorted by index) while replaying
   // the identical (i, off) sequence.
-  const int total_vcs = (net_ports_ + 1) * vcs_;
+  const int total_vcs = in_lanes_;
   for (int op_idx = 0; op_idx < net_ports_; ++op_idx) {
-    OutputPort& op = out_[static_cast<std::size_t>(op_idx)];
-    const auto& req = op.requesters;
-    if (req.empty()) continue;
-    int i = static_cast<int>(op.rr_vc);
+    const std::int32_t* seg = req_ + static_cast<std::size_t>(op_idx) * in_lanes_;
+    const std::int32_t n = req_count_[op_idx];
+    if (n == 0) continue;
+    const std::uint8_t* busy = out_busy_ + op_idx * vcs_;
+    int i = static_cast<int>(rr_vc_[op_idx]);
     int off = 0;
     while (off < total_vcs) {
       // Next requester at or cyclically after i.
-      auto it = std::lower_bound(req.begin(), req.end(), i);
-      const int j = it == req.end() ? req.front() : *it;
+      const std::int32_t* it = std::lower_bound(seg, seg + n, i);
+      const int j = it == seg + n ? seg[0] : *it;
       off += (j - i + total_vcs) % total_vcs;
       if (off >= total_vcs) break;
       i = j;
-      InputVc& in = in_vcs_[static_cast<std::size_t>(i)];
-      KNC_DEBUG_ASSERT(in.route_out == op_idx);
+      KNC_DEBUG_ASSERT(route_[i] == op_idx);
       int granted = -1;
-      if (in.out_vc == -1 && in.count != 0) {
-        const Flit& head = ring_front(in);
+      if (outvc_[i] == -1 && count_[i] != 0) {
+        const Flit& head = ring_front(i);
         KNC_DEBUG_ASSERT(head.head);
         const int cls = vc_class_for(head, port_dim(op_idx), port_dir(op_idx));
         for (int v = class_vc_begin(cls); v < class_vc_end(cls); ++v) {
-          if (!op.vcs[static_cast<std::size_t>(v)].busy) {
+          if (!busy[v]) {
             granted = v;
             break;
           }
         }
       }
       if (granted >= 0) {
-        in.out_vc = granted;
-        op.vcs[static_cast<std::size_t>(granted)].busy = true;
-        ++op.busy_now;
+        outvc_[i] = granted;
+        out_busy_[op_idx * vcs_ + granted] = 1;
+        ++busy_now_[op_idx];
         ++busy_out_;
-        op.rr_vc = static_cast<std::uint32_t>((i + 1) % total_vcs);
+        ++*work_;
+        rr_vc_[op_idx] = static_cast<std::uint32_t>((i + 1) % total_vcs);
         i = (i + off + 2) % total_vcs;
       } else {
         i = (i + 1) % total_vcs;
@@ -249,41 +326,39 @@ void Router::phase_vc_alloc() {
 }
 
 void Router::phase_switch(StepDelta& delta) {
-  const int total_vcs = (net_ports_ + 1) * vcs_;
+  const int total_vcs = in_lanes_;
   for (int op_idx = 0; op_idx < net_ports_; ++op_idx) {
-    OutputPort& op = out_[static_cast<std::size_t>(op_idx)];
-    const auto& req = op.requesters;
-    if (req.empty()) continue;
+    const std::int32_t* seg = req_ + static_cast<std::size_t>(op_idx) * in_lanes_;
+    const std::int32_t n = req_count_[op_idx];
+    if (n == 0) continue;
     // One flit per output physical channel per cycle: the first requester in
     // cyclic order from rr_sw that holds an allocation, has a flit and
     // downstream credit (the seed scanned every input VC in the same order;
     // only requesters can pass the eligibility test).
-    const auto start =
-        std::lower_bound(req.begin(), req.end(), static_cast<int>(op.rr_sw));
-    const std::size_t n = req.size();
-    const std::size_t first = static_cast<std::size_t>(start - req.begin());
-    for (std::size_t step = 0; step < n; ++step) {
-      std::size_t pos = first + step;
+    const std::int32_t* start =
+        std::lower_bound(seg, seg + n, static_cast<int>(rr_sw_[op_idx]));
+    const std::int32_t first = static_cast<std::int32_t>(start - seg);
+    for (std::int32_t step = 0; step < n; ++step) {
+      std::int32_t pos = first + step;
       if (pos >= n) pos -= n;
-      const int i = req[pos];
-      InputVc& in = in_vcs_[static_cast<std::size_t>(i)];
-      KNC_DEBUG_ASSERT(in.route_out == op_idx);
-      if (in.out_vc == -1 || in.count == 0) continue;
-      if (op.vcs[static_cast<std::size_t>(in.out_vc)].credits <= 0) continue;
+      const int i = seg[pos];
+      KNC_DEBUG_ASSERT(route_[i] == op_idx);
+      if (outvc_[i] == -1 || count_[i] == 0) continue;
+      const int out_vc = outvc_[i];
+      if (out_credits_[op_idx * vcs_ + out_vc] <= 0) continue;
 
       const int port = i / vcs_;
       const int vc = i % vcs_;
-      const int out_vc = in.out_vc;
       const Flit f = pop_and_credit(port, vc);
-      --op.vcs[static_cast<std::size_t>(out_vc)].credits;
-      ++op.flits_sent;
-      KNC_DEBUG_ASSERT(op.down != nullptr);
-      Router& down = *op.down;
-      StagedArrival& slot = down.staged_in_[static_cast<std::size_t>(op.down_port)];
-      KNC_DEBUG_ASSERT(slot.vc < 0);
-      slot.flit = f;
-      slot.vc = out_vc;
-      down.staged_count_.fetch_add(1, std::memory_order_relaxed);
+      --out_credits_[op_idx * vcs_ + out_vc];
+      ++flits_sent_[op_idx];
+      Router* down = down_[static_cast<std::size_t>(op_idx)];
+      KNC_DEBUG_ASSERT(down != nullptr);
+      const int down_port = down_port_[static_cast<std::size_t>(op_idx)];
+      KNC_DEBUG_ASSERT(down->staged_vc_[down_port] < 0);
+      down->staged_flit_[down_port] = f;
+      down->staged_vc_[down_port] = out_vc;
+      down->wake_->fetch_add(1, std::memory_order_relaxed);
 
       if (port == injection_port() && f.head) {
         delta.injected.push_back({f.msg, f.gen_cycle});
@@ -291,72 +366,83 @@ void Router::phase_switch(StepDelta& delta) {
       if (f.tail) {
         // The message releases *this* input VC; the downstream (output) VC
         // stays busy until the tail leaves the downstream buffer.
-        in.route_out = -1;
-        in.out_vc = -1;
-        requesters_erase(op, i);
+        route_[i] = -1;
+        outvc_[i] = -1;
+        requesters_erase(op_idx, i);
       }
-      op.rr_sw = static_cast<std::uint32_t>((i + 1) % total_vcs);
+      rr_sw_[op_idx] = static_cast<std::uint32_t>((i + 1) % total_vcs);
       break;  // physical channel bandwidth: one flit per cycle
     }
   }
 }
 
-void Router::commit_arrivals() {
-  if (staged_count_.load(std::memory_order_relaxed) == 0) return;
+void Router::apply_staged_arrivals() {
   for (int p = 0; p < net_ports_; ++p) {
-    StagedArrival& slot = staged_in_[static_cast<std::size_t>(p)];
-    if (slot.vc < 0) continue;
-    const Flit& f = slot.flit;
-    InputVc& in = ivc(p, slot.vc);
+    const int vc = staged_vc_[p];
+    if (vc < 0) continue;
+    const Flit& f = staged_flit_[p];
+    const int lane = in_lane(p, vc);
     if (f.head) {
-      KNC_ASSERT_MSG(in.count == 0 && !in.active && in.route_out == -1,
+      KNC_ASSERT_MSG(count_[lane] == 0 && !active_[lane] && route_[lane] == -1,
                      "head flit arrived at an occupied VC");
-      in.active = true;
+      active_[lane] = 1;
     } else {
-      KNC_DEBUG_ASSERT(in.active);
+      KNC_DEBUG_ASSERT(active_[lane]);
     }
-    ring_push(in, f);
-    KNC_ASSERT_MSG(static_cast<int>(in.count) <= buffer_depth_,
+    ring_push(lane, f);
+    KNC_ASSERT_MSG(static_cast<int>(count_[lane]) <= buffer_depth_,
                    "buffer overflow: credit accounting broken");
-    slot.vc = -1;
+    staged_vc_[p] = -1;
   }
-  staged_count_.store(0, std::memory_order_relaxed);
+}
+
+void Router::commit_arrivals() {
+  const std::uint32_t w = wake_->load(std::memory_order_relaxed);
+  if ((w & kWakeArrivalMask) == 0) return;
+  // A router quiescent at the cycle start had no busy output VCs, so no
+  // downstream neighbour can have staged credits or releases at it.
+  KNC_DEBUG_ASSERT(w < kWakeSignalUnit);
+  apply_staged_arrivals();
+  wake_->store(0, std::memory_order_relaxed);
 }
 
 void Router::commit() {
+  const std::uint32_t w = wake_->load(std::memory_order_relaxed);
   // 1. Arrivals become visible.
-  commit_arrivals();
-  // 2. Credits and VC releases from downstream become visible.
-  const bool signals = pending_signals_.load(std::memory_order_relaxed) != 0;
-  for (auto& op : out_) {
-    if (signals) {
-      for (std::size_t v = 0; v < op.vcs.size(); ++v) {
-        OutputVc& ovc = op.vcs[v];
-        ovc.credits += op.staged_credits[v];
-        op.staged_credits[v] = 0;
-        KNC_ASSERT_MSG(ovc.credits <= buffer_depth_, "credit overflow");
-        if (op.staged_release[v]) {
-          KNC_ASSERT_MSG(ovc.busy, "release of a free VC");
-          KNC_ASSERT_MSG(ovc.credits == buffer_depth_,
-                         "VC released while flits remain downstream");
-          ovc.busy = false;
-          --op.busy_now;
-          --busy_out_;
-          op.staged_release[v] = 0;
-        }
+  if ((w & kWakeArrivalMask) != 0) apply_staged_arrivals();
+  // 2. Credits and VC releases from downstream become visible. One batch
+  //    pass over the router's contiguous output-lane arrays.
+  if (w >= kWakeSignalUnit) {
+    const int out_lanes = net_ports_ * vcs_;
+    for (int l = 0; l < out_lanes; ++l) {
+      out_credits_[l] += staged_credits_[l];
+      staged_credits_[l] = 0;
+      KNC_ASSERT_MSG(out_credits_[l] <= buffer_depth_, "credit overflow");
+      if (staged_release_[l]) {
+        KNC_ASSERT_MSG(out_busy_[l], "release of a free VC");
+        KNC_ASSERT_MSG(out_credits_[l] == buffer_depth_,
+                       "VC released while flits remain downstream");
+        out_busy_[l] = 0;
+        --busy_now_[l / vcs_];
+        --busy_out_;
+        --*work_;
+        staged_release_[l] = 0;
       }
     }
-    // 3. Channel occupancy statistics.
-    KNC_DEBUG_ASSERT(op.busy_now >= 0);
-    const auto busy = static_cast<std::uint64_t>(op.busy_now);
-    ++op.stat_cycles;
+  }
+  if (w != 0) wake_->store(0, std::memory_order_relaxed);
+  // 3. Channel occupancy statistics (stat_cycles is network-global; a
+  //    quiescent router provably has busy_now == 0 on every port, so
+  //    skipping commit entirely for it changes nothing here).
+  for (int p = 0; p < net_ports_; ++p) {
+    KNC_DEBUG_ASSERT(busy_now_[p] >= 0);
+    const auto busy = static_cast<std::uint64_t>(busy_now_[p]);
     if (busy) {
-      op.busy_vc_cycles += busy;
-      op.busy_vc_sq_cycles += busy * busy;
-      ++op.busy_cycles;
+      busy_vc_cycles_[p] += busy;
+      busy_vc_sq_cycles_[p] += busy * busy;
+      ++busy_cycles_[p];
     }
   }
-  pending_signals_.store(0, std::memory_order_relaxed);
 }
 
 void Router::enqueue_message(const QueuedMessage& msg, std::uint32_t lm) {
@@ -365,19 +451,43 @@ void Router::enqueue_message(const QueuedMessage& msg, std::uint32_t lm) {
                  "mixed message lengths are not modelled");
   source_q_[next_inject_vc_].push_back(msg);
   ++source_total_;
+  ++*work_;
   next_inject_vc_ = (next_inject_vc_ + 1) % static_cast<std::uint32_t>(vcs_);
 }
 
-const Router::InputVc& Router::input_vc(int port, int vc) const {
-  return in_vcs_[static_cast<std::size_t>(port * vcs_ + vc)];
+Router::InputVc Router::input_vc(int port, int vc) const {
+  const int lane = port * vcs_ + vc;
+  InputVc in;
+  in.base = lane_base_[lane];
+  in.mask = lane_mask_[lane];
+  in.head = head_[lane];
+  in.count = count_[lane];
+  in.route_out = route_[lane];
+  in.out_vc = outvc_[lane];
+  in.active = active_[lane] != 0;
+  return in;
 }
 
-const Router::OutputPort& Router::output_port(int port) const {
-  return out_[static_cast<std::size_t>(port)];
-}
-
-Router::OutputPort& Router::output_port_mutable(int port) {
-  return out_[static_cast<std::size_t>(port)];
+Router::OutputPort Router::output_port(int port) const {
+  OutputPort op;
+  op.vcs.resize(static_cast<std::size_t>(vcs_));
+  for (int v = 0; v < vcs_; ++v) {
+    op.vcs[static_cast<std::size_t>(v)] = {out_busy_[port * vcs_ + v] != 0,
+                                           out_credits_[port * vcs_ + v]};
+  }
+  op.down = down_[static_cast<std::size_t>(port)];
+  op.down_port = down_port_[static_cast<std::size_t>(port)];
+  op.rr_vc = rr_vc_[port];
+  op.rr_sw = rr_sw_[port];
+  op.busy_now = busy_now_[port];
+  const std::int32_t* seg = req_ + static_cast<std::size_t>(port) * in_lanes_;
+  op.requesters.assign(seg, seg + req_count_[port]);
+  op.flits_sent = flits_sent_[port];
+  op.busy_vc_cycles = busy_vc_cycles_[port];
+  op.busy_vc_sq_cycles = busy_vc_sq_cycles_[port];
+  op.busy_cycles = busy_cycles_[port];
+  op.stat_cycles = soa_->stat_cycles;
+  return op;
 }
 
 }  // namespace kncube::sim

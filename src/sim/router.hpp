@@ -24,34 +24,122 @@
 // flit leaves the *downstream* buffer (conservative release; the release and
 // the final credit travel back together with a one-cycle lag).
 //
-// Hot-loop layout (DESIGN.md §6): router state is structure-of-arrays. Every
-// VC FIFO is a fixed-capacity power-of-two ring indexed into one contiguous
-// per-router flit slab (no per-flit allocation, no deque chasing); staged
-// arrivals are plain POD slots; and each output port keeps a sorted list of
-// the input VCs currently routed to it, maintained incrementally by
-// phase_route/phase_switch, so the allocation phases touch only requesters
-// instead of scanning every VC. Aggregate occupancy counters make
-// `quiescent()` O(1), letting Network::step skip idle routers entirely.
+// Hot-loop layout (DESIGN.md §6, §12): ALL mutable router state lives in a
+// network-wide structure-of-arrays arena (RouterSoA). Each field is one
+// contiguous array over (router, lane) with a uniform per-router stride, so
+// every phase is a batch loop over a router's contiguous lane range — no
+// pointer chasing, no per-port heap vectors — and the compiler can
+// auto-vectorise the predicate scans (an explicit-width arrival kernel
+// rides the same layout, see sim/arrival_batch.hpp). A Router object is a
+// *view*: id, wiring, cached pointers to its slice of the arena, and the
+// source queues. The `InputVc` / `OutputVc` / `OutputPort` structs remain as
+// materialised snapshots for tests and statistics readers; their field
+// values are bit-identical to the pre-SoA representation.
+//
+// Scheduling state is two arena words per router (DESIGN.md §12):
+//   * work  — owner-written sum of buffered flits, queued source messages
+//             and busy output VCs;
+//   * wake  — a relaxed atomic bumped by *neighbours*: staged-arrival count
+//             in the low half (downstream stages an arrival during
+//             phase_switch), pending credit/release signals in the high half
+//             (upstream pops a flit). Both halves are interleaving-
+//             independent sums, so the word is bit-deterministic under
+//             sharding.
+// quiescent() is (work | wake) == 0, and Network::step scans the two
+// contiguous arrays instead of touching router objects. Per-port
+// stat_cycles is not stored at all: every router advances it exactly once
+// per cycle (commit when active, idle accounting otherwise), so the value
+// is a single network-global cycles-since-reset counter (RouterSoA::
+// stat_cycles) that snapshots report per port.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "sim/flit.hpp"
 #include "sim/metrics.hpp"
 #include "topology/torus.hpp"
+#include "util/assert.hpp"
 
 namespace kncube::sim {
 
+class Router;
+
+/// The network-wide SoA arena backing every router's mutable state. One
+/// instance per Network; routers hold cached pointers to their slices.
+/// Lane indexing (uniform across routers, so slices are pure strides):
+///   input lanes:  r * in_lanes  + port * vcs + v   (injection port last)
+///   output lanes: r * out_lanes + port * vcs + v   (network ports only)
+///   ports:        r * ports + p
+struct RouterSoA {
+  // --- geometry (shared by every router) ---
+  int ports = 0;      ///< network ports per router
+  int vcs = 0;        ///< V
+  int in_lanes = 0;   ///< (ports + 1) * vcs
+  int out_lanes = 0;  ///< ports * vcs
+  std::uint32_t slab_stride = 0;  ///< flit slots per router
+
+  // --- per input lane (ring FIFO + routing state) ---
+  std::vector<std::uint32_t> vc_head;   ///< free-running front index
+  std::vector<std::uint32_t> vc_count;  ///< buffered flits
+  std::vector<std::int32_t> vc_route;   ///< chosen output port, -1 none
+  std::vector<std::int32_t> vc_outvc;   ///< allocated downstream VC, -1 none
+  std::vector<std::uint8_t> vc_active;  ///< message resident (head..tail)
+
+  /// Ring geometry per *local* lane (identical for every router): base
+  /// offset inside the router's slab block and pow2 capacity mask.
+  std::vector<std::uint32_t> lane_base;
+  std::vector<std::uint32_t> lane_mask;
+
+  std::vector<Flit> slab;  ///< all rings of all routers, one array
+
+  // --- per output lane (VC state + staged upstream signals) ---
+  std::vector<std::uint8_t> out_busy;
+  std::vector<std::int32_t> out_credits;
+  std::vector<std::uint16_t> staged_credits;  ///< written by downstream
+  std::vector<std::uint8_t> staged_release;   ///< written by downstream
+
+  // --- per (router, output port) ---
+  std::vector<std::uint32_t> rr_vc;  ///< VC-allocation round-robin cursor
+  std::vector<std::uint32_t> rr_sw;  ///< switch-allocation round-robin cursor
+  std::vector<std::int32_t> busy_now;
+  std::vector<std::uint64_t> flits_sent;
+  std::vector<std::uint64_t> busy_vc_cycles;
+  std::vector<std::uint64_t> busy_vc_sq_cycles;
+  std::vector<std::uint64_t> busy_cycles;
+  /// Sorted requester lists, flattened: segment of capacity `in_lanes` per
+  /// (router, port) at (r * ports + p) * in_lanes, length in req_count.
+  std::vector<std::int32_t> req;
+  std::vector<std::int32_t> req_count;
+
+  // --- per (router, input port): <=1 staged arrival per cycle ---
+  std::vector<Flit> staged_flit;        ///< written by upstream
+  std::vector<std::int32_t> staged_vc;  ///< vc < 0 means empty
+
+  // --- per router: scheduling words (see header comment) ---
+  std::vector<std::uint64_t> work;
+  /// std::atomic is not movable, so the wake array lives outside std::vector.
+  std::unique_ptr<std::atomic<std::uint32_t>[]> wake;
+
+  /// Cycles since the last reset_channel_stats — the per-port stat_cycles
+  /// denominator, provably uniform across all ports of all routers.
+  std::uint64_t stat_cycles = 0;
+
+  /// Sizes every array for `routers` routers and computes the shared lane
+  /// geometry (ring capacities are the pow2 ceilings of `buffer_depth` for
+  /// network lanes and `message_length` for injection lanes).
+  void init(topo::NodeId routers, int ports_, int vcs_, int buffer_depth,
+            std::uint32_t message_length);
+};
+
 class Router {
  public:
-  /// Per-input-VC state. A VC is owned by at most one message at a time:
-  /// `active` spans head arrival to tail departure, so buffers never
-  /// interleave flits of different messages. The FIFO is a power-of-two ring
-  /// (`base`/`mask`) into the router's contiguous flit slab; `head` runs
-  /// free and is masked on access.
+  /// Snapshot of one input VC's state (tests / statistics). A VC is owned by
+  /// at most one message at a time: `active` spans head arrival to tail
+  /// departure, so buffers never interleave flits of different messages.
   struct InputVc {
     std::uint32_t base = 0;   ///< first slab slot of this VC's ring
     std::uint32_t mask = 0;   ///< ring capacity - 1 (capacity is a power of 2)
@@ -70,6 +158,8 @@ class Router {
     int credits = 0;    ///< free flit slots in the downstream buffer
   };
 
+  /// Snapshot of one output port (tests / statistics): same fields and
+  /// derived quantities as the pre-SoA live struct.
   struct OutputPort {
     std::vector<OutputVc> vcs;
     Router* down = nullptr;
@@ -77,14 +167,9 @@ class Router {
     std::uint32_t rr_vc = 0;  ///< round-robin cursor, VC allocation
     std::uint32_t rr_sw = 0;  ///< round-robin cursor, switch allocation
     std::int32_t busy_now = 0;  ///< busy VCs, maintained incrementally
-    /// Input VCs currently routed to this port (sorted by input-VC index);
-    /// a VC enters when phase_route picks this port and leaves when its tail
-    /// departs, so the allocation phases iterate requesters only.
+    /// Input VCs currently routed to this port (sorted by input-VC index).
     std::vector<std::int32_t> requesters;
-    // Signals staged by the downstream router, applied at commit.
-    std::vector<std::uint16_t> staged_credits;
-    std::vector<std::uint8_t> staged_release;
-    // Channel statistics (since the last reset_stats).
+    // Channel statistics (since the last reset_channel_stats).
     std::uint64_t flits_sent = 0;
     std::uint64_t busy_vc_cycles = 0;     ///< sum over cycles of busy-VC count
     std::uint64_t busy_vc_sq_cycles = 0;  ///< sum of squared busy-VC count
@@ -102,13 +187,10 @@ class Router {
                                   static_cast<double>(busy_vc_cycles)
                             : 1.0;
     }
-    void reset_stats() noexcept {
-      flits_sent = busy_vc_cycles = busy_vc_sq_cycles = busy_cycles = stat_cycles = 0;
-    }
   };
 
   Router(const topo::KAryNCube& net, topo::NodeId id, int vcs, int buffer_depth,
-         std::uint32_t message_length);
+         std::uint32_t message_length, RouterSoA* soa);
 
   topo::NodeId id() const noexcept { return id_; }
   int network_ports() const noexcept { return net_ports_; }
@@ -124,6 +206,9 @@ class Router {
   // --- wiring (performed once by Network) ---
   void connect(int out_port, Router* down, int down_port);
   void connect_upstream(int in_port, Router* up, int up_port);
+  Router* downstream(int out_port) const noexcept {
+    return down_[static_cast<std::size_t>(out_port)];
+  }
 
   // --- per-cycle phases (invoked by Network in order, across all routers) ---
   // Metric events and occupancy deltas accumulate into the caller's StepDelta
@@ -132,9 +217,9 @@ class Router {
   // sharded and serial schedules produce the same Metrics call sequence.
   // Thread-safety contract under sharding: a phase writes remote routers only
   // through single-writer staged slots (arrivals, credits, releases — one
-  // upstream/downstream owner per slot) plus the relaxed atomic aggregates
-  // below, and never *reads* remote state; staged data is consumed only by
-  // the owner's commit, after the pre-commit barrier.
+  // upstream/downstream owner per slot) plus the relaxed atomic wake words,
+  // and never *reads* remote state; staged data is consumed only by the
+  // owner's commit, after the pre-commit barrier.
   void refill_injection(StepDelta& delta);
   void phase_eject(StepDelta& delta);
   void phase_route();
@@ -143,29 +228,19 @@ class Router {
   void commit();
   /// Commit restricted to staged arrivals: run for routers that were
   /// quiescent at the cycle start but received a flit during phase_switch
-  /// (their idle cycle is already accounted by note_idle_cycle, and a
-  /// quiescent router can have no staged credits or releases).
+  /// (a quiescent router can have no staged credits or releases).
   void commit_arrivals();
 
   // --- idle scheduling (Network::step) ---
   /// True when every phase of this router's cycle would be a no-op: nothing
   /// buffered or staged, empty source queues, no busy output VCs and no
-  /// pending credit/release signals.
+  /// pending credit/release signals. Network::step reads the same two words
+  /// straight from the arena without touching the Router object.
   bool quiescent() const noexcept {
-    return buffered_ == 0 && staged_count_.load(std::memory_order_relaxed) == 0 &&
-           source_total_ == 0 && busy_out_ == 0 &&
-           pending_signals_.load(std::memory_order_relaxed) == 0;
+    return *work_ == 0 && wake_->load(std::memory_order_relaxed) == 0;
   }
   bool has_staged_arrivals() const noexcept {
-    return staged_count_.load(std::memory_order_relaxed) != 0;
-  }
-  /// Accounts one skipped (idle) cycle: every output port's stat_cycles
-  /// still advances (a quiescent router has zero busy VCs, so the busy
-  /// statistics are untouched), keeping utilisation denominators exact
-  /// while commit is skipped. Eager — a couple of increments per idle
-  /// router — so the stats accessors stay pure reads.
-  void note_idle_cycle() noexcept {
-    for (auto& op : out_) ++op.stat_cycles;
+    return (wake_->load(std::memory_order_relaxed) & kWakeArrivalMask) != 0;
   }
 
   // --- source side ---
@@ -174,79 +249,108 @@ class Router {
   void enqueue_message(const QueuedMessage& msg, std::uint32_t lm);
   std::uint64_t source_queue_length() const noexcept { return source_total_; }
 
-  // --- introspection (tests, statistics) ---
-  const InputVc& input_vc(int port, int vc) const;
-  const OutputPort& output_port(int port) const;
-  OutputPort& output_port_mutable(int port);
+  // --- introspection (tests, statistics): materialised snapshots ---
+  InputVc input_vc(int port, int vc) const;
+  OutputPort output_port(int port) const;
   std::uint64_t buffered_flits() const noexcept {
-    return buffered_ + staged_count_.load(std::memory_order_relaxed);
+    return buffered_ +
+           (wake_->load(std::memory_order_relaxed) & kWakeArrivalMask);
   }
 
  private:
-  /// <=1 staged arrival per network input port per cycle; vc < 0 means empty.
-  struct StagedArrival {
-    Flit flit;
-    std::int32_t vc = -1;
-  };
+  friend class Network;
 
-  InputVc& ivc(int port, int vc) {
-    return in_vcs_[static_cast<std::size_t>(port * vcs_ + vc)];
+  /// wake word layout: staged-arrival count in the low half, pending
+  /// credit/release signal count in the high half. Both are sums of
+  /// single-increment fetch_adds, so the final value per cycle is
+  /// interleaving-independent.
+  static constexpr std::uint32_t kWakeArrivalMask = 0xffffu;
+  static constexpr std::uint32_t kWakeSignalUnit = 0x10000u;
+
+  int in_lane(int port, int vc) const noexcept { return port * vcs_ + vc; }
+
+  Flit& ring_front(int lane) noexcept {
+    return slab_[lane_base_[lane] + (head_[lane] & lane_mask_[lane])];
   }
-  Flit& ring_front(InputVc& vc) noexcept {
-    return slab_[vc.base + (vc.head & vc.mask)];
+  const Flit& ring_front(int lane) const noexcept {
+    return slab_[lane_base_[lane] + (head_[lane] & lane_mask_[lane])];
   }
-  void ring_push(InputVc& vc, const Flit& f) noexcept {
-    slab_[vc.base + ((vc.head + vc.count) & vc.mask)] = f;
-    ++vc.count;
+  void ring_push(int lane, const Flit& f) noexcept {
+    slab_[lane_base_[lane] + ((head_[lane] + count_[lane]) & lane_mask_[lane])] = f;
+    ++count_[lane];
     ++buffered_;
+    ++*work_;
   }
-  Flit ring_pop(InputVc& vc) noexcept {
-    const Flit f = slab_[vc.base + (vc.head & vc.mask)];
-    ++vc.head;
-    --vc.count;
+  Flit ring_pop(int lane) noexcept {
+    const Flit f = slab_[lane_base_[lane] + (head_[lane] & lane_mask_[lane])];
+    ++head_[lane];
+    --count_[lane];
     --buffered_;
+    --*work_;
     return f;
   }
-  void requesters_insert(OutputPort& op, std::int32_t index);
-  void requesters_erase(OutputPort& op, std::int32_t index);
+  void requesters_insert(int port, std::int32_t index);
+  void requesters_erase(int port, std::int32_t index);
 
   /// Dateline class of the next hop for a head flit at this router.
   int vc_class_for(const Flit& head, int dim, topo::Direction dir) const noexcept;
   int class_vc_begin(int cls) const noexcept;
   int class_vc_end(int cls) const noexcept;
-  /// Pops the front flit of (port, vc) returning credit (and, on tail,
-  /// release) to the upstream output VC.
+  /// Pops the front flit of input lane (port, vc) returning credit (and, on
+  /// tail, release) to the upstream output VC.
   Flit pop_and_credit(int port, int vc);
+  /// Applies the staged arrival slots (wake low half already checked).
+  void apply_staged_arrivals();
 
   const topo::KAryNCube& net_;
+  RouterSoA* soa_;
   topo::NodeId id_;
   int vcs_;
   int buffer_depth_;
   int net_ports_;
+  int in_lanes_;
   std::uint32_t message_length_;  ///< Lm of the messages being enqueued
 
-  std::vector<Flit> slab_;            ///< one contiguous flit array, all rings
-  std::vector<InputVc> in_vcs_;       ///< (net_ports_+1) * V, injection last
-  std::vector<OutputPort> out_;       ///< network output ports
-  std::vector<Router*> up_router_;    ///< per network input port
-  std::vector<int> up_port_;          ///< matching output-port index upstream
-  std::vector<StagedArrival> staged_in_;  ///< per network input port
+  // Cached pointers to this router's arena slices (see RouterSoA).
+  std::uint32_t* head_ = nullptr;
+  std::uint32_t* count_ = nullptr;
+  std::int32_t* route_ = nullptr;
+  std::int32_t* outvc_ = nullptr;
+  std::uint8_t* active_ = nullptr;
+  const std::uint32_t* lane_base_ = nullptr;  ///< shared, local-lane indexed
+  const std::uint32_t* lane_mask_ = nullptr;  ///< shared, local-lane indexed
+  Flit* slab_ = nullptr;                      ///< this router's slab block
+  std::uint8_t* out_busy_ = nullptr;
+  std::int32_t* out_credits_ = nullptr;
+  std::uint16_t* staged_credits_ = nullptr;
+  std::uint8_t* staged_release_ = nullptr;
+  std::uint32_t* rr_vc_ = nullptr;
+  std::uint32_t* rr_sw_ = nullptr;
+  std::int32_t* busy_now_ = nullptr;
+  std::uint64_t* flits_sent_ = nullptr;
+  std::uint64_t* busy_vc_cycles_ = nullptr;
+  std::uint64_t* busy_vc_sq_cycles_ = nullptr;
+  std::uint64_t* busy_cycles_ = nullptr;
+  std::int32_t* req_ = nullptr;        ///< ports segments of in_lanes_ each
+  std::int32_t* req_count_ = nullptr;  ///< per port
+  Flit* staged_flit_ = nullptr;        ///< per input port
+  std::int32_t* staged_vc_ = nullptr;  ///< per input port
+  std::uint64_t* work_ = nullptr;
+  std::atomic<std::uint32_t>* wake_ = nullptr;
+
+  std::vector<Router*> down_;      ///< per network output port
+  std::vector<int> down_port_;
+  std::vector<Router*> up_router_; ///< per network input port
+  std::vector<int> up_port_;
 
   std::vector<std::deque<QueuedMessage>> source_q_;  ///< one per injection VC
   std::uint32_t next_inject_vc_ = 0;
 
-  // Aggregate occupancy counters backing quiescent() / buffered_flits().
-  // staged_count_ and pending_signals_ are bumped by *neighbouring* routers
-  // (phase_switch stages an arrival downstream, pop_and_credit stages a
-  // credit upstream), so under sharding several shards increment them
-  // concurrently: they are relaxed atomics — the final value is a sum, which
-  // is interleaving-independent, keeping the counters bit-deterministic.
-  // All other counters are written by the owning router only.
-  std::uint64_t buffered_ = 0;        ///< flits resident in any ring
-  std::atomic<std::uint32_t> staged_count_{0};  ///< staged arrivals awaiting commit
-  std::uint64_t source_total_ = 0;    ///< messages waiting in source queues
-  std::uint32_t busy_out_ = 0;        ///< busy output VCs across all ports
-  std::atomic<std::uint32_t> pending_signals_{0};  ///< staged credits awaiting commit
+  // Owner-written occupancy counters (work_ is their arena sum; staged
+  // arrivals and pending signals live in wake_).
+  std::uint64_t buffered_ = 0;      ///< flits resident in any ring
+  std::uint64_t source_total_ = 0;  ///< messages waiting in source queues
+  std::uint32_t busy_out_ = 0;      ///< busy output VCs across all ports
 };
 
 }  // namespace kncube::sim

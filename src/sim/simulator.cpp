@@ -22,41 +22,45 @@ Simulator::Simulator(const SimConfig& cfg)
     : cfg_(cfg),
       net_(cfg),
       metrics_(cfg.batch_size, cfg.steady_rel_tol, latency_histogram_ceiling(cfg)),
-      pattern_(make_pattern(cfg, net_.topology())) {
+      pattern_(make_pattern(cfg, net_.topology())),
+      arrivals_(cfg_, net_.faults(), net_.size()) {
   if (cfg.pattern == Pattern::kHotspot) {
     metrics_.set_hot_node(cfg.resolved_hot_node());
-  }
-  util::Xoshiro256 root(cfg.seed);
-  rng_.reserve(net_.size());
-  arrivals_.reserve(net_.size());
-  for (topo::NodeId id = 0; id < net_.size(); ++id) {
-    rng_.push_back(root.split(id));
-    arrivals_.push_back(make_arrivals(cfg));
   }
 }
 
 void Simulator::tick() {
-  // Traffic generation at the cycle boundary, deterministic node order.
-  // Per-node RNG streams keep this bitwise-deterministic under faults too:
-  // skipping a dead node leaves every other node's stream untouched.
-  for (topo::NodeId id = 0; id < net_.size(); ++id) {
-    if (!net_.node_alive(id)) continue;  // dead routers inject nothing
-    if (!arrivals_[id]->fire(rng_[id])) continue;
-    QueuedMessage msg;
-    msg.id = next_msg_id_++;
-    msg.src = id;
-    msg.dest = pattern_->pick_dest(id, rng_[id]);
-    msg.gen_cycle = cycle_;
-    if (!net_.pair_reachable(msg.src, msg.dest)) {
-      // The deterministic path crosses a fault: the message counts as
-      // offered but undeliverable, classified here at injection time —
-      // nothing is ever dropped mid-network (DESIGN.md §10).
+  // Traffic generation at the cycle boundary: one batch kernel advances all
+  // per-node arrival streams (dead nodes masked out, their streams frozen —
+  // bitwise-deterministic under faults too), then the sparse fired bitmap is
+  // drained in ascending node order, which is exactly the scalar loop's
+  // visit order. Only firing nodes pay the virtual pick_dest call.
+  arrivals_.generate();
+  const std::uint64_t* words = arrivals_.fired_words();
+  const std::size_t word_count = arrivals_.fired_word_count();
+  for (std::size_t w = 0; w < word_count; ++w) {
+    if (words[w] == 0) continue;  // no fires among nodes [8w, 8w+8)
+    for (std::size_t b = 0; b < 8; ++b) {
+      const auto id = static_cast<topo::NodeId>(8 * w + b);
+      if (!arrivals_.fired(id)) continue;
+      QueuedMessage msg;
+      msg.id = next_msg_id_++;
+      msg.src = id;
+      util::Xoshiro256 rng = arrivals_.extract_rng(id);
+      msg.dest = pattern_->pick_dest(id, rng);
+      arrivals_.store_rng(id, rng);
+      msg.gen_cycle = cycle_;
+      if (!net_.pair_reachable(msg.src, msg.dest)) {
+        // The deterministic path crosses a fault: the message counts as
+        // offered but undeliverable, classified here at injection time —
+        // nothing is ever dropped mid-network (DESIGN.md §10).
+        metrics_.on_generated(msg.gen_cycle);
+        metrics_.on_unreachable(msg.gen_cycle);
+        continue;
+      }
+      net_.enqueue_message(msg);
       metrics_.on_generated(msg.gen_cycle);
-      metrics_.on_unreachable(msg.gen_cycle);
-      continue;
     }
-    net_.enqueue_message(msg);
-    metrics_.on_generated(msg.gen_cycle);
   }
   net_.step(cycle_, metrics_);
   ++cycle_;
@@ -182,6 +186,9 @@ SimResult Simulator::finalize(std::uint64_t backlog_at_measure_start) const {
       backlog_end > backlog_at_measure_start ? backlog_end - backlog_at_measure_start : 0;
   const std::uint64_t generated = metrics_.generated_measured();
   res.saturated = growth > std::max<std::uint64_t>(64, generated / 5);
+
+  res.sim_shards = net_.shard_count();
+  res.sim_shards_requested = net_.requested_shard_count();
 
   const auto chan = net_.channel_summary();
   res.mean_channel_utilization = chan.mean_utilization;

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "sim/arrival_batch.hpp"
 #include "sim/config.hpp"
 #include "sim/metrics.hpp"
 #include "sim/network.hpp"
@@ -59,6 +60,14 @@ struct SimResult {
   /// means the accounting lost or invented traffic.
   bool conservation_ok = true;
 
+  /// Router shards the stepping engine actually used (1 = serial), and what
+  /// the sim_threads knob asked for (hardware concurrency when 0). Results
+  /// are bit-identical either way; sim_shards < sim_shards_requested means
+  /// the network was too small for the requested parallelism and the engine
+  /// ran narrower than configured.
+  std::uint64_t sim_shards = 1;
+  std::uint64_t sim_shards_requested = 1;
+
   double mean_channel_utilization = 0.0;
   double max_channel_utilization = 0.0;
   double mean_vc_multiplexing = 1.0;
@@ -103,8 +112,10 @@ class Simulator {
   Network net_;
   Metrics metrics_;
   std::unique_ptr<TrafficPattern> pattern_;
-  std::vector<std::unique_ptr<ArrivalProcess>> arrivals_;  ///< per node
-  std::vector<util::Xoshiro256> rng_;                      ///< per node
+  /// All per-node arrival streams, advanced as one batch kernel per cycle
+  /// (bit-identical to the scalar ArrivalProcess classes — see
+  /// sim/arrival_batch.hpp).
+  ArrivalBatch arrivals_;
   std::uint64_t cycle_ = 0;
   MessageId next_msg_id_ = 1;
 };

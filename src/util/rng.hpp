@@ -115,6 +115,20 @@ class Xoshiro256 {
     return Xoshiro256(sm.next());
   }
 
+  // State round-trip for structure-of-arrays generator banks (the batched
+  // arrival kernel keeps the four state words of every node in parallel
+  // arrays and reconstitutes a generator only for the rare data-dependent
+  // draws). The words are the exact internal state: export/advance/import
+  // produces the same stream as advancing this object directly.
+  void save_state(std::uint64_t out[4]) const noexcept {
+    for (int i = 0; i < 4; ++i) out[i] = s_[i];
+  }
+  static Xoshiro256 from_state(const std::uint64_t s[4]) noexcept {
+    Xoshiro256 r;
+    for (int i = 0; i < 4; ++i) r.s_[i] = s[i];
+    return r;
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int r) noexcept {
     return (x << r) | (x >> (64 - r));

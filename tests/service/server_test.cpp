@@ -4,11 +4,15 @@
 #include "service/server.hpp"
 
 #include <gtest/gtest.h>
+#include <pthread.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <bit>
+#include <chrono>
+#include <csignal>
 #include <cstring>
 #include <filesystem>
 #include <memory>
@@ -236,6 +240,50 @@ TEST_F(ServerTest, MalformedFramesGetLineAnchoredErrorsWithoutDisconnect) {
   // The connection survived all of it: a well-formed request still works.
   raw.send_line("PING");
   EXPECT_EQ(raw.read_line(), "PONG");
+}
+
+TEST_F(ServerTest, ClientSurvivesInterruptedSyscalls) {
+  // A no-op handler installed *without* SA_RESTART makes every blocking
+  // syscall on this thread fail with EINTR when the signal lands — the
+  // Client's connect/send/recv paths must all retry instead of erroring out
+  // (connect(2) in particular cannot be re-called after EINTR; the Client
+  // completes it via poll + SO_ERROR).
+  struct sigaction sa{};
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  struct sigaction old{};
+  ASSERT_EQ(::sigaction(SIGUSR1, &sa, &old), 0);
+
+  std::atomic<bool> storming{true};
+  const pthread_t victim = ::pthread_self();
+  std::thread storm([&storming, victim] {
+    while (storming.load(std::memory_order_relaxed)) {
+      ::pthread_kill(victim, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  });
+
+  // Fresh connections hammer the connect + greeting-recv path; the sweep at
+  // the end exercises a long multi-line streaming read under the same storm.
+  const core::ScenarioSpec spec = quick_spec();
+  for (int i = 0; i < 25; ++i) {
+    Client client(socket_path_);
+    client.ping();
+  }
+  {
+    Client client(socket_path_);
+    Request params;
+    params.lambdas = {2e-4, 3e-4, 4e-4};
+    params.with_sim = false;
+    const Client::SweepOutcome outcome = client.run(spec, params);
+    ASSERT_EQ(outcome.points.size(), 3u);
+    for (const auto& pt : outcome.points) EXPECT_TRUE(pt.has_model);
+  }
+
+  storming.store(false, std::memory_order_relaxed);
+  storm.join();
+  ASSERT_EQ(::sigaction(SIGUSR1, &old, nullptr), 0);
 }
 
 TEST_F(ServerTest, StaleSocketFileIsReplacedOnBind) {

@@ -1,0 +1,194 @@
+// Equivalence tests for the batched traffic-generation kernel (DESIGN.md
+// §12): the SoA ArrivalBatch must reproduce, bit for bit, the fire sequence
+// of the scalar reference processes (BernoulliArrivals / MmppArrivals) run
+// one-node-at-a-time — for random rates, threshold boundary rates, and
+// fault-masked node sets, on whichever kernel this build compiled in
+// (scalar, auto-vectorized, or the explicit AVX2 path).
+#include "sim/arrival_batch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "sim/config.hpp"
+#include "sim/traffic.hpp"
+#include "topology/fault_set.hpp"
+#include "topology/torus.hpp"
+#include "util/rng.hpp"
+
+namespace kncube::sim {
+namespace {
+
+// The predicate the scalar path evaluates: uniform() < rate with
+// uniform() = (double)(x >> 11) * 2^-53.
+bool scalar_fires(std::uint64_t x, double rate) {
+  return static_cast<double>(x >> 11) * 0x1p-53 < rate;
+}
+
+TEST(ArrivalBatch, FireThresholdMatchesScalarPredicateEverywhere) {
+  // For each rate, the integer threshold must classify every mantissa value
+  // exactly as the floating-point comparison does. Check the rate's own
+  // neighbourhood (the only place a one-off threshold could hide) plus
+  // random probes across the full [0, 2^53) range.
+  std::mt19937_64 gen(0xA881);
+  std::vector<double> rates = {0.0,    1.0,    0.5,   0.3,  1e-4,
+                               2.5e-4, 0x1p-53, 0x1.8p-53, 1.0 - 0x1p-53};
+  for (int i = 0; i < 40; ++i) {
+    rates.push_back(std::uniform_real_distribution<double>(0.0, 1.0)(gen));
+    // Exactly representable m * 2^-53 rates sit on the boundary itself.
+    rates.push_back(static_cast<double>(gen() >> 11) * 0x1p-53);
+  }
+  for (const double rate : rates) {
+    const std::uint64_t t = bernoulli_fire_threshold(rate);
+    // Neighbourhood of the threshold: m in [t - 4, t + 4].
+    for (std::int64_t d = -4; d <= 4; ++d) {
+      const std::int64_t m = static_cast<std::int64_t>(t) + d;
+      if (m < 0 || m >= (std::int64_t{1} << 53)) continue;
+      const std::uint64_t x = static_cast<std::uint64_t>(m) << 11;
+      EXPECT_EQ(scalar_fires(x, rate),
+                static_cast<std::uint64_t>(m) < t)
+          << "rate=" << rate << " m=" << m;
+    }
+    for (int i = 0; i < 256; ++i) {
+      const std::uint64_t x = gen();
+      EXPECT_EQ(scalar_fires(x, rate), (x >> 11) < t)
+          << "rate=" << rate << " x=" << x;
+    }
+  }
+}
+
+SimConfig base_config(int k) {
+  SimConfig cfg;
+  cfg.k = k;
+  cfg.n = 2;
+  cfg.vcs = 2;
+  cfg.seed = 0xD15EA5E;
+  return cfg;
+}
+
+/// Runs `cycles` of the batch kernel against a per-node scalar reference
+/// (own generator, own process instance — exactly the pre-batch simulator
+/// loop) and asserts bitwise-equal fire sequences and generator states.
+void check_equivalence(const SimConfig& cfg, std::uint64_t cycles) {
+  const topo::KAryNCube topo(cfg.k, cfg.n, cfg.bidirectional, cfg.mesh);
+  const topo::FaultSet faults = build_fault_set(cfg, topo);
+  ArrivalBatch batch(cfg, faults, topo.size());
+
+  std::vector<util::Xoshiro256> rngs;
+  std::vector<std::unique_ptr<ArrivalProcess>> refs;
+  rngs.reserve(topo.size());
+  for (topo::NodeId id = 0; id < topo.size(); ++id) {
+    rngs.push_back(util::Xoshiro256(cfg.seed).split(id));
+    refs.push_back(make_arrivals(cfg));
+  }
+
+  for (std::uint64_t c = 0; c < cycles; ++c) {
+    batch.generate();
+    for (topo::NodeId id = 0; id < topo.size(); ++id) {
+      if (faults.router_failed(id)) {
+        // Dead nodes never fire and their streams stay frozen.
+        EXPECT_FALSE(batch.fired(id)) << "cycle " << c << " node " << id;
+        continue;
+      }
+      const bool ref_fired = refs[id]->fire(rngs[id]);
+      ASSERT_EQ(batch.fired(id), ref_fired)
+          << "cycle " << c << " node " << id;
+      // The batch stream must sit at exactly the reference stream's state:
+      // the next draws (destination choice) consume the same bits.
+      std::uint64_t ref_state[4];
+      std::uint64_t batch_state[4];
+      rngs[id].save_state(ref_state);
+      batch.extract_rng(id).save_state(batch_state);
+      for (int w = 0; w < 4; ++w) {
+        ASSERT_EQ(batch_state[w], ref_state[w])
+            << "cycle " << c << " node " << id << " word " << w;
+      }
+    }
+  }
+}
+
+TEST(ArrivalBatch, BernoulliBitIdenticalToReference) {
+  for (const double rate : {1e-4, 2.5e-4, 0.37, 0.0, 1.0}) {
+    SimConfig cfg = base_config(8);
+    cfg.injection_rate = rate;
+    check_equivalence(cfg, 200);
+  }
+}
+
+TEST(ArrivalBatch, MmppBitIdenticalToReference) {
+  SimConfig cfg = base_config(8);
+  cfg.arrivals = Arrivals::kMmpp;
+  cfg.injection_rate = 5e-3;  // transitions and both emission rates exercised
+  cfg.mmpp.p_enter_burst = 0.05;
+  cfg.mmpp.p_leave_burst = 0.1;
+  check_equivalence(cfg, 600);
+}
+
+TEST(ArrivalBatch, FaultMaskedNodesStayFrozen) {
+  SimConfig cfg = base_config(8);
+  cfg.injection_rate = 0.3;  // dense fires make divergence loud
+  cfg.failed_routers = {0, 3, 17, 62, 63};  // word edges and interior
+  check_equivalence(cfg, 200);
+
+  SimConfig mmpp = cfg;
+  mmpp.arrivals = Arrivals::kMmpp;
+  mmpp.mmpp.p_enter_burst = 0.05;
+  mmpp.mmpp.p_leave_burst = 0.1;
+  check_equivalence(mmpp, 300);
+}
+
+TEST(ArrivalBatch, NonMultipleOfEightNodeCountPadsCleanly) {
+  // 5x5 torus: 25 nodes, padded to 32 — the tail lanes must never report
+  // fires and never disturb the live lanes.
+  SimConfig cfg = base_config(5);
+  cfg.injection_rate = 0.4;
+  const topo::KAryNCube topo(cfg.k, cfg.n, cfg.bidirectional, cfg.mesh);
+  const topo::FaultSet faults = build_fault_set(cfg, topo);
+  ArrivalBatch batch(cfg, faults, topo.size());
+  for (int c = 0; c < 100; ++c) {
+    batch.generate();
+    const std::uint64_t* words = batch.fired_words();
+    for (std::size_t w = 0; w < batch.fired_word_count(); ++w) {
+      for (std::size_t b = 0; b < 8; ++b) {
+        const std::size_t id = 8 * w + b;
+        const bool flagged = ((words[w] >> (8 * b)) & 0xff) != 0;
+        if (id >= topo.size()) {
+          EXPECT_FALSE(flagged) << "padding lane " << id << " fired";
+        } else {
+          EXPECT_EQ(flagged, batch.fired(static_cast<topo::NodeId>(id)));
+        }
+      }
+    }
+  }
+  check_equivalence(cfg, 200);
+}
+
+TEST(ArrivalBatch, RandomizedConfigsBitIdenticalToReference) {
+  // Draw random (rate, seed, fault set, process) combinations; every one
+  // must match the scalar reference bit for bit.
+  std::mt19937_64 gen(0xBADC0DE);
+  for (int trial = 0; trial < 8; ++trial) {
+    SimConfig cfg = base_config((trial % 2) ? 8 : 5);
+    cfg.seed = gen();
+    cfg.injection_rate =
+        std::uniform_real_distribution<double>(1e-5, 0.5)(gen);
+    if (trial % 3 == 0) {
+      cfg.arrivals = Arrivals::kMmpp;
+      cfg.mmpp.p_enter_burst =
+          std::uniform_real_distribution<double>(0.01, 0.2)(gen);
+      cfg.mmpp.p_leave_burst =
+          std::uniform_real_distribution<double>(0.01, 0.2)(gen);
+    }
+    if (trial % 2 == 0) {
+      cfg.failure_rate = 0.1;
+      cfg.failure_seed = gen() | 1;
+    }
+    check_equivalence(cfg, 150);
+  }
+}
+
+}  // namespace
+}  // namespace kncube::sim

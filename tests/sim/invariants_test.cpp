@@ -89,18 +89,17 @@ TEST(FlowControl, OutputVcHeldExactlyForMessageLifetime) {
   sim.inject_now(0, 2);  // two x-hops
 
   const Router& r0 = sim.network().router(0);
-  const auto& port = r0.output_port(0);
   bool was_busy = false;
   for (int cycle = 0; cycle < 40; ++cycle) {
     sim.step_cycles(1);
     bool busy = false;
-    for (const auto& ovc : port.vcs) busy |= ovc.busy;
+    for (const auto& ovc : r0.output_port(0).vcs) busy |= ovc.busy;
     was_busy |= busy;
     if (sim.metrics().delivered_total() == 1 && !busy) break;
   }
   EXPECT_TRUE(was_busy);
   sim.step_cycles(4);
-  for (const auto& ovc : port.vcs) {
+  for (const auto& ovc : r0.output_port(0).vcs) {
     EXPECT_FALSE(ovc.busy);
     EXPECT_EQ(ovc.credits, 2);
   }

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <random>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -187,6 +188,47 @@ TEST(ShardedStep, ShardCountResolution) {
   EXPECT_EQ(shards_for(32, 2, 4), 4u);  // 1024 routers: plenty of room
   EXPECT_EQ(shards_for(8, 2, 1), 1u);
   EXPECT_GE(shards_for(32, 2, 0), 1u);  // hardware concurrency, clamped
+}
+
+TEST(ShardedStep, ClampIsSurfacedNotSilent) {
+  // The size/16 clamp must be visible: the network reports both sides of the
+  // resolution, and a full run carries them into SimResult. Probe exactly at
+  // the clamp edge — 64 routers cap at 4 shards, so threads=4 is honoured
+  // verbatim while threads=5 is the first clamped request.
+  const auto resolution = [](int k, int threads) {
+    SimConfig cfg;
+    cfg.k = k;
+    cfg.n = 2;
+    cfg.vcs = 2;
+    cfg.sim_threads = threads;
+    const Network net(cfg);
+    return std::make_pair(net.shard_count(), net.requested_shard_count());
+  };
+  const auto at_edge = resolution(8, 4);
+  EXPECT_EQ(at_edge.first, 4u);   // honoured verbatim
+  EXPECT_EQ(at_edge.second, 4u);
+  const auto past_edge = resolution(8, 5);
+  EXPECT_EQ(past_edge.first, 4u);  // first clamped request
+  EXPECT_EQ(past_edge.second, 5u);
+  const auto tiny = resolution(4, 4);
+  EXPECT_EQ(tiny.first, 1u);  // 16 routers: serial
+  EXPECT_EQ(tiny.second, 4u);
+
+  SimConfig cfg;
+  cfg.k = 4;
+  cfg.n = 2;
+  cfg.vcs = 2;
+  cfg.buffer_depth = 2;
+  cfg.message_length = 8;
+  cfg.injection_rate = 1e-3;
+  cfg.sim_threads = 4;  // 16 routers: clamps to a serial run
+  cfg.warmup_cycles = 50;
+  cfg.target_messages = 5;
+  cfg.max_cycles = 5000;
+  Simulator sim(cfg);
+  const SimResult res = sim.run();
+  EXPECT_EQ(res.sim_shards, 1u);
+  EXPECT_EQ(res.sim_shards_requested, 4u);
 }
 
 TEST(ShardedStep, IncrementalOccupancyMatchesScan) {
