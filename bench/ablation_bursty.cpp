@@ -1,8 +1,15 @@
-// Ablation A4 — the paper's §5 future work, implemented: bursty (two-state
-// MMPP) arrivals vs Poisson (Bernoulli) at equal mean rate, on the
-// simulator. The Poisson-based analytical model has no burstiness term, so
-// the gap between the two sim columns bounds the error a bursty workload
-// would induce in the model's predictions.
+// Ablation A4 — the paper's §5 future work, implemented twice over: bursty
+// (two-state MMPP) arrivals vs Poisson (Bernoulli) at equal mean rate, on
+// *both* sides. The simulator has carried MMPP since PR 3; the analytical
+// side now predicts it too (the arrival-IDC service stage, DESIGN.md §13),
+// so each arrival process gets a model column next to its sim column and
+// the table reads as model-vs-sim per process, not just sim-vs-sim.
+//
+// The chains are fast-mixing (sigma = p_enter + p_leave around 0.1, a
+// burst/idle cycle of ~60 cycles) — the regime the asymptotic-IDC
+// approximation is built for — and satisfy the achievability constraint
+// mult * pi_burst <= 1 that ScenarioSpec::validate() now enforces (the x8
+// chain bursts one cycle in nine rather than one in six).
 #include <iostream>
 
 #include "bench/common.hpp"
@@ -14,46 +21,53 @@ int main() {
                "(16x16, Lm=32, h=20%) ===\n\n";
 
   core::ScenarioSpec base = bench::paper_scenario(32, 0.2);
+  auto with_mmpp = [&](double mult, double p_enter, double p_leave) {
+    core::ScenarioSpec spec = base;
+    spec.arrivals = core::MmppArrivals{mult, p_enter, p_leave};
+    return spec;
+  };
+  const core::ScenarioSpec spec4 = with_mmpp(4.0, 0.02, 0.08);   // pi_b = 1/5
+  const core::ScenarioSpec spec8 = with_mmpp(8.0, 0.01, 0.08);   // pi_b = 1/9
+
   core::SweepEngine engine(base);
+  core::SweepEngine engine4(spec4);
+  core::SweepEngine engine8(spec8);
+  // One anchor for every column: the MMPP families share the Bernoulli
+  // saturation boundary (burstiness inflates waits, not the flit-bandwidth
+  // pole), so equal fractions mean equal mean loads.
   const double sat = engine.saturation_rate().rate;
 
-  util::Table table({"lambda/sat", "model (Poisson)", "sim Poisson", "sim MMPP x4",
-                     "sim MMPP x8", "MMPP x8 / Poisson"});
-  table.set_title("Burstiness penalty at equal mean load");
+  util::Table table({"lambda/sat", "model Poisson", "sim Poisson",
+                     "model MMPP x4", "sim MMPP x4", "model MMPP x8",
+                     "sim MMPP x8"});
+  table.set_title("Burstiness penalty at equal mean load, model vs sim");
   table.set_precision(4);
+
+  auto model_lat = [](const model::ModelResult& r) {
+    return r.saturated ? std::numeric_limits<double>::infinity() : r.latency;
+  };
+  auto sim_lat = [](const sim::SimResult& r) {
+    return r.saturated ? std::numeric_limits<double>::infinity()
+                       : r.mean_latency;
+  };
 
   for (double frac : {0.2, 0.4, 0.6, 0.8}) {
     const double lambda = frac * sat;
-    const model::ModelResult mr = engine.model_point(lambda);
-
-    // The bursty variants are full ScenarioSpecs — MMPP arrivals are a
-    // first-class spec field now, not a sim-config patch.
-    auto run_with = [&](double burst_mult) {
-      core::ScenarioSpec spec = base;
-      if (burst_mult > 1.0) {
-        spec.arrivals = core::MmppArrivals{burst_mult, 0.0008, 0.004};
-      }
-      return sim::simulate(core::to_sim_config(spec, lambda));
-    };
-    const sim::SimResult poisson = run_with(1.0);
-    const sim::SimResult mmpp4 = run_with(4.0);
-    const sim::SimResult mmpp8 = run_with(8.0);
-
-    auto lat = [](const sim::SimResult& r) {
-      return r.saturated ? std::numeric_limits<double>::infinity() : r.mean_latency;
-    };
     table.add_row({frac,
-                   mr.saturated ? std::numeric_limits<double>::infinity() : mr.latency,
-                   lat(poisson), lat(mmpp4), lat(mmpp8),
-                   poisson.mean_latency > 0 ? mmpp8.mean_latency / poisson.mean_latency
-                                            : 0.0});
+                   model_lat(engine.model_point(lambda)),
+                   sim_lat(sim::simulate(core::to_sim_config(base, lambda))),
+                   model_lat(engine4.model_point(lambda)),
+                   sim_lat(sim::simulate(core::to_sim_config(spec4, lambda))),
+                   model_lat(engine8.model_point(lambda)),
+                   sim_lat(sim::simulate(core::to_sim_config(spec8, lambda)))});
   }
   table.print(std::cout);
   const std::string csv = core::export_csv(table, "ablation_bursty");
   if (!csv.empty()) std::cout << "csv: " << csv << "\n";
   std::cout << "\nReading: burstiness leaves the zero-load region untouched but\n"
-               "inflates queueing sharply as load grows — the regime where a\n"
-               "non-Poisson extension of the model (the paper's stated next step)\n"
-               "would be required.\n";
+               "inflates queueing as load grows. The arrival-IDC stage moves\n"
+               "the model columns with the sim columns (larger multiplier,\n"
+               "larger penalty at equal mean load); the residual gap at high\n"
+               "load is the ladder documented in ACCURACY.json's MMPP points.\n";
   return 0;
 }

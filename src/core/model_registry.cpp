@@ -22,6 +22,12 @@ bool nondefault_bases(const ScenarioSpec& spec) {
          spec.vcmux_basis != model::ServiceBasis::kTransmission;
 }
 
+/// Mirrors core::MmppArrivals into the model layer's shape struct.
+model::MmppArrivalShape mmpp_shape(const ScenarioSpec& spec) {
+  const MmppArrivals& m = spec.mmpp();
+  return {m.burst_multiplier, m.p_enter_burst, m.p_leave_burst};
+}
+
 ModelDispatch torus_dispatch(const ScenarioSpec& spec) {
   const TorusTopology& t = spec.torus();
   if (t.bidirectional) {
@@ -40,7 +46,12 @@ ModelDispatch torus_dispatch(const ScenarioSpec& spec) {
     cfg.busy_basis = spec.busy_basis;
     cfg.vcmux_basis = spec.vcmux_basis;
     ModelDispatch d;
-    d.model = std::make_unique<model::HotspotAnalyticalModel>(cfg);
+    if (spec.is_mmpp()) {
+      d.model = std::make_unique<model::MmppHotspotAnalyticalModel>(
+          cfg, mmpp_shape(spec));
+    } else {
+      d.model = std::make_unique<model::HotspotAnalyticalModel>(cfg);
+    }
     return d;
   }
   if (std::holds_alternative<UniformTraffic>(spec.traffic)) {
@@ -53,7 +64,12 @@ ModelDispatch torus_dispatch(const ScenarioSpec& spec) {
     cfg.vcs = spec.vcs;
     cfg.message_length = spec.message_length;
     ModelDispatch d;
-    d.model = std::make_unique<model::UniformAnalyticalModel>(cfg);
+    if (spec.is_mmpp()) {
+      d.model = std::make_unique<model::MmppUniformAnalyticalModel>(
+          cfg, mmpp_shape(spec));
+    } else {
+      d.model = std::make_unique<model::UniformAnalyticalModel>(cfg);
+    }
     return d;
   }
   return sim_only("no analytical counterpart for this traffic pattern");
@@ -75,14 +91,35 @@ ModelDispatch mesh_dispatch(const ScenarioSpec& spec) {
     return d;
   }
   if (spec.is_hotspot()) {
-    // The uniform mesh folds its - channels onto the + classes by mirror
-    // symmetry and shares one rate profile across dimensions; a hot node
-    // breaks both symmetries, leaving one class per individual channel
-    // (O(n k^n)) with no reduction — not a channel-class model, so the
-    // simulator carries this family.
-    return sim_only(
-        "mesh hot-spot load is per-channel (no position symmetry to reduce "
-        "to channel classes)");
+    // The hot-spot mesh model exploits the centre node's mirror symmetry
+    // (mesh_hotspot_model.hpp): the hot load on a dimension-d line depends
+    // only on the distance to the centre and on whether the line is hot
+    // (earlier coordinates already corrected), giving O(n k) classes. An
+    // off-centre hot node breaks that symmetry — every channel gets its own
+    // load — so the simulator carries that variant.
+    const MeshTopology& m = spec.mesh();
+    std::int64_t centre = 0;
+    for (int d = 0, stride = 1; d < m.n; ++d, stride *= m.k) {
+      centre += static_cast<std::int64_t>(m.k / 2) * stride;
+    }
+    const std::int64_t hot = spec.hotspot().hot_node;
+    if (hot != -1 && hot != centre) {
+      return sim_only(
+          "mesh hot-spot model covers the centre hot node only (off-centre "
+          "load is per-channel with no class symmetry)");
+    }
+    model::MeshHotspotModelConfig cfg;
+    cfg.k = m.k;
+    cfg.n = m.n;
+    cfg.vcs = spec.vcs;
+    cfg.message_length = spec.message_length;
+    cfg.hot_fraction = spec.hotspot().fraction;
+    cfg.blocking = spec.blocking;
+    cfg.busy_basis = spec.busy_basis;
+    cfg.vcmux_basis = spec.vcmux_basis;
+    ModelDispatch d;
+    d.model = std::make_unique<model::HotspotMeshAnalyticalModel>(cfg);
+    return d;
   }
   return sim_only("no analytical counterpart for this traffic pattern");
 }
@@ -120,10 +157,13 @@ ModelDispatch make_analytical_model(const ScenarioSpec& spec) {
     // no faulty spec can slip through a family-specific branch.
     return sim_only("fault-aware analytical model not yet implemented");
   }
-  if (spec.is_mmpp()) {
-    // The models are Poisson-based; bursty arrivals are the paper's §5
-    // stated future work and currently simulator-only.
-    return sim_only("analytical models assume Bernoulli (Poisson) arrivals");
+  if (spec.is_mmpp() && !spec.is_torus()) {
+    // The bursty (MMPP) service stage — engine/bursty.hpp, the paper's §5
+    // future work — is wired into the torus families only; the mesh and
+    // hypercube builders do not thread an arrival IDC yet.
+    return sim_only(
+        "bursty-arrival model covers the torus families only (mesh and "
+        "hypercube models assume Bernoulli arrivals)");
   }
   if (spec.is_torus()) return torus_dispatch(spec);
   if (spec.is_mesh()) return mesh_dispatch(spec);

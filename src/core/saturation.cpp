@@ -33,6 +33,15 @@ SaturationResult bisect_saturation(double initial_guess, double rel_tol,
       hi /= 2.0;
       KNC_ASSERT_MSG(res.probes < 200, "saturation bracket failed to close");
     }
+    if (hi <= 1e-12) {
+      // The shrink loop ran the bracket down to nothing without observing a
+      // single stable probe. Historically this returned hi/2 as a "converged"
+      // rate that was never probed; report the failure instead.
+      res.failed = true;
+      res.rate = 0.0;
+      return res;
+    }
+    // The loop exited because probe(hi/2) was stable, so this lo is probed.
     lo = hi / 2.0;
   }
 

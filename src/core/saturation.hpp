@@ -18,6 +18,10 @@ namespace kncube::core {
 struct SaturationResult {
   double rate = 0.0;    ///< highest stable injection rate found
   int probes = 0;       ///< model solves / simulations performed
+  /// True when no stable rate was ever observed: the shrink phase collapsed
+  /// the bracket to ~0 without a single stable probe. `rate` is 0 in that
+  /// case — callers must not treat it as a converged saturation boundary.
+  bool failed = false;
 };
 
 /// Generic bracketing + bisection on a stable(rate) predicate: grows/shrinks

@@ -220,6 +220,27 @@ void ScenarioSpec::validate() const {
       fail("MMPP transition probabilities must be in (0,1]");
     }
     if (m.burst_multiplier < 1.0) fail("MMPP burst multiplier must be >= 1");
+    // Degenerate stationary chains: pi_burst must stay strictly inside (0,1)
+    // *in double precision* — extreme p_enter/p_leave ratios round it to 0 or
+    // 1, a chain that (effectively) never or always bursts, so the burst
+    // multiplier silently distorts the realized mean away from the
+    // configured rate. Such specs should say Bernoulli instead.
+    const double pi_burst =
+        m.p_enter_burst / (m.p_enter_burst + m.p_leave_burst);
+    if (!(pi_burst > 0.0) || !(pi_burst < 1.0)) {
+      fail("MMPP stationary burst fraction is degenerate (0 or 1): the chain "
+           "effectively never or always bursts; use Bernoulli arrivals");
+    }
+    // Achievability: the idle-state rate solves
+    // pi_b*mult*lambda + (1-pi_b)*idle == lambda, which needs
+    // mult*pi_b <= 1 — otherwise idle clamps at 0 and the realized mean
+    // exceeds the configured rate at every lambda (model and sim would not
+    // even agree on the offered load).
+    if (m.burst_multiplier * pi_burst > 1.0) {
+      fail("MMPP burst_multiplier * stationary burst fraction exceeds 1: the "
+           "idle-state rate clamps at 0 and the realized mean load no longer "
+           "matches the configured rate");
+    }
   }
 
   if (!failures.empty()) {

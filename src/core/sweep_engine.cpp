@@ -190,7 +190,12 @@ SaturationResult SweepEngine::saturation_rate(double rel_tol) {
 std::vector<double> SweepEngine::lambda_sweep(int points, double lo_frac,
                                               double hi_frac) {
   KNC_ASSERT(points >= 2 && lo_frac > 0.0 && hi_frac > lo_frac);
-  const double sat = saturation_rate().rate;
+  const SaturationResult sat_res = saturation_rate();
+  if (sat_res.failed) {
+    throw std::runtime_error(
+        "saturation search failed: no stable rate observed for this spec");
+  }
+  const double sat = sat_res.rate;
   std::vector<double> out;
   out.reserve(static_cast<std::size_t>(points));
   for (int i = 0; i < points; ++i) {

@@ -1,5 +1,7 @@
 #include "model/analytical_model.hpp"
 
+#include "model/engine/bursty.hpp"
+
 namespace kncube::model {
 
 namespace {
@@ -73,6 +75,83 @@ double UniformAnalyticalModel::zero_load_latency() const {
 double UniformAnalyticalModel::estimated_saturation_rate() const {
   // The x channel is the capacity bound: per-channel rate lambda (k-1)/2 at
   // holding time tx_x = Lm + k/2 - 1 + (k-1)/2 cycles per message.
+  const double k = static_cast<double>(base_.k);
+  const double tx_x =
+      static_cast<double>(base_.message_length) + k / 2.0 - 1.0 + (k - 1.0) / 2.0;
+  return 2.0 / ((k - 1.0) * tx_x);
+}
+
+// -------------------------------------------------------- MMPP (bursty) ---
+
+MmppHotspotAnalyticalModel::MmppHotspotAnalyticalModel(ModelConfig base,
+                                                       MmppArrivalShape shape)
+    : base_(std::move(base)), shape_(shape) {
+  base_.injection_rate = kProbeRate;
+  base_.arrival_idc = 1.0;  // per-lambda value substituted in solve_at
+  base_.validate();
+}
+
+ModelResult MmppHotspotAnalyticalModel::solve_at(
+    double lambda, const std::vector<double>* warm_start,
+    std::vector<double>* converged_state) const {
+  ModelConfig cfg = base_;
+  cfg.injection_rate = lambda;
+  cfg.arrival_idc =
+      mmpp_arrival_idc(lambda, shape_.burst_multiplier, shape_.p_enter_burst,
+                       shape_.p_leave_burst);
+  return HotspotModel(cfg).solve(warm_start, converged_state);
+}
+
+double MmppHotspotAnalyticalModel::zero_load_latency() const {
+  // Closed form, no queueing: burstiness does not shift the lambda -> 0 limit.
+  return HotspotModel(base_).zero_load_latency();
+}
+
+double MmppHotspotAnalyticalModel::estimated_saturation_rate() const {
+  // The stability pole is a bandwidth property (R8) that the IDC does not
+  // move; the Bernoulli bottleneck estimate remains the right bisection seed.
+  return HotspotModel(base_).estimated_saturation_rate();
+}
+
+MmppUniformAnalyticalModel::MmppUniformAnalyticalModel(UniformModelConfig base,
+                                                       MmppArrivalShape shape)
+    : base_(std::move(base)), shape_(shape) {
+  base_.injection_rate = kProbeRate;
+  base_.arrival_idc = 1.0;
+  base_.validate();
+}
+
+ModelResult MmppUniformAnalyticalModel::solve_at(
+    double lambda, const std::vector<double>* warm_start,
+    std::vector<double>* converged_state) const {
+  UniformModelConfig cfg = base_;
+  cfg.injection_rate = lambda;
+  cfg.arrival_idc =
+      mmpp_arrival_idc(lambda, shape_.burst_multiplier, shape_.p_enter_burst,
+                       shape_.p_leave_burst);
+  const UniformModelResult r =
+      UniformTorusModel(cfg).solve(warm_start, converged_state);
+  ModelResult out;
+  out.latency = r.latency;
+  out.saturated = r.saturated;
+  out.converged = r.converged;
+  out.iterations = r.iterations;
+  out.regular_latency = r.latency;
+  out.hot_latency = 0.0;
+  out.regular_network_latency = r.network_latency;
+  out.source_wait_regular = r.source_wait;
+  out.vc_mux_x = r.vc_mux_x;
+  out.vc_mux_hot_y = r.vc_mux_y;
+  out.vc_mux_nonhot_y = r.vc_mux_y;
+  out.max_channel_utilization = r.channel_utilization;
+  return out;
+}
+
+double MmppUniformAnalyticalModel::zero_load_latency() const {
+  return UniformTorusModel(base_).zero_load_latency();
+}
+
+double MmppUniformAnalyticalModel::estimated_saturation_rate() const {
   const double k = static_cast<double>(base_.k);
   const double tx_x =
       static_cast<double>(base_.message_length) + k / 2.0 - 1.0 + (k - 1.0) / 2.0;
@@ -153,6 +232,31 @@ double MeshAnalyticalModel::zero_load_latency() const {
 
 double MeshAnalyticalModel::estimated_saturation_rate() const {
   return MeshUniformModel(base_).estimated_saturation_rate();
+}
+
+// ------------------------------------------------------- hot-spot mesh ---
+
+HotspotMeshAnalyticalModel::HotspotMeshAnalyticalModel(
+    MeshHotspotModelConfig base)
+    : base_(base) {
+  base_.injection_rate = kProbeRate;
+  base_.validate();  // reject inconsistent base configurations eagerly
+}
+
+ModelResult HotspotMeshAnalyticalModel::solve_at(
+    double lambda, const std::vector<double>* warm_start,
+    std::vector<double>* converged_state) const {
+  MeshHotspotModelConfig cfg = base_;
+  cfg.injection_rate = lambda;
+  return MeshHotspotModel(cfg).solve(warm_start, converged_state);
+}
+
+double HotspotMeshAnalyticalModel::zero_load_latency() const {
+  return MeshHotspotModel(base_).zero_load_latency();
+}
+
+double HotspotMeshAnalyticalModel::estimated_saturation_rate() const {
+  return MeshHotspotModel(base_).estimated_saturation_rate();
 }
 
 }  // namespace kncube::model

@@ -25,6 +25,7 @@
 
 #include "model/hotspot_model.hpp"
 #include "model/hypercube_model.hpp"
+#include "model/mesh_hotspot_model.hpp"
 #include "model/mesh_model.hpp"
 #include "model/uniform_model.hpp"
 
@@ -107,6 +108,52 @@ class HypercubeAnalyticalModel final : public AnalyticalModel {
   HypercubeModelConfig base_;
 };
 
+/// Shape of the two-state MMPP arrival chain (core::MmppArrivals mirrored
+/// into the model layer, which cannot depend on core/). The arrival IDC fed
+/// to the engine depends on the operating point's mean rate, so the MMPP
+/// adapters recompute it inside every solve_at instead of freezing it at
+/// construction.
+struct MmppArrivalShape {
+  double burst_multiplier = 4.0;
+  double p_enter_burst = 0.0005;
+  double p_leave_burst = 0.002;
+};
+
+/// Hot-spot torus under bursty (MMPP) arrivals: the Bernoulli hot-spot model
+/// with the engine's two-moment bursty service stage (engine/bursty.hpp),
+/// arrival_idc recomputed from the MMPP stationary chain at each lambda.
+/// burst_multiplier == 1 makes every solve bitwise-identical to
+/// HotspotAnalyticalModel (the IDC is exactly 1).
+class MmppHotspotAnalyticalModel final : public AnalyticalModel {
+ public:
+  MmppHotspotAnalyticalModel(ModelConfig base, MmppArrivalShape shape);
+  const char* name() const noexcept override { return "mmpp-hotspot-torus"; }
+  ModelResult solve_at(double lambda, const std::vector<double>* warm_start,
+                       std::vector<double>* converged_state) const override;
+  double zero_load_latency() const override;
+  double estimated_saturation_rate() const override;
+
+ private:
+  ModelConfig base_;
+  MmppArrivalShape shape_;
+};
+
+/// Uniform torus under bursty (MMPP) arrivals; same contract as the hot-spot
+/// MMPP adapter.
+class MmppUniformAnalyticalModel final : public AnalyticalModel {
+ public:
+  MmppUniformAnalyticalModel(UniformModelConfig base, MmppArrivalShape shape);
+  const char* name() const noexcept override { return "mmpp-uniform-torus"; }
+  ModelResult solve_at(double lambda, const std::vector<double>* warm_start,
+                       std::vector<double>* converged_state) const override;
+  double zero_load_latency() const override;
+  double estimated_saturation_rate() const override;
+
+ private:
+  UniformModelConfig base_;
+  MmppArrivalShape shape_;
+};
+
 /// The k-ary n-mesh uniform model (position-dependent channel classes).
 /// Native MeshModelResult fields map onto ModelResult as:
 /// latency/saturated/converged/iterations verbatim; regular_latency =
@@ -125,6 +172,23 @@ class MeshAnalyticalModel final : public AnalyticalModel {
 
  private:
   MeshModelConfig base_;
+};
+
+/// The centre-hot-spot k-ary n-mesh model (mesh_hotspot_model.hpp). The
+/// native result already is the shared ModelResult, so solve_at is a straight
+/// passthrough. Only the simulator's default (centre) hot node is modeled;
+/// core/model_registry.cpp keeps off-centre hot nodes sim-only.
+class HotspotMeshAnalyticalModel final : public AnalyticalModel {
+ public:
+  explicit HotspotMeshAnalyticalModel(MeshHotspotModelConfig base);
+  const char* name() const noexcept override { return "hotspot-mesh"; }
+  ModelResult solve_at(double lambda, const std::vector<double>* warm_start,
+                       std::vector<double>* converged_state) const override;
+  double zero_load_latency() const override;
+  double estimated_saturation_rate() const override;
+
+ private:
+  MeshHotspotModelConfig base_;
 };
 
 }  // namespace kncube::model

@@ -1,0 +1,67 @@
+#include "model/engine/bursty.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/assert.hpp"
+
+namespace kncube::model {
+
+MmppStationary mmpp_stationary(double mean_rate, double burst_multiplier,
+                               double p_enter_burst, double p_leave_burst) {
+  KNC_ASSERT_MSG(p_enter_burst > 0.0 && p_enter_burst <= 1.0 &&
+                     p_leave_burst > 0.0 && p_leave_burst <= 1.0,
+                 "MMPP transition probabilities must be in (0,1]");
+  KNC_ASSERT_MSG(burst_multiplier >= 1.0, "burst multiplier must be >= 1");
+  // Identical arithmetic to sim::MmppArrivals' constructor, clamps included,
+  // so model and sim realize the same (burst, idle) rate pair.
+  MmppStationary s;
+  s.pi_burst = p_enter_burst / (p_enter_burst + p_leave_burst);
+  s.burst_rate = std::min(1.0, burst_multiplier * mean_rate);
+  const double pi_idle = 1.0 - s.pi_burst;
+  s.idle_rate =
+      pi_idle > 0.0
+          ? std::max(0.0, (mean_rate - s.pi_burst * s.burst_rate) / pi_idle)
+          : mean_rate;
+  s.mean_rate = s.pi_burst * s.burst_rate + pi_idle * s.idle_rate;
+  return s;
+}
+
+double mmpp_arrival_idc(double mean_rate, double burst_multiplier,
+                        double p_enter_burst, double p_leave_burst) {
+  const MmppStationary s =
+      mmpp_stationary(mean_rate, burst_multiplier, p_enter_burst, p_leave_burst);
+  const double diff = s.burst_rate - s.idle_rate;
+  // burst_multiplier == 1 gives burst_rate == idle_rate == mean exactly (the
+  // idle solve divides pi_idle*mean by pi_idle), so this returns 1.0 and the
+  // engine degenerates to the Bernoulli model bitwise.
+  if (diff == 0.0 || s.mean_rate <= 0.0) return 1.0;
+  const double sigma = p_enter_burst + p_leave_burst;
+  const double idc = 1.0 + 2.0 * s.pi_burst * (1.0 - s.pi_burst) * diff * diff *
+                               (1.0 - sigma) / (sigma * s.mean_rate);
+  // sigma > 1 (an oscillation-dominated chain) gives negatively correlated
+  // arrivals and a sub-Poisson IDC; keep it a valid variance scale.
+  return std::max(idc, 0.0);
+}
+
+double mmpp_offered_load_dispersion(double mean_rate, double burst_multiplier,
+                                    double p_enter_burst,
+                                    double p_leave_burst) {
+  const MmppStationary s =
+      mmpp_stationary(mean_rate, burst_multiplier, p_enter_burst, p_leave_burst);
+  const double diff = s.burst_rate - s.idle_rate;
+  const double lam = s.mean_rate;
+  if (diff == 0.0 || lam <= 0.0 || lam >= 1.0) return 1.0;
+  // Long-window variance of the time-averaged arrival indicator, relative to
+  // the Bernoulli process of the same mean: the single-slot variance
+  // lam*(1-lam) is identical, so the entire inflation comes from the
+  // modulating chain's autocovariance sum (the same geometric series as the
+  // IDC, here normalised by the Bernoulli variance).
+  const double sigma = p_enter_burst + p_leave_burst;
+  const double ratio = 1.0 + 2.0 * s.pi_burst * (1.0 - s.pi_burst) * diff *
+                                 diff * (1.0 - sigma) /
+                                 (sigma * lam * (1.0 - lam));
+  return std::sqrt(std::max(ratio, 1.0));
+}
+
+}  // namespace kncube::model

@@ -174,7 +174,8 @@ bool ChannelClassSystem::blocking_value(const CompiledBlocking& spec,
     const Stream hot = bind(term.hot);
     double value = 0.0;
     if (options_.blocking == BlockingVariant::kPaper) {
-      const QueueDelay b = blocking_delay(reg, hot, options_.service_floor, busy_incl);
+      const QueueDelay b = blocking_delay(reg, hot, options_.service_floor,
+                                          busy_incl, options_.arrival_idc);
       if (b.saturated) return false;
       value = b.value;
     } else {
@@ -182,7 +183,8 @@ bool ChannelClassSystem::blocking_value(const CompiledBlocking& spec,
       const double rate = reg.rate + hot.rate;
       if (rate > 0.0) {
         const double mean_tx = (reg.rate * reg.tx + hot.rate * hot.tx) / rate;
-        const QueueDelay w = mg1_wait(rate, mean_tx, options_.service_floor);
+        const QueueDelay w = mg1_wait(rate, mean_tx, options_.service_floor,
+                                      options_.arrival_idc);
         if (w.saturated) return false;
         value = w.value;
       }

@@ -138,6 +138,10 @@ struct EngineOptions {
   BlockingVariant blocking = BlockingVariant::kPaper;
   /// Service scale entering the busy probability Pb (eq 27).
   ServiceBasis busy_basis = ServiceBasis::kTransmission;
+  /// Arrival-process index of dispersion fed to every waiting-time
+  /// evaluation (engine/bursty.hpp). 1 = Bernoulli/Poisson arrivals, in
+  /// which case every result is bitwise-identical to the pre-bursty engine.
+  double arrival_idc = 1.0;
 };
 
 /// Fixed-point policy: base options plus the stubborn-point retry the models

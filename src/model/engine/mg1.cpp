@@ -12,8 +12,10 @@ namespace {
 constexpr double kRhoMax = 1.0 - 1e-9;
 }  // namespace
 
-QueueDelay mg1_wait(double rate, double mean_service, double service_floor) {
-  KNC_DEBUG_ASSERT(rate >= 0.0 && mean_service >= 0.0 && service_floor >= 0.0);
+QueueDelay mg1_wait(double rate, double mean_service, double service_floor,
+                    double arrival_idc) {
+  KNC_DEBUG_ASSERT(rate >= 0.0 && mean_service >= 0.0 && service_floor >= 0.0 &&
+                   arrival_idc >= 0.0);
   QueueDelay out;
   if (rate <= 0.0 || mean_service <= 0.0) return out;
   const double rho = rate * mean_service;
@@ -22,8 +24,9 @@ QueueDelay mg1_wait(double rate, double mean_service, double service_floor) {
     return out;
   }
   const double dev = mean_service - service_floor;
-  // lambda (S^2 + (S - Lm)^2) / (2 (1 - rho))
-  out.value = rate * (mean_service * mean_service + dev * dev) / (2.0 * (1.0 - rho));
+  // lambda (idc S^2 + (S - Lm)^2) / (2 (1 - rho)); idc == 1 is eq (28).
+  out.value = rate * (arrival_idc * mean_service * mean_service + dev * dev) /
+              (2.0 * (1.0 - rho));
   return out;
 }
 
@@ -35,7 +38,8 @@ double busy_probability(const Stream& regular, const Stream& hot, bool on_inclus
 }
 
 QueueDelay blocking_delay(const Stream& regular, const Stream& hot,
-                          double service_floor, bool busy_on_inclusive) {
+                          double service_floor, bool busy_on_inclusive,
+                          double arrival_idc) {
   QueueDelay out;
   const double rate = regular.rate + hot.rate;
   if (rate <= 0.0) return out;
@@ -44,7 +48,7 @@ QueueDelay blocking_delay(const Stream& regular, const Stream& hot,
   // crossing message regardless of blocking, so the pole sits at the
   // contention-free holding times (R8).
   const double mean_tx = (regular.rate * regular.tx + hot.rate * hot.tx) / rate;
-  const QueueDelay wait = mg1_wait(rate, mean_tx, service_floor);
+  const QueueDelay wait = mg1_wait(rate, mean_tx, service_floor, arrival_idc);
   if (wait.saturated) {
     out.saturated = true;
     return out;

@@ -42,9 +42,19 @@ struct QueueDelay {
 };
 
 /// Pollaczek–Khinchine mean waiting time with the paper's variance
-/// approximation (eq 28). `service_floor` is Lm, the contention-free service
-/// time used by the variance term. Saturated when rate*mean_service >= 1.
-QueueDelay mg1_wait(double rate, double mean_service, double service_floor);
+/// approximation (eq 28), generalised to bursty arrivals by a two-moment
+/// (Kingman-style) correction: the Poisson part of the numerator is scaled by
+/// the arrival process's asymptotic index of dispersion of counts,
+///
+///   w = rate * (idc * S^2 + (S - Lm)^2) / (2 (1 - rho)).
+///
+/// `arrival_idc == 1` (Poisson/Bernoulli arrivals) reproduces eq (28)
+/// bitwise — `1.0 * x == x` in IEEE arithmetic — so every pre-existing model
+/// is unchanged. `service_floor` is Lm, the contention-free service time used
+/// by the variance term. Saturated when rate*mean_service >= 1 (burstiness
+/// inflates waits, not the stability pole).
+QueueDelay mg1_wait(double rate, double mean_service, double service_floor,
+                    double arrival_idc = 1.0);
 
 /// One traffic stream at a channel, as seen by the blocking model.
 struct Stream {
@@ -56,9 +66,12 @@ struct Stream {
 /// Mean blocking delay at a channel (eqs 26-30) crossed by a regular and a
 /// hot-spot stream (either may have zero rate). Saturated when the combined
 /// flit load reaches the channel's bandwidth (rate * mean_tx >= 1).
-/// `busy_on_inclusive` selects the service scale entering Pb (see R8).
+/// `busy_on_inclusive` selects the service scale entering Pb (see R8);
+/// `arrival_idc` is the bursty-arrival dispersion fed to the merged-stream
+/// wait (1 = Bernoulli, bitwise-identical to the original form).
 QueueDelay blocking_delay(const Stream& regular, const Stream& hot,
-                          double service_floor, bool busy_on_inclusive = true);
+                          double service_floor, bool busy_on_inclusive = true,
+                          double arrival_idc = 1.0);
 
 /// Busy probability Pb (eq 27), capped at 1.
 double busy_probability(const Stream& regular, const Stream& hot,

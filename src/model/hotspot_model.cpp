@@ -138,6 +138,7 @@ class Builder {
     opts.service_floor = lm_;
     opts.blocking = cfg_.blocking;
     opts.busy_basis = cfg_.busy_basis;
+    opts.arrival_idc = cfg_.arrival_idc;
     ChannelClassSystem sys(lay_.total, opts);
 
     // --- averaged blocking groups ---
@@ -247,7 +248,7 @@ class Builder {
     // --- source waits: per-VC M/G/1 queues with arrival lambda/V (eq 32) ---
     const double arr = rates_.lambda / static_cast<double>(vcs);
     const auto source_wait = [&](double service, double& w) {
-      const QueueDelay q = mg1_wait(arr, service, lm_);
+      const QueueDelay q = mg1_wait(arr, service, lm_, cfg_.arrival_idc);
       if (q.saturated) return false;
       w = q.value;
       return true;
@@ -402,6 +403,9 @@ void ModelConfig::validate() const {
   }
   if (hot_fraction < 0.0 || hot_fraction > 1.0) {
     fail("ModelConfig: hot fraction must be in [0,1]");
+  }
+  if (!(arrival_idc >= 0.0)) {
+    fail("ModelConfig: arrival dispersion must be >= 0");
   }
 }
 

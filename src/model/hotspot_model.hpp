@@ -30,6 +30,9 @@ struct ModelConfig {
   ServiceBasis busy_basis = ServiceBasis::kTransmission;
   /// Basis for the occupancy rho of the VC-multiplexing chain (eq 33).
   ServiceBasis vcmux_basis = ServiceBasis::kTransmission;
+  /// Arrival-process index of dispersion (engine/bursty.hpp): 1 = Bernoulli
+  /// (the paper's arrivals, bitwise-unchanged results), > 1 = bursty MMPP.
+  double arrival_idc = 1.0;
   FixedPointOptions solver{};
 
   void validate() const;  ///< throws std::invalid_argument when inconsistent

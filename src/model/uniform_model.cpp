@@ -56,6 +56,7 @@ ChannelClassSystem build_system(const UniformModelConfig& cfg, double lc) {
   opts.service_floor = lm;
   opts.blocking = BlockingVariant::kPaper;
   opts.busy_basis = ServiceBasis::kTransmission;
+  opts.arrival_idc = cfg.arrival_idc;
   ChannelClassSystem sys(lay.total, opts);
 
   const int b_y = sys.add_blocking(
@@ -112,6 +113,9 @@ void UniformModelConfig::validate() const {
   if (injection_rate < 0.0 || injection_rate > 1.0) {
     fail("UniformModelConfig: rate must be in [0,1]");
   }
+  if (!(arrival_idc >= 0.0)) {
+    fail("UniformModelConfig: arrival dispersion must be >= 0");
+  }
 }
 
 UniformTorusModel::UniformTorusModel(const UniformModelConfig& cfg) : cfg_(cfg) {
@@ -158,7 +162,7 @@ UniformModelResult UniformTorusModel::solve(
   res.network_latency = s_net;
 
   const double arr = cfg_.injection_rate / static_cast<double>(cfg_.vcs);
-  const QueueDelay ws = mg1_wait(arr, s_net, lm);
+  const QueueDelay ws = mg1_wait(arr, s_net, lm, cfg_.arrival_idc);
   if (ws.saturated) return res;
   res.source_wait = ws.value;
 

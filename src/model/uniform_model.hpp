@@ -20,6 +20,9 @@ struct UniformModelConfig {
   int vcs = 2;
   int message_length = 32;
   double injection_rate = 1e-4;
+  /// Arrival-process index of dispersion (engine/bursty.hpp): 1 = Bernoulli
+  /// (bitwise-unchanged results), > 1 = bursty MMPP arrivals.
+  double arrival_idc = 1.0;
   FixedPointOptions solver{};
 
   void validate() const;

@@ -7,6 +7,7 @@
 
 #include "core/sweep_engine.hpp"
 #include "model/analytical_model.hpp"
+#include "model/engine/bursty.hpp"
 
 namespace kncube::validate {
 
@@ -174,10 +175,19 @@ std::string ValidationEngine::sanity_failure(const ReplicationPoint& pt,
   }
 
   // Offered-load tracking: the arrival process is constructed to emit the
-  // configured mean rate. MMPP gets a wider band — burst/idle cycles are
-  // thousands of cycles long, so a measurement window sees few of them.
+  // configured mean rate. MMPP gets a wider band, scaled by the ratio of
+  // the modulated process's per-cycle arrival standard deviation to the
+  // Bernoulli one at the same mean — computed from the MMPP stationary
+  // distribution and autocovariance decay (engine/bursty.hpp), so a
+  // slow-mixing, high-multiplier chain widens the band while a chain close
+  // to Bernoulli collapses it back to the Bernoulli tolerance.
   const double offered = pt.lambda;
-  const double offered_tol = spec.is_mmpp() ? 0.30 : 0.15;
+  double offered_tol = 0.15;
+  if (spec.is_mmpp()) {
+    const core::MmppArrivals& m = spec.mmpp();
+    offered_tol *= model::mmpp_offered_load_dispersion(
+        offered, m.burst_multiplier, m.p_enter_burst, m.p_leave_burst);
+  }
   if (offered > 0.0 && std::abs(generated - offered) > offered_tol * offered) {
     msg << "offered-load tracking: generated load " << generated
         << " deviates from offered " << offered << " by more than "

@@ -65,6 +65,32 @@ TEST(ModelSaturation, MatchesPaperOperatingRanges) {
   EXPECT_LT(f2_h20, 3e-4);  // paper plots to 2e-4
 }
 
+TEST(BisectSaturation, DegenerateBracketReportsFailure) {
+  // Always-unstable predicate: the shrink phase collapses the bracket to ~0
+  // without ever observing a stable probe. The old code fabricated a
+  // "converged" rate hi/2 that was never probed; the search must instead
+  // report failure and a zero rate.
+  int probes = 0;
+  const SaturationResult res =
+      bisect_saturation(1.0, 1e-3, [&](double) {
+        ++probes;
+        return false;
+      });
+  EXPECT_TRUE(res.failed);
+  EXPECT_EQ(res.rate, 0.0);
+  EXPECT_EQ(res.probes, probes);
+}
+
+TEST(BisectSaturation, StablePathUnchangedAndNotFailed) {
+  // Normal boundary at 0.5: bracketing + bisection converges and the result
+  // is a probed, stable rate with the failure flag clear.
+  const SaturationResult res =
+      bisect_saturation(1.0, 1e-4, [](double r) { return r < 0.5; });
+  EXPECT_FALSE(res.failed);
+  EXPECT_NEAR(res.rate, 0.5, 0.5 * 1e-3);
+  EXPECT_TRUE(res.rate < 0.5);  // lo side of the bracket: probed stable
+}
+
 TEST(SimSaturation, AgreesWithModelBoundary) {
   // Small network so each probe is fast. The sim boundary should land within
   // ~35% of the model's (the model is approximate, not exact).

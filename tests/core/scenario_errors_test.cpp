@@ -164,6 +164,26 @@ TEST(ScenarioErrors, ValidateRejectsInconsistentTopologyTrafficCombos) {
   }
 }
 
+TEST(ScenarioErrors, ValidateRejectsDegenerateMmppChains) {
+  ScenarioSpec spec;
+  // The default parameterisation (pi_burst = 0.2, mult*pi_burst = 0.8) is
+  // valid.
+  spec.arrivals = MmppArrivals{};
+  EXPECT_NO_THROW(spec.validate());
+  // Extreme p_enter/p_leave ratios round the stationary burst fraction to
+  // 1.0 (or 0.0) in double precision: the chain effectively always (never)
+  // bursts, so the burst multiplier distorts the realized mean.
+  spec.arrivals = MmppArrivals{1.0, 1.0, 1e-18};  // pi_burst rounds to 1.0
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  // mult * pi_burst > 1: the idle-rate solve clamps at 0 and the realized
+  // mean exceeds the configured rate; model and sim would disagree on the
+  // offered load itself.
+  spec.arrivals = MmppArrivals{4.0, 0.5, 0.5};  // pi_burst = 0.5, 4*0.5 > 1
+  EXPECT_THROW(spec.validate(), std::invalid_argument);
+  spec.arrivals = MmppArrivals{2.0, 0.5, 0.5};  // 2*0.5 == 1: boundary is fine
+  EXPECT_NO_THROW(spec.validate());
+}
+
 TEST(ScenarioErrors, ValidateBoundsHotNodeAgainstResolvedTopology) {
   // The resolved-topology hot-node check lives in validate() itself (not
   // only at sim-config time): -1 is the centre placeholder, other negatives

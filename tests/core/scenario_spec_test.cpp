@@ -231,7 +231,9 @@ TEST(ScenarioSpec, ValidateRejectsInconsistentCombinations) {
     EXPECT_THROW(s.validate(), std::invalid_argument);
     s.arrivals = MmppArrivals{4.0, 0.001, 1.5};  // p_leave out of (0,1]
     EXPECT_THROW(s.validate(), std::invalid_argument);
-    s.arrivals = MmppArrivals{4.0, 0.001, 0.002};
+    s.arrivals = MmppArrivals{4.0, 0.001, 0.002};  // mult*pi_burst = 4/3 > 1
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+    s.arrivals = MmppArrivals{4.0, 0.001, 0.004};  // pi_burst = 0.2: achievable
     EXPECT_NO_THROW(s.validate());
   }
 }
@@ -322,9 +324,41 @@ std::vector<DispatchCase> dispatch_cases() {
   torus3d.spec.torus() = TorusTopology{8, 3, false};
   cases.push_back(torus3d);
 
-  DispatchCase mmpp{"torus_hotspot_mmpp", torus(HotspotTraffic{}), nullptr};
+  // MMPP arrivals: modeled on the torus families via the bursty service
+  // stage, sim-only elsewhere (no arrival-IDC threading in those builders).
+  DispatchCase mmpp{"torus_hotspot_mmpp", torus(HotspotTraffic{}),
+                    "mmpp-hotspot-torus"};
   mmpp.spec.arrivals = MmppArrivals{};
   cases.push_back(mmpp);
+
+  DispatchCase mmpp_uniform{"torus_uniform_mmpp", torus(UniformTraffic{}),
+                            "mmpp-uniform-torus"};
+  mmpp_uniform.spec.arrivals = MmppArrivals{};
+  cases.push_back(mmpp_uniform);
+
+  DispatchCase mmpp_cube{"cube_hotspot_mmpp", cube(HotspotTraffic{}), nullptr};
+  mmpp_cube.spec.arrivals = MmppArrivals{};
+  cases.push_back(mmpp_cube);
+
+  // Mesh hot-spots: the centre (default) hot node is modeled; an off-centre
+  // hot node breaks the class symmetry and stays sim-only.
+  auto mesh = [](Traffic traffic) {
+    ScenarioSpec s;
+    s.topology = MeshTopology{8, 2};
+    s.traffic = std::move(traffic);
+    return s;
+  };
+  cases.push_back({"mesh_hotspot_centre", mesh(HotspotTraffic{0.2, -1}),
+                   "hotspot-mesh"});
+  // Node 36 = (4, 4) is the resolved centre of the 8x8 mesh; naming it
+  // explicitly must dispatch identically to -1.
+  cases.push_back({"mesh_hotspot_centre_explicit", mesh(HotspotTraffic{0.2, 36}),
+                   "hotspot-mesh"});
+  cases.push_back({"mesh_hotspot_corner", mesh(HotspotTraffic{0.2, 0}), nullptr});
+
+  DispatchCase mmpp_mesh{"mesh_uniform_mmpp", mesh(UniformTraffic{}), nullptr};
+  mmpp_mesh.spec.arrivals = MmppArrivals{};
+  cases.push_back(mmpp_mesh);
 
   // Ablation knobs a family cannot represent dispatch sim-only rather than
   // silently running the default approximation; the hot-spot torus model

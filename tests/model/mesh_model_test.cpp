@@ -161,12 +161,20 @@ TEST(MeshModel, RegistryDispatchesUniformOnlyWithReasons) {
     EXPECT_STREQ(d.model->name(), "uniform-mesh");
   }
   {
-    // Hot-spot mesh: per-channel load, no class reduction -> sim-only.
+    // Centre hot node: the hot-chain class reduction applies -> modeled.
     core::ScenarioSpec hot = spec;
     hot.traffic = core::HotspotTraffic{0.2, -1};
     const core::ModelDispatch d = core::make_analytical_model(hot);
+    ASSERT_TRUE(d.has_model());
+    EXPECT_STREQ(d.model->name(), "hotspot-mesh");
+  }
+  {
+    // Off-centre hot node: per-channel load, no class reduction -> sim-only.
+    core::ScenarioSpec hot = spec;
+    hot.traffic = core::HotspotTraffic{0.2, 0};
+    const core::ModelDispatch d = core::make_analytical_model(hot);
     EXPECT_FALSE(d.has_model());
-    EXPECT_NE(d.sim_only_reason.find("mesh hot-spot"), std::string::npos);
+    EXPECT_NE(d.sim_only_reason.find("centre hot node"), std::string::npos);
   }
   {
     // The mesh model supports the ablation knobs (they flow into the shared

@@ -162,7 +162,7 @@ TEST(Engine, SimOnlyCaseWithoutAnchorThrows) {
   ValidationEngine engine;
   ScenarioCase c;
   c.name = "anchorless";
-  c.spec.arrivals = core::MmppArrivals{};  // sim-only
+  c.spec.traffic = core::TransposeTraffic{};  // sim-only
   c.fractions = {0.5};
   EXPECT_THROW(engine.run({c}), std::invalid_argument);
 }
@@ -170,6 +170,7 @@ TEST(Engine, SimOnlyCaseWithoutAnchorThrows) {
 TEST(Suites, CoverEveryModeledFamilyAndSimOnlySpecs) {
   const auto suite = full_suite();
   int hotspot_torus = 0, uniform_torus = 0, hypercube = 0, sim_only = 0;
+  int mmpp_torus = 0, hotspot_mesh = 0;
   for (const ScenarioCase& c : suite) {
     core::ModelDispatch d = core::make_analytical_model(c.spec);
     if (!d.has_model()) {
@@ -181,13 +182,18 @@ TEST(Suites, CoverEveryModeledFamilyAndSimOnlySpecs) {
     hotspot_torus += (family == "hotspot-torus") ? 1 : 0;
     uniform_torus += (family == "uniform-torus") ? 1 : 0;
     hypercube += (family == "hotspot-hypercube") ? 1 : 0;
+    mmpp_torus += (family == "mmpp-hotspot-torus") ? 1 : 0;
+    mmpp_torus += (family == "mmpp-uniform-torus") ? 1 : 0;
+    hotspot_mesh += (family == "hotspot-mesh") ? 1 : 0;
     // Modeled sweeps stay below the saturation boundary.
     for (double f : c.fractions) EXPECT_LT(f, 1.0) << c.name;
   }
   EXPECT_GE(hotspot_torus, 1);
   EXPECT_GE(uniform_torus, 1);
-  EXPECT_GE(hypercube, 2);  // hot-spot and uniform (h = 0) degenerations
-  EXPECT_GE(sim_only, 2);   // the acceptance-criteria floor
+  EXPECT_GE(hypercube, 2);    // hot-spot and uniform (h = 0) degenerations
+  EXPECT_GE(mmpp_torus, 2);   // bursty arrivals on both torus patterns
+  EXPECT_GE(hotspot_mesh, 1);
+  EXPECT_GE(sim_only, 2);     // the acceptance-criteria floor
 
   // The quick suite is a strict subset in effort, not coverage of *every*
   // family; it must still mix modeled and sim-only cases.
